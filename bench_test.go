@@ -1,0 +1,277 @@
+package ghsom
+
+// Benchmark harness: one target per table and figure of the evaluation
+// (see DESIGN.md section 4 and EXPERIMENTS.md). Each benchmark runs the
+// corresponding eval runner on the small scenario so `go test -bench=.`
+// finishes in minutes; cmd/experiments reproduces the full-scale numbers
+// on the kdd99 scenario. Quality metrics are attached to the benchmark
+// output via ReportMetric, so the bench log doubles as a results table.
+
+import (
+	"sync"
+	"testing"
+
+	"ghsom/internal/anomaly"
+	"ghsom/internal/eval"
+	"ghsom/internal/trafficgen"
+)
+
+// benchState caches the generated dataset across benchmarks.
+var benchState struct {
+	once sync.Once
+	enc  *eval.Encoded
+	ds   eval.Dataset
+	err  error
+}
+
+func benchEncoded(b *testing.B) *eval.Encoded {
+	b.Helper()
+	benchState.once.Do(func() {
+		ds, err := eval.MakeDataset(trafficgen.Small(1), 0.67, 1)
+		if err != nil {
+			benchState.err = err
+			return
+		}
+		benchState.ds = ds
+		benchState.enc, benchState.err = eval.Encode(ds)
+	})
+	if benchState.err != nil {
+		b.Fatal(benchState.err)
+	}
+	return benchState.enc
+}
+
+// BenchmarkTableT1DatasetGeneration regenerates the T1 dataset: the
+// synthetic trace plus the 41-feature derivation.
+func BenchmarkTableT1DatasetGeneration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		records, err := trafficgen.Generate(trafficgen.Small(int64(i + 1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(records)), "records")
+	}
+}
+
+// BenchmarkTableT2Comparison runs the headline GHSOM vs SOM vs k-means vs
+// threshold comparison.
+func BenchmarkTableT2Comparison(b *testing.B) {
+	enc := benchEncoded(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := eval.Comparison(enc, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(results[0].Accuracy, "ghsom-acc")
+		b.ReportMetric(results[0].AUC, "ghsom-auc")
+	}
+}
+
+// BenchmarkTableT3PerClass runs the per-category detection table.
+func BenchmarkTableT3PerClass(b *testing.B) {
+	enc := benchEncoded(b)
+	_, _, det, err := eval.RunGHSOM(enc, eval.DefaultModelConfig(1), anomaly.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := eval.PerClass(enc, det)
+		b.ReportMetric(res.Recall["dos"], "dos-recall")
+		b.ReportMetric(res.Binary.DetectionRate(), "detect-rate")
+	}
+}
+
+// BenchmarkTableT4TauSweep runs the (tau1, tau2) structure sweep (reduced
+// grid; cmd/experiments runs the full 3x3).
+func BenchmarkTableT4TauSweep(b *testing.B) {
+	enc := benchEncoded(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.TauSweep(enc, []float64{0.7, 0.4}, []float64{0.1, 0.02}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rows[len(rows)-1].Units), "units-widest")
+	}
+}
+
+// BenchmarkFigureF1Convergence trains with growth tracing and reports the
+// root map's final mean-unit MQE (the F1 series endpoint).
+func BenchmarkFigureF1Convergence(b *testing.B) {
+	enc := benchEncoded(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trace, model, err := eval.ConvergenceTrace(enc, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events := trace.ForNode(model.Root().ID)
+		b.ReportMetric(events[len(events)-1].MeanUnitMQE, "final-mqe")
+	}
+}
+
+// BenchmarkFigureF2ROC computes the GHSOM-vs-SOM ROC curves and reports
+// both AUCs.
+func BenchmarkFigureF2ROC(b *testing.B) {
+	enc := benchEncoded(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		curves, err := eval.ROCCurves(enc, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(curves[0].AUC, "ghsom-auc")
+		b.ReportMetric(curves[1].AUC, "som-auc")
+	}
+}
+
+// BenchmarkFigureF3Growth reports the root map's growth (unit count per
+// iteration endpoint) — the F3 series.
+func BenchmarkFigureF3Growth(b *testing.B) {
+	enc := benchEncoded(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		trace, model, err := eval.ConvergenceTrace(enc, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events := trace.ForNode(model.Root().ID)
+		last := events[len(events)-1]
+		b.ReportMetric(float64(last.Rows*last.Cols), "root-units")
+		b.ReportMetric(float64(len(events)-1), "grow-iters")
+	}
+}
+
+// BenchmarkFigureF4Scalability runs the train-time/throughput scaling
+// points.
+func BenchmarkFigureF4Scalability(b *testing.B) {
+	enc := benchEncoded(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.Scalability(enc, []int{1000, 2000, 4000}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[len(rows)-1].ClassifyPerSec, "classify/s")
+	}
+}
+
+// BenchmarkAblationA1Novelty runs the unseen-attack holdout.
+func BenchmarkAblationA1Novelty(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := eval.NoveltyHoldout(5, 1, "smurf", "satan", "warezclient")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.UnseenDR, "unseen-dr")
+		b.ReportMetric(res.FPR, "fpr")
+	}
+}
+
+// BenchmarkAblationA2BatchVsOnline runs the training-rule ablation.
+func BenchmarkAblationA2BatchVsOnline(b *testing.B) {
+	enc := benchEncoded(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := eval.BatchVsOnline(enc, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(results[0].Accuracy, "online-acc")
+		b.ReportMetric(results[1].Accuracy, "batch-acc")
+	}
+}
+
+// BenchmarkAblationA3Routing runs the effective-codebook vs all-units
+// routing ablation.
+func BenchmarkAblationA3Routing(b *testing.B) {
+	enc := benchEncoded(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := eval.RoutingAblation(enc, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(results[0].Accuracy, "trained-acc")
+		b.ReportMetric(results[1].Accuracy, "allunits-acc")
+	}
+}
+
+// BenchmarkAblationA4Margin runs the novelty-margin sensitivity sweep.
+func BenchmarkAblationA4Margin(b *testing.B) {
+	enc := benchEncoded(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := eval.MarginSweep(enc, []float64{1.0, 1.5, 3.0}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].FPR, "fpr@1.0")
+		b.ReportMetric(rows[len(rows)-1].FPR, "fpr@3.0")
+	}
+}
+
+// --- micro-benchmarks of the hot paths ---
+
+// BenchmarkTrainGHSOM measures end-to-end GHSOM training on the capped
+// training set.
+func BenchmarkTrainGHSOM(b *testing.B) {
+	enc := benchEncoded(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := eval.RunGHSOM(enc, eval.DefaultModelConfig(1), anomaly.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRouteRecord measures hierarchical BMU routing of one record.
+func BenchmarkRouteRecord(b *testing.B) {
+	enc := benchEncoded(b)
+	_, model, _, err := eval.RunGHSOM(enc, eval.DefaultModelConfig(1), anomaly.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model.RouteTrained(enc.TestX[i%len(enc.TestX)])
+	}
+}
+
+// BenchmarkDetectRecord measures the full per-record verdict (routing +
+// label + novelty decision).
+func BenchmarkDetectRecord(b *testing.B) {
+	enc := benchEncoded(b)
+	_, _, det, err := eval.RunGHSOM(enc, eval.DefaultModelConfig(1), anomaly.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.Classify(enc.TestX[i%len(enc.TestX)])
+	}
+}
+
+// BenchmarkPipelineDetect measures the user-facing path: raw record ->
+// encode -> scale -> verdict.
+func BenchmarkPipelineDetect(b *testing.B) {
+	enc := benchEncoded(b)
+	_ = enc
+	records := benchState.ds.Train
+	pipe, err := TrainPipeline(records, DefaultPipelineConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pipe.Detect(&records[i%len(records)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,204 @@
+// Command experiments reproduces every table and figure of the
+// evaluation (see DESIGN.md for the experiment index): T1 dataset
+// composition, T2 detector comparison, T3 per-category detection, T4
+// tau sweep, F1/F3 convergence and growth traces, F2 ROC curves, F4
+// scalability, and the ablations A1 (unseen-attack novelty), A2
+// (online vs batch), A3 (routing policy), A4 (novelty margin).
+//
+// Usage:
+//
+//	experiments                 # full suite on the kdd99 scenario
+//	experiments -quick          # small scenario, reduced sweep
+//	experiments -only t2,f2     # subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ghsom/internal/anomaly"
+	"ghsom/internal/eval"
+	"ghsom/internal/trafficgen"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "use the small scenario and a reduced tau sweep")
+	scenario := fs.String("scenario", "", "dataset scenario: small, kdd99, or hard (overrides -quick)")
+	seed := fs.Int64("seed", 1, "experiment seed")
+	only := fs.String("only", "", "comma-separated experiment ids to run (t1,t2,t3,t4,f1,f2,f4,a1,a2,a3,a4)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	want := func(id string) bool {
+		if *only == "" {
+			return true
+		}
+		for _, w := range strings.Split(*only, ",") {
+			if strings.EqualFold(strings.TrimSpace(w), id) {
+				return true
+			}
+		}
+		return false
+	}
+
+	gen := trafficgen.KDD99Like(*seed)
+	if *quick {
+		gen = trafficgen.Small(*seed)
+	}
+	switch *scenario {
+	case "":
+	case "small":
+		gen = trafficgen.Small(*seed)
+	case "kdd99":
+		gen = trafficgen.KDD99Like(*seed)
+	case "hard":
+		gen = trafficgen.HardMix(*seed)
+	default:
+		return fmt.Errorf("unknown scenario %q (want small, kdd99, or hard)", *scenario)
+	}
+
+	banner("dataset")
+	start := time.Now()
+	ds, err := eval.MakeDataset(gen, 0.67, *seed)
+	if err != nil {
+		return err
+	}
+	enc, err := eval.Encode(ds)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("train=%d test=%d dim=%d (generated+encoded in %.1fs)\n",
+		len(enc.TrainX), len(enc.TestX), enc.Encoder.Dim(), time.Since(start).Seconds())
+
+	if want("t1") {
+		banner("T1: dataset composition")
+		fmt.Print(eval.FormatComposition(eval.Composition(ds)))
+	}
+
+	if want("t2") {
+		banner("T2: GHSOM vs flat SOM vs k-means vs volume threshold")
+		results, err := eval.Comparison(enc, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(eval.FormatComparison(results))
+	}
+
+	if want("t3") {
+		banner("T3: per-category detection (GHSOM)")
+		_, _, det, err := eval.RunGHSOM(enc, eval.DefaultModelConfig(*seed), anomaly.Config{})
+		if err != nil {
+			return err
+		}
+		fmt.Print(eval.FormatPerClass(eval.PerClass(enc, det)))
+	}
+
+	if want("t4") {
+		banner("T4: structure and quality vs (tau1, tau2)")
+		tau1s := []float64{0.3, 0.5, 0.7}
+		tau2s := []float64{0.01, 0.03, 0.1}
+		if *quick {
+			tau1s = []float64{0.4, 0.7}
+			tau2s = []float64{0.02, 0.1}
+		}
+		rows, err := eval.TauSweep(enc, tau1s, tau2s, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(eval.FormatTauSweep(rows))
+	}
+
+	if want("f1") || want("f3") {
+		banner("F1+F3: root-map convergence and growth")
+		trace, model, err := eval.ConvergenceTrace(enc, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(eval.FormatTrace(trace, model.Root().ID))
+		fmt.Println("\nfinal hierarchy:")
+		fmt.Print(model.TreeString())
+	}
+
+	if want("f2") {
+		banner("F2: ROC curves (GHSOM vs budget-matched flat SOM)")
+		curves, err := eval.ROCCurves(enc, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(eval.FormatROC(curves))
+	}
+
+	if want("f4") {
+		banner("F4: scalability")
+		sizes := []int{5000, 10000, 20000, 40000}
+		if *quick {
+			sizes = []int{1000, 2000, 4000}
+		}
+		rows, err := eval.Scalability(enc, sizes, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(eval.FormatScalability(rows))
+	}
+
+	if want("a1") {
+		banner("A1: novelty path on unseen attacks (held out of training)")
+		res, err := eval.NoveltyHoldout(*seed+100, *seed, "smurf", "satan", "warezclient")
+		if err != nil {
+			return err
+		}
+		fmt.Print(eval.FormatHoldout(res))
+
+		banner("A1b: corrected test set (test-set-only attacks: mailbomb, apache2, mscan, ...)")
+		res2, err := eval.NoveltyCorrectedTestSet(*seed+200, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(eval.FormatHoldout(res2))
+	}
+
+	if want("a2") {
+		banner("A2: online vs batch GHSOM training")
+		results, err := eval.BatchVsOnline(enc, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(eval.FormatComparison(results))
+	}
+
+	if want("a3") {
+		banner("A3: effective-codebook routing vs all-units routing")
+		results, err := eval.RoutingAblation(enc, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(eval.FormatComparison(results))
+	}
+
+	if want("a4") {
+		banner("A4: novelty-margin sensitivity")
+		rows, err := eval.MarginSweep(enc, []float64{1.0, 1.25, 1.5, 2.0, 3.0}, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(eval.FormatMarginSweep(rows))
+	}
+
+	return nil
+}
+
+func banner(title string) {
+	fmt.Printf("\n=== %s ===\n", title)
+}

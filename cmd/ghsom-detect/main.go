@@ -1,0 +1,118 @@
+// Command ghsom-detect runs a trained pipeline over a
+// kddcup.data-format CSV and reports detection quality (when the CSV has
+// ground-truth labels) plus optional per-record verdicts.
+//
+// Usage:
+//
+//	ghsom-detect -model model.json -in test.csv
+//	ghsom-detect -model model.json -in test.csv -verdicts verdicts.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"ghsom"
+	"ghsom/internal/kdd"
+	"ghsom/internal/metrics"
+	"ghsom/internal/viz"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ghsom-detect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ghsom-detect", flag.ContinueOnError)
+	modelPath := fs.String("model", "model.json", "trained pipeline file")
+	in := fs.String("in", "", "input CSV in kddcup.data format (required)")
+	verdicts := fs.String("verdicts", "", "optional per-record verdict CSV output")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+
+	mf, err := os.Open(*modelPath)
+	if err != nil {
+		return err
+	}
+	pipe, err := ghsom.LoadPipeline(mf)
+	mf.Close()
+	if err != nil {
+		return err
+	}
+
+	rf, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	records, err := kdd.ReadAll(rf)
+	rf.Close()
+	if err != nil {
+		return err
+	}
+
+	preds, err := pipe.DetectAll(records)
+	if err != nil {
+		return err
+	}
+
+	var vw *csv.Writer
+	if *verdicts != "" {
+		vf, err := os.Create(*verdicts)
+		if err != nil {
+			return err
+		}
+		defer vf.Close()
+		vw = csv.NewWriter(vf)
+		defer vw.Flush()
+		if err := vw.Write([]string{"index", "truth", "predicted", "attack", "novel", "score"}); err != nil {
+			return err
+		}
+	}
+
+	var outcome metrics.BinaryOutcome
+	conf := metrics.NewConfusion("normal", "dos", "probe", "r2l", "u2r")
+	for i := range records {
+		truthAttack := records[i].IsAttack()
+		outcome.AddBinary(truthAttack, preds[i].Attack)
+		predCat := kdd.CategoryOf(preds[i].Label).String()
+		if preds[i].Attack && predCat == "normal" {
+			predCat = "unknown"
+		}
+		conf.Add(records[i].Category().String(), predCat)
+		if vw != nil {
+			err := vw.Write([]string{
+				strconv.Itoa(i),
+				records[i].Label,
+				preds[i].Label,
+				strconv.FormatBool(preds[i].Attack),
+				strconv.FormatBool(preds[i].Novel),
+				strconv.FormatFloat(preds[i].Score, 'f', 4, 64),
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+
+	fmt.Printf("records: %d\n", len(records))
+	fmt.Printf("binary:  %s\n\n", outcome)
+	fmt.Println("category confusion (truth rows, predicted columns):")
+	fmt.Print(conf.String())
+	rows := make([][]string, 0, 5)
+	for _, cat := range kdd.Categories() {
+		rows = append(rows, []string{cat.String(), viz.Pct(conf.Recall(cat.String()))})
+	}
+	fmt.Println()
+	fmt.Print(viz.Table([]string{"category", "recall"}, rows))
+	return nil
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ghsom"
+	"ghsom/internal/kdd"
+	"ghsom/internal/trafficgen"
+)
+
+// fixture builds a trained model file and an independent test CSV.
+func fixture(t *testing.T) (modelPath, testCSV string) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("CLI integration test; skipped with -short")
+	}
+	dir := t.TempDir()
+
+	trainRecs, err := trafficgen.Generate(trafficgen.Small(61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ghsom.DefaultPipelineConfig()
+	cfg.Model.EpochsPerGrowth = 3
+	cfg.Model.FineTuneEpochs = 3
+	cfg.Model.MaxGrowIters = 4
+	cfg.Model.MaxDepth = 2
+	pipe, err := ghsom.TrainPipeline(trainRecs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modelPath = filepath.Join(dir, "model.json")
+	mf, err := os.Create(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pipe.Save(mf); err != nil {
+		t.Fatal(err)
+	}
+	mf.Close()
+
+	testRecs, err := trafficgen.Generate(trafficgen.Small(62))
+	if err != nil {
+		t.Fatal(err)
+	}
+	testCSV = filepath.Join(dir, "test.csv")
+	tf, err := os.Create(testCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kdd.WriteAll(tf, testRecs[:2000]); err != nil {
+		t.Fatal(err)
+	}
+	tf.Close()
+	return modelPath, testCSV
+}
+
+func TestRunDetect(t *testing.T) {
+	model, testCSV := fixture(t)
+	if err := run([]string{"-model", model, "-in", testCSV}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDetectWithVerdicts(t *testing.T) {
+	model, testCSV := fixture(t)
+	verdicts := filepath.Join(t.TempDir(), "verdicts.csv")
+	if err := run([]string{"-model", model, "-in", testCSV, "-verdicts", verdicts}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(verdicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Error("verdicts file empty")
+	}
+}
+
+func TestRunDetectErrors(t *testing.T) {
+	model, _ := fixture(t)
+	if err := run([]string{"-model", model}); err == nil {
+		t.Error("missing -in accepted")
+	}
+	if err := run([]string{"-model", "/nonexistent.json", "-in", "/nonexistent.csv"}); err == nil {
+		t.Error("missing model accepted")
+	}
+}

@@ -1,0 +1,86 @@
+// Command ghsom-inspect prints the structure of a trained pipeline: the
+// hierarchy tree, per-depth statistics, the root map's U-matrix and unit
+// labels, and the detector's label distribution.
+//
+// Usage:
+//
+//	ghsom-inspect -model model.json
+//	ghsom-inspect -model model.json -node 3    # U-matrix of one node
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"ghsom"
+	"ghsom/internal/viz"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ghsom-inspect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ghsom-inspect", flag.ContinueOnError)
+	modelPath := fs.String("model", "model.json", "trained pipeline file")
+	nodeID := fs.Int("node", 0, "node whose U-matrix to render")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		return err
+	}
+	pipe, err := ghsom.LoadPipeline(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	model := pipe.Model()
+	st := model.Stats()
+
+	fmt.Printf("model: %s\n", st)
+	fmt.Printf("tau1=%.3f tau2=%.3f maxDepth=%d seed=%d\n\n",
+		model.Config().Tau1, model.Config().Tau2, model.Config().MaxDepth, model.Config().Seed)
+
+	fmt.Println("per-depth structure:")
+	rows := make([][]string, 0, len(st.MapsPerDepth))
+	for d := range st.MapsPerDepth {
+		rows = append(rows, []string{
+			fmt.Sprint(d + 1),
+			fmt.Sprint(st.MapsPerDepth[d]),
+			fmt.Sprint(st.UnitsPerDepth[d]),
+		})
+	}
+	fmt.Print(viz.Table([]string{"depth", "maps", "units"}, rows))
+
+	fmt.Println("\nhierarchy:")
+	fmt.Print(model.TreeString())
+
+	node := model.Node(*nodeID)
+	if node == nil {
+		return fmt.Errorf("node %d does not exist (model has %d nodes)", *nodeID, len(model.Nodes()))
+	}
+	fmt.Printf("\nnode %d (%dx%d, depth %d) U-matrix:\n", node.ID, node.Map.Rows(), node.Map.Cols(), node.Depth)
+	fmt.Print(viz.Heatmap(node.Map.UMatrix()))
+
+	fmt.Println("\ndetector cells per predicted label:")
+	dist := pipe.Detector().LabelDistribution()
+	labels := make([]string, 0, len(dist))
+	for l := range dist {
+		labels = append(labels, l)
+	}
+	sort.Slice(labels, func(i, j int) bool { return dist[labels[i]] > dist[labels[j]] })
+	lrows := make([][]string, 0, len(labels))
+	for _, l := range labels {
+		lrows = append(lrows, []string{l, fmt.Sprint(dist[l])})
+	}
+	fmt.Print(viz.Table([]string{"label", "cells"}, lrows))
+	return nil
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ghsom"
+	"ghsom/internal/trafficgen"
+)
+
+func trainedModelFile(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("CLI integration test; skipped with -short")
+	}
+	records, err := trafficgen.Generate(trafficgen.Small(71))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ghsom.DefaultPipelineConfig()
+	cfg.Model.EpochsPerGrowth = 3
+	cfg.Model.FineTuneEpochs = 3
+	cfg.Model.MaxGrowIters = 4
+	cfg.Model.MaxDepth = 2
+	pipe, err := ghsom.TrainPipeline(records, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := pipe.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunInspect(t *testing.T) {
+	model := trainedModelFile(t)
+	if err := run([]string{"-model", model}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunInspectBadNode(t *testing.T) {
+	model := trainedModelFile(t)
+	if err := run([]string{"-model", model, "-node", "99999"}); err == nil {
+		t.Error("nonexistent node accepted")
+	}
+}
+
+func TestRunInspectMissingModel(t *testing.T) {
+	if err := run([]string{"-model", "/nonexistent.json"}); err == nil {
+		t.Error("missing model accepted")
+	}
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ghsom/internal/kdd"
+)
+
+func TestRunGeneratesCSV(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.csv")
+	if err := run([]string{"-scenario", "small", "-seed", "9", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	records, err := kdd.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) < 1000 {
+		t.Errorf("only %d records", len(records))
+	}
+}
+
+func TestRunExclude(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.csv")
+	if err := run([]string{"-scenario", "small", "-exclude", "neptune,smurf", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := os.Open(out)
+	defer f.Close()
+	records, err := kdd.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range records {
+		if r.Label == "neptune" || r.Label == "smurf" {
+			t.Fatal("excluded attack present")
+		}
+	}
+}
+
+func TestRunUnknownScenario(t *testing.T) {
+	err := run([]string{"-scenario", "bogus"})
+	if err == nil || !strings.Contains(err.Error(), "unknown scenario") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRunListAttacks(t *testing.T) {
+	if err := run([]string{"-list-attacks"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,57 @@
+// Quickstart: generate a small synthetic traffic trace, train a GHSOM
+// detection pipeline on part of it, and classify a few connections.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ghsom"
+)
+
+func main() {
+	// 1. Generate ~5k labeled KDD-99-style records.
+	records, err := ghsom.GenerateTraffic(ghsom.SmallScenario(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %d records\n", len(records))
+
+	// 2. Train the full pipeline (encoder -> scaler -> GHSOM -> detector)
+	// on the first two thirds.
+	split := 2 * len(records) / 3
+	cfg := ghsom.DefaultPipelineConfig()
+	pipe, err := ghsom.TrainPipeline(records[:split], cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := pipe.Model().Stats()
+	fmt.Printf("trained GHSOM: %s\n\n", st)
+
+	// 3. Classify held-out records and count verdicts.
+	var correct, total int
+	var shown int
+	for i := split; i < len(records); i++ {
+		rec := &records[i]
+		verdict, err := pipe.Detect(rec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if verdict.Attack == rec.IsAttack() {
+			correct++
+		}
+		total++
+		// Print a few interesting examples.
+		if shown < 5 && rec.IsAttack() && verdict.Attack {
+			fmt.Printf("detected %-14s as %-14s (cell %s, score %.2f)\n",
+				rec.Label, verdict.Label, verdict.Cell, verdict.Score)
+			shown++
+		}
+	}
+	fmt.Printf("\nheld-out binary accuracy: %.2f%% (%d/%d)\n",
+		100*float64(correct)/float64(total), correct, total)
+}

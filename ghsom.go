@@ -1,0 +1,90 @@
+// Package ghsom is a Go implementation of network traffic anomaly
+// detection based on the Growing Hierarchical Self-Organizing Map
+// (GHSOM), reproducing the DSN 2013 paper "Network traffic anomaly
+// detection based on growing hierarchical SOM".
+//
+// The package is a façade over the repository's internal modules. The
+// highest-level entry point is the Pipeline, which bundles the whole
+// detection chain — KDD-99 record encoding, feature scaling, GHSOM
+// training, unit labeling, and quantization-error novelty detection — and
+// is what the examples and CLIs use:
+//
+//	records, _ := ghsom.GenerateTraffic(ghsom.SmallScenario(1))
+//	pipe, _ := ghsom.TrainPipeline(records, ghsom.DefaultPipelineConfig())
+//	verdict, _ := pipe.Detect(&records[0])
+//	fmt.Println(verdict.Label, verdict.Attack)
+//
+// Lower-level building blocks (the raw GHSOM over plain vectors, the flat
+// SOM substrate, the baselines) are exposed through type aliases so
+// downstream code can compose its own pipelines without importing
+// internal packages.
+package ghsom
+
+import (
+	"ghsom/internal/anomaly"
+	"ghsom/internal/core"
+	"ghsom/internal/kdd"
+	"ghsom/internal/trafficgen"
+)
+
+// Record is one KDD-99 connection record (41 features plus label).
+type Record = kdd.Record
+
+// Category is the coarse KDD attack taxonomy.
+type Category = kdd.Category
+
+// The five record categories.
+const (
+	Normal = kdd.Normal
+	DoS    = kdd.DoS
+	Probe  = kdd.Probe
+	R2L    = kdd.R2L
+	U2R    = kdd.U2R
+)
+
+// Model is a trained growing hierarchical self-organizing map.
+type Model = core.GHSOM
+
+// ModelConfig controls GHSOM training (tau1, tau2, depth caps, ...).
+type ModelConfig = core.Config
+
+// Placement identifies where a vector lands in a trained hierarchy.
+type Placement = core.Placement
+
+// Prediction is a detector verdict for one record.
+type Prediction = anomaly.Prediction
+
+// DetectorConfig controls unit labeling and novelty thresholds.
+type DetectorConfig = anomaly.Config
+
+// GeneratorConfig describes a synthetic traffic scenario.
+type GeneratorConfig = trafficgen.Config
+
+// DefaultModelConfig returns the GHSOM configuration used by the paper
+// reproduction experiments (tau1=0.6, tau2=0.03).
+func DefaultModelConfig() ModelConfig { return core.DefaultConfig() }
+
+// TrainModel trains a raw GHSOM on already-encoded vectors. Most callers
+// want TrainPipeline instead, which handles encoding and scaling.
+func TrainModel(data [][]float64, cfg ModelConfig) (*Model, error) {
+	return core.Train(data, cfg)
+}
+
+// GenerateTraffic synthesizes a KDD-99-style trace (see GeneratorConfig
+// and the scenario constructors).
+func GenerateTraffic(cfg GeneratorConfig) ([]Record, error) {
+	return trafficgen.Generate(cfg)
+}
+
+// KDD99Scenario returns the DoS-heavy headline scenario (~50k records).
+func KDD99Scenario(seed int64) GeneratorConfig { return trafficgen.KDD99Like(seed) }
+
+// SmallScenario returns a fast scenario (~5k records) for tests, examples
+// and quickstarts.
+func SmallScenario(seed int64) GeneratorConfig { return trafficgen.Small(seed) }
+
+// HardScenario returns the high-noise, R2L/U2R-heavy stress scenario.
+func HardScenario(seed int64) GeneratorConfig { return trafficgen.HardMix(seed) }
+
+// CategoryOf maps a KDD label to its category.
+func CategoryOf(label string) Category { return kdd.CategoryOf(label) }

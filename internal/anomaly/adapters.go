@@ -1,0 +1,99 @@
+package anomaly
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"ghsom/internal/baseline"
+	"ghsom/internal/core"
+	"ghsom/internal/som"
+)
+
+// GHSOMQuantizer adapts a trained GHSOM to the Quantizer interface: the
+// cell is the hierarchical leaf placement "nodeID/unit". Routing uses
+// RouteTrained so classification stays on the effective codebook (units
+// that won training data).
+type GHSOMQuantizer struct {
+	// Model is the trained hierarchy.
+	Model *core.GHSOM
+}
+
+var (
+	_ Quantizer       = GHSOMQuantizer{}
+	_ WeightQuantizer = GHSOMQuantizer{}
+)
+
+// Quantize routes x down the hierarchy.
+func (g GHSOMQuantizer) Quantize(x []float64) (string, float64) {
+	p := g.Model.RouteTrained(x)
+	return p.Key().String(), p.QE
+}
+
+// CellWeight returns the weight vector of a "nodeID/unit" cell, or nil
+// for malformed or unknown identifiers.
+func (g GHSOMQuantizer) CellWeight(cell string) []float64 {
+	var nodeID, unit int
+	if _, err := fmt.Sscanf(cell, "%d/%d", &nodeID, &unit); err != nil {
+		return nil
+	}
+	return g.Model.NearestUnitWeight(core.UnitKey{NodeID: nodeID, Unit: unit})
+}
+
+// SOMQuantizer adapts a flat SOM: the cell is the BMU index. When
+// UnitCounts (per-unit training record counts, e.g. from Map.Assign over
+// the training set) is set, the BMU search is restricted to units with
+// data, mirroring GHSOMQuantizer's effective-codebook routing.
+type SOMQuantizer struct {
+	// Map is the trained SOM.
+	Map *som.Map
+	// UnitCounts optionally restricts matching to units that won
+	// training data.
+	UnitCounts []int
+}
+
+var _ Quantizer = SOMQuantizer{}
+
+// Quantize finds the best-matching unit of x.
+func (s SOMQuantizer) Quantize(x []float64) (string, float64) {
+	if s.UnitCounts != nil {
+		bmu, d2, ok := s.Map.BMUWhere(x, func(u int) bool {
+			return u < len(s.UnitCounts) && s.UnitCounts[u] > 0
+		})
+		if ok {
+			return strconv.Itoa(bmu), math.Sqrt(d2)
+		}
+	}
+	bmu, d2 := s.Map.BMU(x)
+	return strconv.Itoa(bmu), math.Sqrt(d2)
+}
+
+// KMeansQuantizer adapts a k-means codebook: the cell is the centroid
+// index.
+type KMeansQuantizer struct {
+	// Model is the trained clustering.
+	Model *baseline.KMeans
+}
+
+var _ Quantizer = KMeansQuantizer{}
+
+// Quantize assigns x to its nearest centroid.
+func (k KMeansQuantizer) Quantize(x []float64) (string, float64) {
+	c, dist := k.Model.Assign(x)
+	return strconv.Itoa(c), dist
+}
+
+// AggloQuantizer adapts an agglomerative clustering codebook: the cell is
+// the cluster index of the dendrogram cut.
+type AggloQuantizer struct {
+	// Model is the trained clustering.
+	Model *baseline.Agglo
+}
+
+var _ Quantizer = AggloQuantizer{}
+
+// Quantize assigns x to its nearest cluster centroid.
+func (a AggloQuantizer) Quantize(x []float64) (string, float64) {
+	c, dist := a.Model.Assign(x)
+	return strconv.Itoa(c), dist
+}

@@ -1,0 +1,307 @@
+// Package anomaly turns a trained vector quantizer — a GHSOM hierarchy, a
+// flat SOM, or a k-means codebook — into a network intrusion detector.
+//
+// Two complementary decision paths are combined, following the GHSOM-IDS
+// literature:
+//
+//  1. Unit labeling: each quantizer cell is labeled by majority vote of
+//     the training records it wins. A test record inherits its cell's
+//     label; any non-normal label is an attack verdict. This path catches
+//     attacks seen (in some form) during training.
+//  2. Novelty (quantization error): a record whose distance to its cell
+//     exceeds a calibrated per-cell threshold is flagged anomalous even
+//     if the cell is labeled normal. This path catches attacks absent
+//     from training — the reason to prefer an unsupervised detector.
+package anomaly
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"ghsom/internal/vecmath"
+)
+
+// Errors returned by the package.
+var (
+	// ErrNoData is returned when fitting is attempted with no records.
+	ErrNoData = errors.New("anomaly: no data")
+	// ErrNotFitted is returned when classification precedes fitting.
+	ErrNotFitted = errors.New("anomaly: detector not fitted")
+)
+
+// Quantizer maps a vector to a discrete cell and a quantization error.
+// Cells are opaque strings: "nodeID/unit" for a GHSOM, a unit index for a
+// flat SOM, a centroid index for k-means.
+type Quantizer interface {
+	Quantize(x []float64) (cell string, qe float64)
+}
+
+// Config controls detector fitting.
+type Config struct {
+	// NormalLabel is the label of legitimate traffic (default "normal").
+	NormalLabel string
+	// QEQuantile is the quantile of per-cell training quantization errors
+	// used as the novelty threshold (default 0.99). Records above the
+	// threshold are anomalous regardless of cell label.
+	QEQuantile float64
+	// MinCellCount is the minimum number of training records a cell needs
+	// for its own threshold; sparser cells fall back to the global
+	// threshold (default 5).
+	MinCellCount int
+	// NoveltyMargin scales the quantile thresholds (default 1.5). Values
+	// above 1 absorb distribution shift between training and deployment
+	// traffic, trading novelty sensitivity for false-positive rate.
+	NoveltyMargin float64
+}
+
+func (c *Config) fillDefaults() {
+	if c.NormalLabel == "" {
+		c.NormalLabel = "normal"
+	}
+	if c.QEQuantile == 0 {
+		c.QEQuantile = 0.99
+	}
+	if c.MinCellCount == 0 {
+		c.MinCellCount = 5
+	}
+	if c.NoveltyMargin == 0 {
+		c.NoveltyMargin = 1.5
+	}
+}
+
+func (c *Config) validate() error {
+	if c.QEQuantile < 0 || c.QEQuantile > 1 {
+		return fmt.Errorf("anomaly: qeQuantile %v outside [0, 1]", c.QEQuantile)
+	}
+	if c.MinCellCount < 1 {
+		return fmt.Errorf("anomaly: minCellCount %d < 1", c.MinCellCount)
+	}
+	if c.NoveltyMargin < 1 {
+		return fmt.Errorf("anomaly: noveltyMargin %v < 1", c.NoveltyMargin)
+	}
+	return nil
+}
+
+// cellInfo is the fitted state of one quantizer cell.
+type cellInfo struct {
+	label       string  // majority label
+	count       int     // training records seen
+	attackFrac  float64 // fraction of training records that are attacks
+	qeThreshold float64 // novelty threshold (quantile of training QEs)
+}
+
+// Detector is a fitted intrusion detector over a quantizer.
+type Detector struct {
+	q        Quantizer
+	cfg      Config
+	cells    map[string]cellInfo
+	globalQE float64 // global novelty threshold
+	majority string  // dataset-wide majority label (fallback)
+}
+
+// Prediction is the verdict for one record.
+type Prediction struct {
+	// Label is the predicted label: the cell's majority label, or the
+	// detector's NovelLabel value when the record hits an unseen cell.
+	Label string
+	// Attack reports the binary verdict: a non-normal label or a novelty
+	// flag.
+	Attack bool
+	// Novel reports that the record exceeded the novelty threshold or
+	// landed in a cell never seen in training.
+	Novel bool
+	// Cell is the quantizer cell the record landed in.
+	Cell string
+	// QE is the record's quantization error.
+	QE float64
+	// Score is a monotone anomaly score in [0, ~2]: the cell's training
+	// attack fraction plus the clipped novelty ratio. Suitable for ROC
+	// sweeps.
+	Score float64
+}
+
+// NovelLabel is the label assigned to records landing in cells with no
+// training data.
+const NovelLabel = "(novel)"
+
+// Fit builds a detector from a trained quantizer, the encoded training
+// vectors, and their ground-truth labels.
+func Fit(q Quantizer, data [][]float64, labels []string, cfg Config) (*Detector, error) {
+	cfg.fillDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(data) == 0 {
+		return nil, ErrNoData
+	}
+	if len(data) != len(labels) {
+		return nil, fmt.Errorf("anomaly: %d rows vs %d labels", len(data), len(labels))
+	}
+
+	type cellAccum struct {
+		labelCounts map[string]int
+		qes         []float64
+		attacks     int
+	}
+	accum := make(map[string]*cellAccum)
+	var allQEs []float64
+	labelTotals := make(map[string]int)
+	for i, x := range data {
+		cell, qe := q.Quantize(x)
+		a, ok := accum[cell]
+		if !ok {
+			a = &cellAccum{labelCounts: make(map[string]int)}
+			accum[cell] = a
+		}
+		a.labelCounts[labels[i]]++
+		a.qes = append(a.qes, qe)
+		if labels[i] != cfg.NormalLabel {
+			a.attacks++
+		}
+		allQEs = append(allQEs, qe)
+		labelTotals[labels[i]]++
+	}
+
+	d := &Detector{
+		q:        q,
+		cfg:      cfg,
+		cells:    make(map[string]cellInfo, len(accum)),
+		majority: majorityLabel(labelTotals),
+	}
+	sort.Float64s(allQEs)
+	d.globalQE = vecmath.QuantileSorted(allQEs, cfg.QEQuantile) * cfg.NoveltyMargin
+	for cell, a := range accum {
+		info := cellInfo{
+			label:      majorityLabel(a.labelCounts),
+			count:      len(a.qes),
+			attackFrac: float64(a.attacks) / float64(len(a.qes)),
+		}
+		if info.count >= cfg.MinCellCount {
+			sort.Float64s(a.qes)
+			info.qeThreshold = vecmath.QuantileSorted(a.qes, cfg.QEQuantile) * cfg.NoveltyMargin
+			// A cell whose training errors are all ~zero would flag
+			// everything; floor at the global threshold scale.
+			if info.qeThreshold <= 0 {
+				info.qeThreshold = d.globalQE
+			}
+		} else {
+			info.qeThreshold = d.globalQE
+		}
+		d.cells[cell] = info
+	}
+	if d.globalQE <= 0 {
+		// Degenerate training data (all records identical to their
+		// units): fall back to a tiny positive threshold so finite
+		// perturbations are flagged but exact matches are not.
+		d.globalQE = 1e-9
+	}
+	return d, nil
+}
+
+// majorityLabel returns the label with the highest count, breaking ties
+// lexicographically for determinism.
+func majorityLabel(counts map[string]int) string {
+	best, bestN := "", -1
+	for l, n := range counts {
+		if n > bestN || (n == bestN && l < best) {
+			best, bestN = l, n
+		}
+	}
+	return best
+}
+
+// Classify returns the verdict for one encoded record.
+func (d *Detector) Classify(x []float64) Prediction {
+	cell, qe := d.q.Quantize(x)
+	info, seen := d.cells[cell]
+	p := Prediction{Cell: cell, QE: qe}
+	if !seen {
+		// A cell with no training data is usually an interpolated unit
+		// sitting inside a known region, so it is judged purely by the
+		// global novelty threshold rather than auto-flagged; only records
+		// genuinely far from the codebook become attacks.
+		p.Novel = qe > d.globalQE
+		p.Attack = p.Novel
+		if p.Novel {
+			p.Label = NovelLabel
+		} else {
+			p.Label = d.cfg.NormalLabel
+		}
+		p.Score = 0.5 + noveltyRatio(qe, d.globalQE)
+		return p
+	}
+	p.Label = info.label
+	p.Novel = qe > info.qeThreshold
+	p.Attack = info.label != d.cfg.NormalLabel || p.Novel
+	p.Score = info.attackFrac + noveltyRatio(qe, info.qeThreshold)
+	return p
+}
+
+// noveltyRatio maps a quantization error to a bounded [0, 1] novelty
+// contribution: 0 well under the threshold, 0.5 at the threshold,
+// saturating toward 1 beyond it.
+func noveltyRatio(qe, threshold float64) float64 {
+	if threshold <= 0 {
+		if qe > 0 {
+			return 1
+		}
+		return 0
+	}
+	r := qe / threshold
+	return r / (1 + r)
+}
+
+// ClassifyAll classifies every row.
+func (d *Detector) ClassifyAll(data [][]float64) []Prediction {
+	out := make([]Prediction, len(data))
+	for i, x := range data {
+		out[i] = d.Classify(x)
+	}
+	return out
+}
+
+// Score returns the anomaly score of x (higher = more anomalous).
+func (d *Detector) Score(x []float64) float64 { return d.Classify(x).Score }
+
+// Cells returns the number of distinct cells seen in training.
+func (d *Detector) Cells() int { return len(d.cells) }
+
+// GlobalThreshold returns the fitted global novelty threshold.
+func (d *Detector) GlobalThreshold() float64 { return d.globalQE }
+
+// CellLabel returns the majority label of a cell and whether the cell was
+// seen in training.
+func (d *Detector) CellLabel(cell string) (string, bool) {
+	info, ok := d.cells[cell]
+	if !ok {
+		return "", false
+	}
+	return info.label, true
+}
+
+// LabelDistribution returns, per predicted label, the number of cells
+// carrying it — a compact summary of how the quantizer partitioned the
+// classes.
+func (d *Detector) LabelDistribution() map[string]int {
+	out := make(map[string]int)
+	for _, info := range d.cells {
+		out[info.label]++
+	}
+	return out
+}
+
+// NaNGuard returns a defensive copy of x with NaN/Inf replaced by 0, for
+// streaming paths that must not crash on malformed input.
+func NaNGuard(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			out[i] = 0
+			continue
+		}
+		out[i] = v
+	}
+	return out
+}

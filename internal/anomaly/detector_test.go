@@ -1,0 +1,264 @@
+package anomaly
+
+import (
+	"errors"
+	"math"
+	"strconv"
+	"testing"
+)
+
+// gridQuantizer is a deterministic test quantizer: cell is the integer
+// floor of the first coordinate, QE is the distance from the cell center.
+type gridQuantizer struct{}
+
+func (gridQuantizer) Quantize(x []float64) (string, float64) {
+	cell := int(math.Floor(x[0]))
+	center := float64(cell) + 0.5
+	return strconv.Itoa(cell), math.Abs(x[0] - center)
+}
+
+// fitTestDetector builds a detector over two cells: cell 0 normal,
+// cell 1 attack-dominated.
+func fitTestDetector(t *testing.T, cfg Config) *Detector {
+	t.Helper()
+	var data [][]float64
+	var labels []string
+	for i := 0; i < 50; i++ {
+		data = append(data, []float64{0.4 + 0.004*float64(i)}) // cell 0, qe <= ~0.1
+		labels = append(labels, "normal")
+	}
+	for i := 0; i < 40; i++ {
+		data = append(data, []float64{1.4 + 0.005*float64(i)}) // cell 1
+		labels = append(labels, "neptune")
+	}
+	for i := 0; i < 10; i++ {
+		data = append(data, []float64{1.45})
+		labels = append(labels, "normal") // minority in cell 1
+	}
+	d, err := Fit(gridQuantizer{}, data, labels, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestFitAndClassifyMajorityVote(t *testing.T) {
+	d := fitTestDetector(t, Config{})
+	// Cell 0 is normal.
+	p := d.Classify([]float64{0.5})
+	if p.Label != "normal" || p.Attack {
+		t.Errorf("cell 0 prediction = %+v", p)
+	}
+	// Cell 1 is neptune-majority.
+	p = d.Classify([]float64{1.5})
+	if p.Label != "neptune" || !p.Attack {
+		t.Errorf("cell 1 prediction = %+v", p)
+	}
+	if d.Cells() != 2 {
+		t.Errorf("Cells = %d", d.Cells())
+	}
+}
+
+func TestNoveltyByQE(t *testing.T) {
+	d := fitTestDetector(t, Config{})
+	// Deep inside cell 0 but far from center: qe 0.49 vs thresholds ~0.1.
+	p := d.Classify([]float64{0.01})
+	if !p.Novel || !p.Attack {
+		t.Errorf("high-QE record not flagged: %+v", p)
+	}
+	if p.Label != "normal" {
+		t.Errorf("novelty should preserve cell label, got %q", p.Label)
+	}
+}
+
+func TestUnseenCellIsNovel(t *testing.T) {
+	d := fitTestDetector(t, Config{})
+	// Far from the unseen cell's center: QE 0.4 exceeds the global
+	// threshold (~0.15 with the default margin) => novel attack.
+	p := d.Classify([]float64{7.9})
+	if !p.Novel || !p.Attack {
+		t.Errorf("unseen cell not flagged: %+v", p)
+	}
+	if p.Label != NovelLabel {
+		t.Errorf("unseen cell label = %q, want %q", p.Label, NovelLabel)
+	}
+	if p.Score <= 0.5 {
+		t.Errorf("unseen cell score = %v, want > 0.5", p.Score)
+	}
+	// At the unseen cell's exact center (QE 0) the record is judged by
+	// the global threshold only: interpolated units inside known regions
+	// must not auto-flag.
+	pc := d.Classify([]float64{7.5})
+	if pc.Attack || pc.Novel {
+		t.Errorf("unseen-cell center flagged: %+v", pc)
+	}
+	if pc.Label != "normal" {
+		t.Errorf("unseen-cell center label = %q, want normal", pc.Label)
+	}
+}
+
+func TestScoreMonotoneInAttackFraction(t *testing.T) {
+	d := fitTestDetector(t, Config{})
+	normalScore := d.Score([]float64{0.5})
+	attackScore := d.Score([]float64{1.5})
+	if attackScore <= normalScore {
+		t.Errorf("attack cell score %v <= normal cell score %v", attackScore, normalScore)
+	}
+}
+
+func TestScoreMonotoneInQE(t *testing.T) {
+	d := fitTestDetector(t, Config{})
+	near := d.Score([]float64{0.5}) // at center
+	far := d.Score([]float64{0.02}) // far from center, same cell
+	if far <= near {
+		t.Errorf("far score %v <= near score %v", far, near)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(gridQuantizer{}, nil, nil, Config{}); !errors.Is(err, ErrNoData) {
+		t.Errorf("no-data err = %v", err)
+	}
+	if _, err := Fit(gridQuantizer{}, [][]float64{{1}}, []string{"a", "b"}, Config{}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Fit(gridQuantizer{}, [][]float64{{1}}, []string{"a"}, Config{QEQuantile: 2}); err == nil {
+		t.Error("bad quantile accepted")
+	}
+	if _, err := Fit(gridQuantizer{}, [][]float64{{1}}, []string{"a"}, Config{MinCellCount: -1}); err == nil {
+		t.Error("negative MinCellCount accepted")
+	}
+	if _, err := Fit(gridQuantizer{}, [][]float64{{1}}, []string{"a"}, Config{NoveltyMargin: 0.5}); err == nil {
+		t.Error("sub-unit NoveltyMargin accepted")
+	}
+}
+
+func TestNoveltyMarginWidensThresholds(t *testing.T) {
+	tight := fitTestDetector(t, Config{NoveltyMargin: 1.0})
+	wide := fitTestDetector(t, Config{NoveltyMargin: 3.0})
+	// A moderately off-center record: flagged by the tight detector,
+	// tolerated by the wide one. Cell-0 QEs reach ~0.1, so QE 0.2 sits
+	// between 1x and 3x the quantile.
+	x := []float64{0.3}
+	if !tight.Classify(x).Novel {
+		t.Error("tight detector did not flag moderate outlier")
+	}
+	if wide.Classify(x).Novel {
+		t.Error("wide detector flagged moderate outlier")
+	}
+}
+
+func TestCustomNormalLabel(t *testing.T) {
+	data := [][]float64{{0.5}, {0.5}, {1.5}}
+	labels := []string{"benign", "benign", "evil"}
+	d, err := Fit(gridQuantizer{}, data, labels, Config{NormalLabel: "benign", MinCellCount: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := d.Classify([]float64{0.5}); p.Attack {
+		t.Errorf("benign cell flagged: %+v", p)
+	}
+	if p := d.Classify([]float64{1.5}); !p.Attack {
+		t.Errorf("evil cell not flagged: %+v", p)
+	}
+}
+
+func TestSparseCellFallsBackToGlobalThreshold(t *testing.T) {
+	// Cell 2 has a single record; with MinCellCount 5 it must use the
+	// global threshold rather than its own degenerate one.
+	var data [][]float64
+	var labels []string
+	for i := 0; i < 20; i++ {
+		data = append(data, []float64{0.3 + 0.02*float64(i)})
+		labels = append(labels, "normal")
+	}
+	data = append(data, []float64{2.5})
+	labels = append(labels, "normal")
+	d, err := Fit(gridQuantizer{}, data, labels, Config{MinCellCount: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A record close to the sparse cell's center must not be flagged
+	// merely because the cell had one training point.
+	p := d.Classify([]float64{2.45})
+	if p.Novel {
+		t.Errorf("sparse-cell record flagged as novel: %+v", p)
+	}
+}
+
+func TestCellLabelAndDistribution(t *testing.T) {
+	d := fitTestDetector(t, Config{})
+	label, ok := d.CellLabel("0")
+	if !ok || label != "normal" {
+		t.Errorf("CellLabel(0) = %q, %v", label, ok)
+	}
+	if _, ok := d.CellLabel("999"); ok {
+		t.Error("unknown cell reported as known")
+	}
+	dist := d.LabelDistribution()
+	if dist["normal"] != 1 || dist["neptune"] != 1 {
+		t.Errorf("LabelDistribution = %v", dist)
+	}
+}
+
+func TestClassifyAll(t *testing.T) {
+	d := fitTestDetector(t, Config{})
+	ps := d.ClassifyAll([][]float64{{0.5}, {1.5}})
+	if len(ps) != 2 || ps[0].Attack == ps[1].Attack {
+		t.Errorf("ClassifyAll = %+v", ps)
+	}
+}
+
+func TestNaNGuard(t *testing.T) {
+	in := []float64{1, math.NaN(), math.Inf(1), math.Inf(-1), 2}
+	out := NaNGuard(in)
+	want := []float64{1, 0, 0, 0, 2}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("NaNGuard[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+	// Input untouched.
+	if !math.IsNaN(in[1]) {
+		t.Error("NaNGuard mutated input")
+	}
+}
+
+func TestNoveltyRatioBounds(t *testing.T) {
+	if r := noveltyRatio(0, 1); r != 0 {
+		t.Errorf("ratio(0,1) = %v", r)
+	}
+	if r := noveltyRatio(1, 1); math.Abs(r-0.5) > 1e-12 {
+		t.Errorf("ratio(1,1) = %v, want 0.5", r)
+	}
+	if r := noveltyRatio(1e12, 1); r <= 0.99 || r > 1 {
+		t.Errorf("ratio(huge,1) = %v, want ~1", r)
+	}
+	if r := noveltyRatio(1, 0); r != 1 {
+		t.Errorf("ratio(1,0) = %v, want 1", r)
+	}
+	if r := noveltyRatio(0, 0); r != 0 {
+		t.Errorf("ratio(0,0) = %v, want 0", r)
+	}
+}
+
+func TestDegenerateAllIdenticalTraining(t *testing.T) {
+	data := make([][]float64, 20)
+	labels := make([]string, 20)
+	for i := range data {
+		data[i] = []float64{0.5} // exactly at cell center: QE 0
+		labels[i] = "normal"
+	}
+	d, err := Fit(gridQuantizer{}, data, labels, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The training point itself must not be flagged.
+	if p := d.Classify([]float64{0.5}); p.Novel {
+		t.Errorf("exact training point flagged: %+v", p)
+	}
+	// A clearly different point in the same cell should be flagged.
+	if p := d.Classify([]float64{0.05}); !p.Novel {
+		t.Errorf("perturbed point not flagged on degenerate detector: %+v", p)
+	}
+}

@@ -1,0 +1,53 @@
+package anomaly
+
+import (
+	"math"
+	"sort"
+)
+
+// WeightQuantizer is implemented by quantizers that can expose the weight
+// vector behind a cell, enabling per-feature explanations.
+type WeightQuantizer interface {
+	Quantizer
+	// CellWeight returns the weight vector of the given cell, or nil if
+	// the cell identifier is unknown.
+	CellWeight(cell string) []float64
+}
+
+// Contribution is one feature's share of a record's quantization error.
+type Contribution struct {
+	// Dim is the feature index in the encoded vector.
+	Dim int
+	// Delta is x[Dim] - w[Dim]: positive when the record exceeds the
+	// matched prototype in this feature.
+	Delta float64
+}
+
+// Explain returns the top-k features contributing to x's distance from
+// its matched prototype, ordered by decreasing |Delta|. It returns nil
+// when the detector's quantizer cannot expose cell weights or the cell is
+// unknown. Use it to answer "why was this connection flagged": for a SYN
+// flood the top contributions are count/serror_rate, for a U2R session
+// the content features.
+func (d *Detector) Explain(x []float64, k int) []Contribution {
+	wq, ok := d.q.(WeightQuantizer)
+	if !ok {
+		return nil
+	}
+	cell, _ := d.q.Quantize(x)
+	w := wq.CellWeight(cell)
+	if w == nil || len(w) != len(x) {
+		return nil
+	}
+	out := make([]Contribution, len(x))
+	for i := range x {
+		out[i] = Contribution{Dim: i, Delta: x[i] - w[i]}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return math.Abs(out[i].Delta) > math.Abs(out[j].Delta)
+	})
+	if k > 0 && k < len(out) {
+		out = out[:k]
+	}
+	return out
+}

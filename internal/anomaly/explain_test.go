@@ -1,0 +1,74 @@
+package anomaly
+
+import (
+	"math"
+	"strconv"
+	"testing"
+)
+
+// weightedGrid extends gridQuantizer with cell weights (the cell center),
+// satisfying WeightQuantizer.
+type weightedGrid struct{ gridQuantizer }
+
+var _ WeightQuantizer = weightedGrid{}
+
+func (weightedGrid) CellWeight(cell string) []float64 {
+	c, err := strconv.Atoi(cell)
+	if err != nil {
+		return nil
+	}
+	return []float64{float64(c) + 0.5}
+}
+
+func fitWeighted(t *testing.T) *Detector {
+	t.Helper()
+	var data [][]float64
+	var labels []string
+	for i := 0; i < 30; i++ {
+		data = append(data, []float64{0.45 + 0.003*float64(i)})
+		labels = append(labels, "normal")
+	}
+	d, err := Fit(weightedGrid{}, data, labels, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestExplainDelta(t *testing.T) {
+	d := fitWeighted(t)
+	contribs := d.Explain([]float64{0.9}, 0)
+	if len(contribs) != 1 {
+		t.Fatalf("got %d contributions", len(contribs))
+	}
+	if contribs[0].Dim != 0 {
+		t.Errorf("dim = %d", contribs[0].Dim)
+	}
+	if math.Abs(contribs[0].Delta-0.4) > 1e-9 {
+		t.Errorf("delta = %v, want 0.4", contribs[0].Delta)
+	}
+}
+
+func TestExplainDimensionMismatch(t *testing.T) {
+	// CellWeight returns 1-D weights; a 2-D record cannot be explained.
+	d := fitWeighted(t)
+	if contribs := d.Explain([]float64{0.9, 0.1}, 1); contribs != nil {
+		t.Error("dimension mismatch should return nil")
+	}
+}
+
+func TestExplainNonWeightQuantizer(t *testing.T) {
+	var data [][]float64
+	var labels []string
+	for i := 0; i < 10; i++ {
+		data = append(data, []float64{0.5})
+		labels = append(labels, "normal")
+	}
+	d, err := Fit(gridQuantizer{}, data, labels, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Explain([]float64{0.5}, 3) != nil {
+		t.Error("plain quantizer should not explain")
+	}
+}

@@ -1,0 +1,90 @@
+package anomaly
+
+import "fmt"
+
+// CellState is the serializable form of one fitted cell.
+type CellState struct {
+	// Cell is the quantizer cell identifier.
+	Cell string `json:"cell"`
+	// Label is the cell's majority training label.
+	Label string `json:"label"`
+	// Count is the number of training records mapped to the cell.
+	Count int `json:"count"`
+	// AttackFrac is the fraction of those records that were attacks.
+	AttackFrac float64 `json:"attackFrac"`
+	// QEThreshold is the cell's novelty threshold.
+	QEThreshold float64 `json:"qeThreshold"`
+}
+
+// State is the serializable form of a fitted Detector, excluding the
+// quantizer (which is serialized by its own package).
+type State struct {
+	// Config is the fitting configuration.
+	Config Config `json:"config"`
+	// GlobalQE is the global novelty threshold.
+	GlobalQE float64 `json:"globalQe"`
+	// Majority is the dataset-wide majority label.
+	Majority string `json:"majority"`
+	// Cells is the fitted cell table.
+	Cells []CellState `json:"cells"`
+}
+
+// State exports the detector's fitted state for serialization.
+func (d *Detector) State() State {
+	st := State{
+		Config:   d.cfg,
+		GlobalQE: d.globalQE,
+		Majority: d.majority,
+		Cells:    make([]CellState, 0, len(d.cells)),
+	}
+	for cell, info := range d.cells {
+		st.Cells = append(st.Cells, CellState{
+			Cell:        cell,
+			Label:       info.label,
+			Count:       info.count,
+			AttackFrac:  info.attackFrac,
+			QEThreshold: info.qeThreshold,
+		})
+	}
+	return st
+}
+
+// FromState rebuilds a detector around q from exported state.
+func FromState(q Quantizer, st State) (*Detector, error) {
+	if q == nil {
+		return nil, fmt.Errorf("anomaly: nil quantizer: %w", ErrNotFitted)
+	}
+	cfg := st.Config
+	cfg.fillDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(st.Cells) == 0 {
+		return nil, fmt.Errorf("anomaly: state has no cells: %w", ErrNotFitted)
+	}
+	d := &Detector{
+		q:        q,
+		cfg:      cfg,
+		cells:    make(map[string]cellInfo, len(st.Cells)),
+		globalQE: st.GlobalQE,
+		majority: st.Majority,
+	}
+	if d.globalQE <= 0 {
+		d.globalQE = 1e-9
+	}
+	for _, c := range st.Cells {
+		if c.Cell == "" {
+			return nil, fmt.Errorf("anomaly: state cell with empty identifier")
+		}
+		if _, dup := d.cells[c.Cell]; dup {
+			return nil, fmt.Errorf("anomaly: duplicate cell %q in state", c.Cell)
+		}
+		d.cells[c.Cell] = cellInfo{
+			label:       c.Label,
+			count:       c.Count,
+			attackFrac:  c.AttackFrac,
+			qeThreshold: c.QEThreshold,
+		}
+	}
+	return d, nil
+}

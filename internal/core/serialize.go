@@ -1,0 +1,165 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ghsom/internal/som"
+)
+
+// modelJSON is the on-disk representation of a GHSOM.
+type modelJSON struct {
+	Version int        `json:"version"`
+	Config  Config     `json:"config"`
+	Dim     int        `json:"dim"`
+	Mean    []float64  `json:"mean"`
+	MQE0    float64    `json:"mqe0"`
+	Nodes   []nodeJSON `json:"nodes"`
+}
+
+type nodeJSON struct {
+	ID         int            `json:"id"`
+	Depth      int            `json:"depth"`
+	ParentID   int            `json:"parentId"` // -1 for root
+	ParentUnit int            `json:"parentUnit"`
+	Rows       int            `json:"rows"`
+	Cols       int            `json:"cols"`
+	Weights    []float64      `json:"weights"` // row-major flattened, Rows*Cols*Dim
+	UnitQE     []float64      `json:"unitQe"`
+	UnitCount  []int          `json:"unitCount"`
+	Children   map[string]int `json:"children,omitempty"` // unit -> child node ID
+}
+
+const modelVersion = 1
+
+// Save writes the model as JSON to w.
+func (g *GHSOM) Save(w io.Writer) error {
+	mj := modelJSON{
+		Version: modelVersion,
+		Config:  g.cfg,
+		Dim:     g.dim,
+		Mean:    g.mean,
+		MQE0:    g.mqe0,
+	}
+	parentOf := map[int]int{g.root.ID: -1}
+	for _, n := range g.nodes {
+		for _, c := range n.Children {
+			parentOf[c.ID] = n.ID
+		}
+	}
+	for _, n := range g.nodes {
+		nj := nodeJSON{
+			ID:         n.ID,
+			Depth:      n.Depth,
+			ParentID:   parentOf[n.ID],
+			ParentUnit: n.ParentUnit,
+			Rows:       n.Map.Rows(),
+			Cols:       n.Map.Cols(),
+			UnitQE:     n.UnitQE,
+			UnitCount:  n.UnitCount,
+		}
+		nj.Weights = make([]float64, 0, n.Map.Units()*g.dim)
+		for u := 0; u < n.Map.Units(); u++ {
+			nj.Weights = append(nj.Weights, n.Map.Weight(u)...)
+		}
+		if len(n.Children) > 0 {
+			nj.Children = make(map[string]int, len(n.Children))
+			for u, c := range n.Children {
+				nj.Children[fmt.Sprint(u)] = c.ID
+			}
+		}
+		mj.Nodes = append(mj.Nodes, nj)
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(mj); err != nil {
+		return fmt.Errorf("core: encode model: %w", err)
+	}
+	return nil
+}
+
+// Load reads a model previously written by Save.
+func Load(r io.Reader) (*GHSOM, error) {
+	var mj modelJSON
+	if err := json.NewDecoder(r).Decode(&mj); err != nil {
+		return nil, fmt.Errorf("core: decode model: %w", err)
+	}
+	if mj.Version != modelVersion {
+		return nil, fmt.Errorf("core: unsupported model version %d, want %d", mj.Version, modelVersion)
+	}
+	if mj.Dim < 1 {
+		return nil, fmt.Errorf("core: model dim %d invalid", mj.Dim)
+	}
+	if len(mj.Nodes) == 0 {
+		return nil, fmt.Errorf("core: model has no nodes")
+	}
+	g := &GHSOM{cfg: mj.Config, dim: mj.Dim, mean: mj.Mean, mqe0: mj.MQE0}
+	g.nodes = make([]*Node, len(mj.Nodes))
+	// First pass: rebuild maps.
+	for i, nj := range mj.Nodes {
+		if nj.ID != i {
+			return nil, fmt.Errorf("core: node %d stored out of order (id %d)", i, nj.ID)
+		}
+		if nj.Depth < 1 {
+			return nil, fmt.Errorf("core: node %d has depth %d, want >= 1", i, nj.Depth)
+		}
+		m, err := som.New(nj.Rows, nj.Cols, mj.Dim)
+		if err != nil {
+			return nil, fmt.Errorf("core: node %d: %w", i, err)
+		}
+		want := nj.Rows * nj.Cols * mj.Dim
+		if len(nj.Weights) != want {
+			return nil, fmt.Errorf("core: node %d has %d weights, want %d", i, len(nj.Weights), want)
+		}
+		for u := 0; u < m.Units(); u++ {
+			if err := m.SetWeight(u, nj.Weights[u*mj.Dim:(u+1)*mj.Dim]); err != nil {
+				return nil, fmt.Errorf("core: node %d unit %d: %w", i, u, err)
+			}
+		}
+		g.nodes[i] = &Node{
+			ID:         nj.ID,
+			Depth:      nj.Depth,
+			Map:        m,
+			ParentUnit: nj.ParentUnit,
+			UnitQE:     nj.UnitQE,
+			UnitCount:  nj.UnitCount,
+		}
+	}
+	// Second pass: rebuild child links.
+	for i, nj := range mj.Nodes {
+		if nj.ParentID == -1 {
+			if g.root != nil {
+				return nil, fmt.Errorf("core: multiple roots (%d and %d)", g.root.ID, i)
+			}
+			if nj.Depth != 1 {
+				return nil, fmt.Errorf("core: root node %d has depth %d, want 1", i, nj.Depth)
+			}
+			g.root = g.nodes[i]
+		}
+		if len(nj.Children) == 0 {
+			continue
+		}
+		g.nodes[i].Children = make(map[int]*Node, len(nj.Children))
+		for unitStr, childID := range nj.Children {
+			var unit int
+			if _, err := fmt.Sscanf(unitStr, "%d", &unit); err != nil {
+				return nil, fmt.Errorf("core: node %d child key %q: %w", i, unitStr, err)
+			}
+			if childID < 0 || childID >= len(g.nodes) {
+				return nil, fmt.Errorf("core: node %d child id %d out of range", i, childID)
+			}
+			if unit < 0 || unit >= g.nodes[i].Map.Units() {
+				return nil, fmt.Errorf("core: node %d child unit %d out of range", i, unit)
+			}
+			if g.nodes[childID].Depth != g.nodes[i].Depth+1 {
+				return nil, fmt.Errorf("core: node %d (depth %d) has child %d at depth %d",
+					i, g.nodes[i].Depth, childID, g.nodes[childID].Depth)
+			}
+			g.nodes[i].Children[unit] = g.nodes[childID]
+		}
+	}
+	if g.root == nil {
+		return nil, fmt.Errorf("core: model has no root node")
+	}
+	return g, nil
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats summarizes the structure of a trained hierarchy — the numbers the
+// tau-sweep table (T4) reports.
+type Stats struct {
+	// Maps is the total number of SOMs in the hierarchy.
+	Maps int
+	// Units is the total number of units across all maps.
+	Units int
+	// LeafUnits is the number of units with no child map (the model's
+	// effective codebook size).
+	LeafUnits int
+	// MaxDepth is the deepest layer present (root = 1).
+	MaxDepth int
+	// MapsPerDepth[d] is the number of maps at layer d+1.
+	MapsPerDepth []int
+	// UnitsPerDepth[d] is the number of units at layer d+1.
+	UnitsPerDepth []int
+	// MeanMapUnits is Units / Maps.
+	MeanMapUnits float64
+	// LargestMapUnits is the unit count of the biggest single map.
+	LargestMapUnits int
+}
+
+// Stats computes structure statistics for the model.
+func (g *GHSOM) Stats() Stats {
+	var s Stats
+	for _, n := range g.nodes {
+		s.Maps++
+		units := n.Map.Units()
+		s.Units += units
+		if n.Depth > s.MaxDepth {
+			s.MaxDepth = n.Depth
+		}
+		for len(s.MapsPerDepth) < n.Depth {
+			s.MapsPerDepth = append(s.MapsPerDepth, 0)
+			s.UnitsPerDepth = append(s.UnitsPerDepth, 0)
+		}
+		s.MapsPerDepth[n.Depth-1]++
+		s.UnitsPerDepth[n.Depth-1] += units
+		if units > s.LargestMapUnits {
+			s.LargestMapUnits = units
+		}
+		for u := 0; u < units; u++ {
+			if n.IsLeafUnit(u) {
+				s.LeafUnits++
+			}
+		}
+	}
+	if s.Maps > 0 {
+		s.MeanMapUnits = float64(s.Units) / float64(s.Maps)
+	}
+	return s
+}
+
+// String renders the stats as a single human-readable line.
+func (s Stats) String() string {
+	return fmt.Sprintf("maps=%d units=%d leaves=%d depth=%d mean-map=%.1f largest-map=%d",
+		s.Maps, s.Units, s.LeafUnits, s.MaxDepth, s.MeanMapUnits, s.LargestMapUnits)
+}
+
+// TreeString renders the hierarchy as an indented tree, one line per map,
+// showing shape and per-map data counts. It is the textual counterpart of
+// the topology figures.
+func (g *GHSOM) TreeString() string {
+	var b strings.Builder
+	g.writeTree(&b, g.root, 0)
+	return b.String()
+}
+
+func (g *GHSOM) writeTree(b *strings.Builder, n *Node, indent int) {
+	var total int
+	for _, c := range n.UnitCount {
+		total += c
+	}
+	fmt.Fprintf(b, "%s[node %d] depth=%d %dx%d units=%d records=%d\n",
+		strings.Repeat("  ", indent), n.ID, n.Depth, n.Map.Rows(), n.Map.Cols(), n.Map.Units(), total)
+	// Children in unit order for stable output.
+	units := make([]int, 0, len(n.Children))
+	for u := range n.Children {
+		units = append(units, u)
+	}
+	sort.Ints(units)
+	for _, u := range units {
+		g.writeTree(b, n.Children[u], indent+1)
+	}
+}

@@ -1,0 +1,335 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ghsom/internal/som"
+	"ghsom/internal/vecmath"
+)
+
+// GrowthEvent records the state of one map after a growth-loop iteration.
+// The series of events for a node reproduces the convergence and growth
+// figures.
+type GrowthEvent struct {
+	// NodeID identifies the map.
+	NodeID int
+	// Depth is the map's layer.
+	Depth int
+	// Iteration is the growth-loop iteration within the map (0 = initial
+	// training of the 2x2 map).
+	Iteration int
+	// Rows and Cols are the map shape after this iteration.
+	Rows, Cols int
+	// MeanUnitMQE is the growth criterion value after this iteration.
+	MeanUnitMQE float64
+	// MQE is the plain mean quantization error over the map's data.
+	MQE float64
+}
+
+// GrowthTrace collects GrowthEvents across the whole training run.
+type GrowthTrace struct {
+	// Events holds all recorded events in training order.
+	Events []GrowthEvent
+}
+
+// ForNode returns the events belonging to one node, in iteration order.
+func (t *GrowthTrace) ForNode(id int) []GrowthEvent {
+	var out []GrowthEvent
+	for _, e := range t.Events {
+		if e.NodeID == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Train builds a GHSOM from data. Every row must have the same dimension.
+// Training is deterministic for a fixed Config (including Seed) and data.
+func Train(data [][]float64, cfg Config) (*GHSOM, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(data) == 0 {
+		return nil, ErrNoData
+	}
+	dim := len(data[0])
+	for i, x := range data {
+		if len(x) != dim {
+			return nil, fmt.Errorf("core: data row %d has dim %d, want %d", i, len(x), dim)
+		}
+		if !vecmath.IsFinite(x) {
+			return nil, fmt.Errorf("core: data row %d contains NaN or Inf", i)
+		}
+	}
+
+	mean, err := vecmath.Mean(data)
+	if err != nil {
+		return nil, fmt.Errorf("core: layer-0 mean: %w", err)
+	}
+	var qeSum float64
+	for _, x := range data {
+		qeSum += vecmath.Distance(x, mean)
+	}
+	mqe0 := qeSum / float64(len(data))
+
+	g := &GHSOM{cfg: cfg, dim: dim, mean: mean, mqe0: mqe0}
+	if cfg.CollectTrace {
+		g.trace = &GrowthTrace{}
+	}
+	rng := newRNG(cfg.Seed)
+
+	// Layer 1 grows against the layer-0 unit's error.
+	root, err := g.trainNode(data, mean, mqe0, 1, -1, nil, rng)
+	if err != nil {
+		return nil, err
+	}
+	g.root = root
+
+	// Breadth-first vertical expansion. The queue order plus the single
+	// rng stream keeps training deterministic.
+	type job struct {
+		node *Node
+		data [][]float64
+	}
+	queue := []job{{root, data}}
+	// A (near-)zero layer-0 error means the data is degenerate (all
+	// records identical); any vertical expansion would be noise-chasing.
+	if mqe0 <= 1e-12 {
+		queue = nil
+	}
+	for len(queue) > 0 {
+		j := queue[0]
+		queue = queue[1:]
+		if j.node.Depth >= cfg.MaxDepth {
+			continue
+		}
+		assignments := j.node.Map.Assign(j.data)
+		for u := 0; u < j.node.Map.Units(); u++ {
+			if j.node.UnitCount[u] < cfg.MinMapData {
+				continue
+			}
+			if j.node.UnitQE[u] <= cfg.Tau2*mqe0 {
+				continue
+			}
+			sub := make([][]float64, 0, j.node.UnitCount[u])
+			for i, a := range assignments {
+				if a == u {
+					sub = append(sub, j.data[i])
+				}
+			}
+			if len(sub) < cfg.MinMapData {
+				continue
+			}
+			childMean, err := vecmath.Mean(sub)
+			if err != nil {
+				return nil, fmt.Errorf("core: child mean for node %d unit %d: %w", j.node.ID, u, err)
+			}
+			var corners [][]float64
+			if cfg.OrientChildren {
+				corners = orientationCorners(j.node.Map, u)
+			}
+			child, err := g.trainNode(sub, childMean, j.node.UnitQE[u], j.node.Depth+1, u, corners, rng)
+			if err != nil {
+				return nil, fmt.Errorf("core: expand node %d unit %d: %w", j.node.ID, u, err)
+			}
+			if j.node.Children == nil {
+				j.node.Children = make(map[int]*Node)
+			}
+			j.node.Children[u] = child
+			queue = append(queue, job{child, sub})
+		}
+	}
+	return g, nil
+}
+
+// trainNode creates, grows, and fine-tunes a single map on data, stopping
+// when its mean unit error falls below Tau1 * parentQE.
+func (g *GHSOM) trainNode(data [][]float64, mean []float64, parentQE float64, depth, parentUnit int, corners [][]float64, rng *rand.Rand) (*Node, error) {
+	cfg := g.cfg
+	m, err := som.New(2, 2, g.dim)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.InitAroundMean(mean, cfg.InitSpread, rng); err != nil {
+		return nil, err
+	}
+	if len(corners) == 4 {
+		// Coherent orientation: bias each corner of the new 2x2 map in
+		// the direction of the corresponding parent-grid neighbor, so the
+		// child map unfolds the parent unit's region with the same
+		// spatial arrangement as the parent layer. The offsets are
+		// applied around the child's own data mean to stay inside the
+		// region being expanded.
+		for i := 0; i < 4; i++ {
+			w := make([]float64, g.dim)
+			copy(w, mean)
+			vecmath.AXPYInPlace(w, orientationBlend, corners[i])
+			if err := m.SetWeight(i, w); err != nil {
+				return nil, err
+			}
+		}
+	}
+	node := &Node{ID: len(g.nodes), Depth: depth, Map: m, ParentUnit: parentUnit}
+	g.nodes = append(g.nodes, node)
+
+	train := func(epochs int) error {
+		tc := som.TrainConfig{
+			Epochs:    epochs,
+			Alpha0:    cfg.Alpha0,
+			AlphaEnd:  cfg.AlphaEnd,
+			Radius0:   0, // derive from current map size
+			RadiusEnd: cfg.RadiusEnd,
+			Kernel:    cfg.Kernel,
+			Decay:     cfg.Decay,
+			Shuffle:   !cfg.Batch,
+			Rng:       rng,
+		}
+		if cfg.Batch {
+			_, err := m.TrainBatch(data, tc)
+			return err
+		}
+		_, err := m.TrainOnline(data, tc)
+		return err
+	}
+
+	record := func(iter int) float64 {
+		muMQE := m.MeanUnitMQE(data)
+		if g.trace != nil {
+			g.trace.Events = append(g.trace.Events, GrowthEvent{
+				NodeID:      node.ID,
+				Depth:       depth,
+				Iteration:   iter,
+				Rows:        m.Rows(),
+				Cols:        m.Cols(),
+				MeanUnitMQE: muMQE,
+				MQE:         m.MQE(data),
+			})
+		}
+		return muMQE
+	}
+
+	if err := train(cfg.EpochsPerGrowth); err != nil {
+		return nil, err
+	}
+	muMQE := record(0)
+
+	// The growth target: stop once the map represents its data tau1 times
+	// better than the parent unit did. A (near-)zero parent error means
+	// the data is already fully represented; skip growth entirely.
+	target := cfg.Tau1 * parentQE
+	for iter := 1; iter <= cfg.MaxGrowIters; iter++ {
+		if parentQE <= 1e-12 || math.IsNaN(muMQE) || muMQE <= target {
+			break
+		}
+		if m.Units() >= cfg.MaxMapUnits {
+			break
+		}
+		// A map larger than its data set cannot quantize it any better;
+		// growth past that point only manufactures dead units.
+		if m.Units() >= len(data) {
+			break
+		}
+		e, d, ok := errorUnitAndNeighbor(m, data)
+		if !ok {
+			break
+		}
+		if err := m.GrowBetween(e, d); err != nil {
+			return nil, fmt.Errorf("core: grow node %d: %w", node.ID, err)
+		}
+		if err := train(cfg.EpochsPerGrowth); err != nil {
+			return nil, err
+		}
+		muMQE = record(iter)
+	}
+
+	if cfg.FineTuneEpochs > 0 {
+		if err := train(cfg.FineTuneEpochs); err != nil {
+			return nil, err
+		}
+	}
+	node.UnitQE, node.UnitCount = m.UnitMeanErrors(data)
+	return node, nil
+}
+
+// orientationBlend scales the parent-neighborhood direction offsets used
+// to seed child-map corners. Small enough to keep corners inside the
+// parent unit's region, large enough to fix the unfolding orientation.
+const orientationBlend = 0.1
+
+// orientationCorners computes, for parent unit u, the four direction
+// vectors (toward the up-left, up-right, down-left, down-right parent
+// neighborhoods, relative to the unit's own weight) used to orient a new
+// child map. Out-of-grid neighbors contribute nothing in that direction.
+// The returned slice is ordered to match the child 2x2 unit layout:
+// (0,0), (0,1), (1,0), (1,1).
+func orientationCorners(m *som.Map, u int) [][]float64 {
+	r, c := m.Coords(u)
+	center := m.Weight(u)
+	dim := m.Dim()
+	dirTo := func(rr, cc int) []float64 {
+		out := make([]float64, dim)
+		if !m.InBounds(rr, cc) {
+			return out
+		}
+		w := m.WeightAt(rr, cc)
+		for d := 0; d < dim; d++ {
+			out[d] = w[d] - center[d]
+		}
+		return out
+	}
+	up := dirTo(r-1, c)
+	down := dirTo(r+1, c)
+	left := dirTo(r, c-1)
+	right := dirTo(r, c+1)
+	mix := func(a, b []float64) []float64 {
+		out := make([]float64, dim)
+		for d := 0; d < dim; d++ {
+			out[d] = (a[d] + b[d]) / 2
+		}
+		return out
+	}
+	return [][]float64{
+		mix(up, left),    // child (0,0)
+		mix(up, right),   // child (0,1)
+		mix(down, left),  // child (1,0)
+		mix(down, right), // child (1,1)
+	}
+}
+
+// errorUnitAndNeighbor finds the unit with the largest mean quantization
+// error (among units that won data) and its most dissimilar direct grid
+// neighbor in weight space. It returns ok=false when no unit won any data.
+func errorUnitAndNeighbor(m *som.Map, data [][]float64) (e, d int, ok bool) {
+	meanQE, counts := m.UnitMeanErrors(data)
+	e = -1
+	best := math.Inf(-1)
+	for i, qe := range meanQE {
+		if counts[i] == 0 {
+			continue
+		}
+		if qe > best {
+			best = qe
+			e = i
+		}
+	}
+	if e < 0 {
+		return 0, 0, false
+	}
+	var nbuf [4]int
+	neighbors := m.Neighbors(e, nbuf[:0])
+	d = -1
+	worst := math.Inf(-1)
+	for _, j := range neighbors {
+		dist := vecmath.SquaredDistance(m.Weight(e), m.Weight(j))
+		if dist > worst {
+			worst = dist
+			d = j
+		}
+	}
+	if d < 0 {
+		return 0, 0, false
+	}
+	return e, d, true
+}

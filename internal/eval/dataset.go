@@ -1,0 +1,147 @@
+// Package eval implements the reproduction experiments: dataset
+// preparation, matched-budget runs of the GHSOM and the baseline
+// detectors, and one runner per table (T1-T4) and figure (F1-F4) plus the
+// ablations (A1, A2) listed in DESIGN.md. cmd/experiments and the root
+// bench_test.go are thin wrappers over this package.
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ghsom/internal/kdd"
+	"ghsom/internal/preprocess"
+	"ghsom/internal/trafficgen"
+)
+
+// Dataset is a labeled train/test split of generated traffic.
+type Dataset struct {
+	// Train and Test are the record splits.
+	Train, Test []kdd.Record
+}
+
+// MakeDataset generates traffic from gen and splits it stratified by
+// label. trainFrac is the train-side fraction; splitSeed drives the
+// shuffle inside each stratum.
+func MakeDataset(gen trafficgen.Config, trainFrac float64, splitSeed int64) (Dataset, error) {
+	records, err := trafficgen.Generate(gen)
+	if err != nil {
+		return Dataset{}, fmt.Errorf("eval: generate: %w", err)
+	}
+	labels := kdd.Labels(records)
+	split, err := preprocess.StratifiedSplit(labels, trainFrac, rand.New(rand.NewSource(splitSeed)))
+	if err != nil {
+		return Dataset{}, fmt.Errorf("eval: split: %w", err)
+	}
+	ds := Dataset{
+		Train: make([]kdd.Record, len(split.Train)),
+		Test:  make([]kdd.Record, len(split.Test)),
+	}
+	for i, j := range split.Train {
+		ds.Train[i] = records[j]
+	}
+	for i, j := range split.Test {
+		ds.Test[i] = records[j]
+	}
+	return ds, nil
+}
+
+// Encoded is the numeric view of a Dataset: one encoder and scaler fit on
+// the training split and applied to both, so every detector sees the same
+// features.
+type Encoded struct {
+	// Encoder is the record-to-vector encoder (vocabulary from train).
+	Encoder *kdd.Encoder
+	// Scaler is the min-max scaler fit on the training vectors.
+	Scaler *preprocess.MinMaxScaler
+	// TrainX and TestX are the scaled feature matrices.
+	TrainX, TestX [][]float64
+	// TrainLabels and TestLabels are the ground-truth labels.
+	TrainLabels, TestLabels []string
+}
+
+// Encode builds the shared numeric view of ds.
+func Encode(ds Dataset) (*Encoded, error) {
+	enc := kdd.NewEncoder(ds.Train, kdd.EncoderConfig{LogTransform: true})
+	trainRaw, err := enc.EncodeAll(ds.Train)
+	if err != nil {
+		return nil, fmt.Errorf("eval: encode train: %w", err)
+	}
+	scaler := &preprocess.MinMaxScaler{}
+	trainX, err := preprocess.FitTransform(scaler, trainRaw)
+	if err != nil {
+		return nil, fmt.Errorf("eval: scale train: %w", err)
+	}
+	testRaw, err := enc.EncodeAll(ds.Test)
+	if err != nil {
+		return nil, fmt.Errorf("eval: encode test: %w", err)
+	}
+	testX, err := preprocess.TransformAll(scaler, testRaw)
+	if err != nil {
+		return nil, fmt.Errorf("eval: scale test: %w", err)
+	}
+	return &Encoded{
+		Encoder:     enc,
+		Scaler:      scaler,
+		TrainX:      trainX,
+		TestX:       testX,
+		TrainLabels: kdd.Labels(ds.Train),
+		TestLabels:  kdd.Labels(ds.Test),
+	}, nil
+}
+
+// CompositionRow is one line of the dataset-composition table (T1).
+type CompositionRow struct {
+	// Label is the record label.
+	Label string
+	// Category is the label's attack category.
+	Category string
+	// Train and Test are the per-split record counts.
+	Train, Test int
+}
+
+// Composition tallies records per label for the T1 table, ordered by
+// category then descending train count.
+func Composition(ds Dataset) []CompositionRow {
+	trainCounts := make(map[string]int)
+	testCounts := make(map[string]int)
+	for i := range ds.Train {
+		trainCounts[ds.Train[i].Label]++
+	}
+	for i := range ds.Test {
+		testCounts[ds.Test[i].Label]++
+	}
+	seen := make(map[string]bool)
+	var rows []CompositionRow
+	add := func(label string) {
+		if seen[label] {
+			return
+		}
+		seen[label] = true
+		rows = append(rows, CompositionRow{
+			Label:    label,
+			Category: kdd.CategoryOf(label).String(),
+			Train:    trainCounts[label],
+			Test:     testCounts[label],
+		})
+	}
+	for label := range trainCounts {
+		add(label)
+	}
+	for label := range testCounts {
+		add(label)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		ci := kdd.CategoryOf(rows[i].Label)
+		cj := kdd.CategoryOf(rows[j].Label)
+		if ci != cj {
+			return ci < cj
+		}
+		if rows[i].Train != rows[j].Train {
+			return rows[i].Train > rows[j].Train
+		}
+		return rows[i].Label < rows[j].Label
+	})
+	return rows
+}

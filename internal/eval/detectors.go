@@ -1,0 +1,268 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ghsom/internal/anomaly"
+	"ghsom/internal/baseline"
+	"ghsom/internal/core"
+	"ghsom/internal/metrics"
+	"ghsom/internal/preprocess"
+	"ghsom/internal/som"
+)
+
+// DetectorResult is one row of the headline comparison table (T2): one
+// detector evaluated on the shared test split.
+type DetectorResult struct {
+	// Name identifies the detector ("ghsom", "som-12x12", "kmeans-144",
+	// "volume-threshold").
+	Name string
+	// Accuracy, DetectionRate, FPR, Precision, F1 are the binary
+	// (attack vs normal) measures on the test split.
+	Accuracy, DetectionRate, FPR, Precision, F1 float64
+	// AUC is the area under the score ROC on the test split.
+	AUC float64
+	// Cells is the detector's codebook size (leaf units / centroids).
+	Cells int
+	// TrainSeconds is wall-clock training time.
+	TrainSeconds float64
+	// ClassifyPerSec is test-set classification throughput.
+	ClassifyPerSec float64
+}
+
+// trainCap bounds per-label training records fed to the quantizer, the
+// standard KDD rebalancing step (detector fitting still sees everything).
+const trainCap = 3000
+
+// capForModel returns the rebalanced training subset for codebook
+// training.
+func capForModel(enc *Encoded, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	idx := preprocess.CapPerKey(enc.TrainLabels, trainCap, rng)
+	return preprocess.Gather(enc.TrainX, idx)
+}
+
+// evaluate runs the fitted detector over the test split and fills the
+// quality and throughput fields.
+func evaluate(name string, det *anomaly.Detector, enc *Encoded, trainSeconds float64) (DetectorResult, error) {
+	var outcome metrics.BinaryOutcome
+	scores := make([]float64, len(enc.TestX))
+	truth := make([]bool, len(enc.TestX))
+	start := time.Now()
+	for i, x := range enc.TestX {
+		p := det.Classify(x)
+		truth[i] = enc.TestLabels[i] != "normal"
+		outcome.AddBinary(truth[i], p.Attack)
+		scores[i] = p.Score
+	}
+	elapsed := time.Since(start).Seconds()
+	curve, err := metrics.ROC(scores, truth)
+	if err != nil {
+		return DetectorResult{}, fmt.Errorf("eval: roc for %s: %w", name, err)
+	}
+	res := DetectorResult{
+		Name:          name,
+		Accuracy:      outcome.Accuracy(),
+		DetectionRate: outcome.DetectionRate(),
+		FPR:           outcome.FalsePositiveRate(),
+		Precision:     outcome.Precision(),
+		F1:            outcome.F1(),
+		AUC:           metrics.AUC(curve),
+		Cells:         det.Cells(),
+		TrainSeconds:  trainSeconds,
+	}
+	if elapsed > 0 {
+		res.ClassifyPerSec = float64(len(enc.TestX)) / elapsed
+	}
+	return res, nil
+}
+
+// RunGHSOM trains a GHSOM detector and evaluates it.
+func RunGHSOM(enc *Encoded, mcfg core.Config, dcfg anomaly.Config) (DetectorResult, *core.GHSOM, *anomaly.Detector, error) {
+	modelData := capForModel(enc, mcfg.Seed)
+	start := time.Now()
+	model, err := core.Train(modelData, mcfg)
+	if err != nil {
+		return DetectorResult{}, nil, nil, fmt.Errorf("eval: train ghsom: %w", err)
+	}
+	det, err := anomaly.Fit(anomaly.GHSOMQuantizer{Model: model}, enc.TrainX, enc.TrainLabels, dcfg)
+	if err != nil {
+		return DetectorResult{}, nil, nil, fmt.Errorf("eval: fit ghsom detector: %w", err)
+	}
+	trainSecs := time.Since(start).Seconds()
+	res, err := evaluate(fmt.Sprintf("ghsom(t1=%.2g,t2=%.2g)", mcfg.Tau1, mcfg.Tau2), det, enc, trainSecs)
+	if err != nil {
+		return DetectorResult{}, nil, nil, err
+	}
+	// For the GHSOM the structural codebook size is the leaf-unit count.
+	res.Cells = model.Stats().LeafUnits
+	return res, model, det, nil
+}
+
+// RunSOM trains a flat fixed-size SOM detector and evaluates it.
+func RunSOM(enc *Encoded, rows, cols, epochs int, seed int64, dcfg anomaly.Config) (DetectorResult, error) {
+	modelData := capForModel(enc, seed)
+	rng := rand.New(rand.NewSource(seed))
+	start := time.Now()
+	m, err := som.New(rows, cols, len(enc.TrainX[0]))
+	if err != nil {
+		return DetectorResult{}, fmt.Errorf("eval: som: %w", err)
+	}
+	if err := m.InitSample(modelData, rng); err != nil {
+		return DetectorResult{}, fmt.Errorf("eval: som init: %w", err)
+	}
+	tc := som.DefaultTrainConfig(rng)
+	tc.Epochs = epochs
+	if _, err := m.TrainOnline(modelData, tc); err != nil {
+		return DetectorResult{}, fmt.Errorf("eval: som train: %w", err)
+	}
+	counts := make([]int, m.Units())
+	for _, b := range m.Assign(modelData) {
+		counts[b]++
+	}
+	det, err := anomaly.Fit(anomaly.SOMQuantizer{Map: m, UnitCounts: counts}, enc.TrainX, enc.TrainLabels, dcfg)
+	if err != nil {
+		return DetectorResult{}, fmt.Errorf("eval: fit som detector: %w", err)
+	}
+	trainSecs := time.Since(start).Seconds()
+	res, err := evaluate(fmt.Sprintf("som-%dx%d", rows, cols), det, enc, trainSecs)
+	if err != nil {
+		return DetectorResult{}, err
+	}
+	res.Cells = m.Units()
+	return res, nil
+}
+
+// somDetector trains a flat SOM and returns its fitted detector (used by
+// experiments that need the detector itself rather than a result row).
+func somDetector(enc *Encoded, rows, cols, epochs int, seed int64, dcfg anomaly.Config) (*anomaly.Detector, error) {
+	modelData := capForModel(enc, seed)
+	rng := rand.New(rand.NewSource(seed))
+	m, err := som.New(rows, cols, len(enc.TrainX[0]))
+	if err != nil {
+		return nil, fmt.Errorf("eval: som: %w", err)
+	}
+	if err := m.InitSample(modelData, rng); err != nil {
+		return nil, fmt.Errorf("eval: som init: %w", err)
+	}
+	tc := som.DefaultTrainConfig(rng)
+	tc.Epochs = epochs
+	if _, err := m.TrainOnline(modelData, tc); err != nil {
+		return nil, fmt.Errorf("eval: som train: %w", err)
+	}
+	counts := make([]int, m.Units())
+	for _, b := range m.Assign(modelData) {
+		counts[b]++
+	}
+	det, err := anomaly.Fit(anomaly.SOMQuantizer{Map: m, UnitCounts: counts}, enc.TrainX, enc.TrainLabels, dcfg)
+	if err != nil {
+		return nil, fmt.Errorf("eval: fit som detector: %w", err)
+	}
+	return det, nil
+}
+
+// RunKMeans trains a k-means detector and evaluates it.
+func RunKMeans(enc *Encoded, k int, seed int64, dcfg anomaly.Config) (DetectorResult, error) {
+	modelData := capForModel(enc, seed)
+	rng := rand.New(rand.NewSource(seed))
+	start := time.Now()
+	km, err := baseline.TrainKMeans(modelData, baseline.KMeansConfig{K: k, Rng: rng})
+	if err != nil {
+		return DetectorResult{}, fmt.Errorf("eval: kmeans: %w", err)
+	}
+	det, err := anomaly.Fit(anomaly.KMeansQuantizer{Model: km}, enc.TrainX, enc.TrainLabels, dcfg)
+	if err != nil {
+		return DetectorResult{}, fmt.Errorf("eval: fit kmeans detector: %w", err)
+	}
+	trainSecs := time.Since(start).Seconds()
+	res, err := evaluate(fmt.Sprintf("kmeans-%d", k), det, enc, trainSecs)
+	if err != nil {
+		return DetectorResult{}, err
+	}
+	res.Cells = km.K()
+	return res, nil
+}
+
+// RunAgglo trains an agglomerative-clustering detector and evaluates it.
+// The dendrogram is built on a subsample bounded by maxN (the algorithm
+// is quadratic), then the k-cut codebook labels the full training set.
+func RunAgglo(enc *Encoded, k, maxN int, seed int64, dcfg anomaly.Config) (DetectorResult, error) {
+	modelData := capForModel(enc, seed)
+	if len(modelData) > maxN {
+		// Deterministic thinning: stride sampling preserves class mix of
+		// the capped set.
+		stride := (len(modelData) + maxN - 1) / maxN
+		thinned := make([][]float64, 0, maxN)
+		for i := 0; i < len(modelData); i += stride {
+			thinned = append(thinned, modelData[i])
+		}
+		modelData = thinned
+	}
+	start := time.Now()
+	ag, err := baseline.TrainAgglo(modelData, baseline.AggloConfig{K: k, MaxN: maxN})
+	if err != nil {
+		return DetectorResult{}, fmt.Errorf("eval: agglo: %w", err)
+	}
+	det, err := anomaly.Fit(anomaly.AggloQuantizer{Model: ag}, enc.TrainX, enc.TrainLabels, dcfg)
+	if err != nil {
+		return DetectorResult{}, fmt.Errorf("eval: fit agglo detector: %w", err)
+	}
+	trainSecs := time.Since(start).Seconds()
+	res, err := evaluate(fmt.Sprintf("agglo-%d", k), det, enc, trainSecs)
+	if err != nil {
+		return DetectorResult{}, err
+	}
+	res.Cells = ag.K()
+	return res, nil
+}
+
+// RunVolumeThreshold evaluates the naive count-threshold floor detector.
+func RunVolumeThreshold(enc *Encoded) (DetectorResult, error) {
+	// Feature 19 of the numeric block is the 2-second connection count
+	// (see kdd.NumericFeatureNames).
+	const countFeature = 19
+	var normals [][]float64
+	for i, l := range enc.TrainLabels {
+		if l == "normal" {
+			normals = append(normals, enc.TrainX[i])
+		}
+	}
+	start := time.Now()
+	vt, err := baseline.TrainVolumeThreshold(normals, countFeature, 0.99)
+	if err != nil {
+		return DetectorResult{}, fmt.Errorf("eval: volume threshold: %w", err)
+	}
+	trainSecs := time.Since(start).Seconds()
+
+	var outcome metrics.BinaryOutcome
+	scores := make([]float64, len(enc.TestX))
+	truth := make([]bool, len(enc.TestX))
+	cstart := time.Now()
+	for i, x := range enc.TestX {
+		truth[i] = enc.TestLabels[i] != "normal"
+		outcome.AddBinary(truth[i], vt.IsAttack(x))
+		scores[i] = vt.Score(x)
+	}
+	elapsed := time.Since(cstart).Seconds()
+	curve, err := metrics.ROC(scores, truth)
+	if err != nil {
+		return DetectorResult{}, fmt.Errorf("eval: roc for volume threshold: %w", err)
+	}
+	res := DetectorResult{
+		Name:          "volume-threshold",
+		Accuracy:      outcome.Accuracy(),
+		DetectionRate: outcome.DetectionRate(),
+		FPR:           outcome.FalsePositiveRate(),
+		Precision:     outcome.Precision(),
+		F1:            outcome.F1(),
+		AUC:           metrics.AUC(curve),
+		Cells:         1,
+		TrainSeconds:  trainSecs,
+	}
+	if elapsed > 0 {
+		res.ClassifyPerSec = float64(len(enc.TestX)) / elapsed
+	}
+	return res, nil
+}

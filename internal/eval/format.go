@@ -1,0 +1,188 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ghsom/internal/core"
+	"ghsom/internal/viz"
+)
+
+// FormatComposition renders the T1 dataset table.
+func FormatComposition(rows []CompositionRow) string {
+	var trainTotal, testTotal int
+	out := make([][]string, 0, len(rows)+1)
+	for _, r := range rows {
+		trainTotal += r.Train
+		testTotal += r.Test
+		out = append(out, []string{r.Label, r.Category, fmt.Sprint(r.Train), fmt.Sprint(r.Test)})
+	}
+	out = append(out, []string{"TOTAL", "", fmt.Sprint(trainTotal), fmt.Sprint(testTotal)})
+	return viz.Table([]string{"label", "category", "train", "test"}, out)
+}
+
+// FormatComparison renders the T2 (and A2) detector-comparison table.
+func FormatComparison(results []DetectorResult) string {
+	rows := make([][]string, 0, len(results))
+	for _, r := range results {
+		rows = append(rows, []string{
+			r.Name,
+			viz.Pct(r.Accuracy),
+			viz.Pct(r.DetectionRate),
+			viz.Pct(r.FPR),
+			viz.Pct(r.Precision),
+			viz.F(r.F1),
+			viz.F(r.AUC),
+			fmt.Sprint(r.Cells),
+			fmt.Sprintf("%.2fs", r.TrainSeconds),
+			fmt.Sprintf("%.0f/s", r.ClassifyPerSec),
+		})
+	}
+	return viz.Table(
+		[]string{"detector", "accuracy", "detect-rate", "fpr", "precision", "f1", "auc", "cells", "train", "classify"},
+		rows)
+}
+
+// FormatPerClass renders the T3 per-category report.
+func FormatPerClass(res PerClassResult) string {
+	var b strings.Builder
+	b.WriteString("Per-category attack detection (recall of binary verdict):\n")
+	cats := make([]string, 0, len(res.Recall))
+	for c := range res.Recall {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	rows := make([][]string, 0, len(cats))
+	for _, c := range cats {
+		rows = append(rows, []string{c, viz.Pct(res.Recall[c])})
+	}
+	b.WriteString(viz.Table([]string{"category", "recall"}, rows))
+	b.WriteString("\nCategory confusion matrix:\n")
+	b.WriteString(res.Confusion.String())
+	b.WriteString("\nOverall: " + res.Binary.String() + "\n")
+	return b.String()
+}
+
+// FormatTauSweep renders the T4 table.
+func FormatTauSweep(rows []TauSweepRow) string {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprintf("%.2f", r.Tau1),
+			fmt.Sprintf("%.3f", r.Tau2),
+			fmt.Sprint(r.Maps),
+			fmt.Sprint(r.Units),
+			fmt.Sprint(r.Leaves),
+			fmt.Sprint(r.Depth),
+			viz.Pct(r.Accuracy),
+			viz.Pct(r.DetectionRate),
+			viz.Pct(r.FPR),
+			fmt.Sprintf("%.2fs", r.TrainSeconds),
+		})
+	}
+	return viz.Table(
+		[]string{"tau1", "tau2", "maps", "units", "leaves", "depth", "accuracy", "detect-rate", "fpr", "train"},
+		out)
+}
+
+// FormatTrace renders the F1 convergence series and F3 growth series of
+// the root map as sparklines plus a per-iteration table.
+func FormatTrace(trace *core.GrowthTrace, rootID int) string {
+	events := trace.ForNode(rootID)
+	var b strings.Builder
+	var mqes, units []float64
+	rows := make([][]string, 0, len(events))
+	for _, e := range events {
+		mqes = append(mqes, e.MeanUnitMQE)
+		units = append(units, float64(e.Rows*e.Cols))
+		rows = append(rows, []string{
+			fmt.Sprint(e.Iteration),
+			fmt.Sprintf("%dx%d", e.Rows, e.Cols),
+			viz.F(e.MeanUnitMQE),
+			viz.F(e.MQE),
+		})
+	}
+	fmt.Fprintf(&b, "F1 root-map mean-unit-MQE per growth iteration: %s\n", viz.Sparkline(mqes))
+	fmt.Fprintf(&b, "F3 root-map units per growth iteration:         %s\n", viz.Sparkline(units))
+	b.WriteString(viz.Table([]string{"iter", "shape", "mean-unit-mqe", "mqe"}, rows))
+	return b.String()
+}
+
+// FormatROC renders the F2 curves: AUC per detector plus fixed-FPR
+// operating points.
+func FormatROC(results []ROCResult) string {
+	var b strings.Builder
+	rows := make([][]string, 0, len(results))
+	for _, r := range results {
+		rows = append(rows, []string{r.Name, viz.F(r.AUC)})
+	}
+	b.WriteString(viz.Table([]string{"detector", "auc"}, rows))
+	b.WriteString("\nDetection rate at fixed false-positive budgets:\n")
+	budgets := []float64{0.01, 0.02, 0.05, 0.10}
+	oprows := make([][]string, 0, len(results))
+	for _, r := range results {
+		row := []string{r.Name}
+		for _, fpr := range budgets {
+			p := operatingPoint(r, fpr)
+			row = append(row, viz.Pct(p))
+		}
+		oprows = append(oprows, row)
+	}
+	b.WriteString(viz.Table([]string{"detector", "tpr@1%fpr", "tpr@2%fpr", "tpr@5%fpr", "tpr@10%fpr"}, oprows))
+	return b.String()
+}
+
+func operatingPoint(r ROCResult, maxFPR float64) float64 {
+	best := 0.0
+	for _, p := range r.Curve {
+		if p.FPR <= maxFPR && p.TPR > best {
+			best = p.TPR
+		}
+	}
+	return best
+}
+
+// FormatScalability renders the F4 table.
+func FormatScalability(rows []ScaleRow) string {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprint(r.N),
+			fmt.Sprintf("%.2fs", r.TrainSeconds),
+			fmt.Sprint(r.Units),
+			fmt.Sprintf("%.0f/s", r.ClassifyPerSec),
+		})
+	}
+	return viz.Table([]string{"train-n", "train-time", "units", "classify"}, out)
+}
+
+// FormatMarginSweep renders the A4 table.
+func FormatMarginSweep(rows []MarginRow) string {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprintf("%.2f", r.Margin),
+			viz.Pct(r.DetectionRate),
+			viz.Pct(r.FPR),
+			viz.Pct(r.Accuracy),
+			viz.F(r.MCC),
+		})
+	}
+	return viz.Table([]string{"margin", "detect-rate", "fpr", "accuracy", "mcc"}, out)
+}
+
+// FormatHoldout renders the A1 report.
+func FormatHoldout(res HoldoutResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Held-out attacks: %s\n", strings.Join(res.Held, ", "))
+	b.WriteString(viz.Table(
+		[]string{"metric", "value"},
+		[][]string{
+			{"seen-attack detection rate", viz.Pct(res.SeenDR)},
+			{"UNSEEN-attack detection rate", viz.Pct(res.UnseenDR)},
+			{"unseen flagged via novelty path", viz.Pct(res.UnseenNovelRate)},
+			{"false positive rate", viz.Pct(res.FPR)},
+		}))
+	return b.String()
+}

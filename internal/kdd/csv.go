@@ -1,0 +1,161 @@
+package kdd
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// fieldCount is the number of CSV fields in a kddcup.data row: 41 features
+// plus the label.
+const fieldCount = 42
+
+// ParseFields builds a Record from the 42 CSV fields of one kddcup.data
+// row.
+func ParseFields(fields []string) (Record, error) {
+	if len(fields) != fieldCount {
+		return Record{}, fmt.Errorf("kdd: row has %d fields, want %d", len(fields), fieldCount)
+	}
+	var r Record
+	var err error
+	idx := 0
+	nextF := func(name string) float64 {
+		if err != nil {
+			return 0
+		}
+		v, convErr := strconv.ParseFloat(fields[idx], 64)
+		if convErr != nil {
+			err = fmt.Errorf("kdd: field %d (%s) = %q: %w", idx, name, fields[idx], convErr)
+		}
+		idx++
+		return v
+	}
+	nextS := func() string {
+		s := fields[idx]
+		idx++
+		return s
+	}
+	nextB := func(name string) bool { return nextF(name) != 0 }
+
+	r.Duration = nextF("duration")
+	r.Protocol = nextS()
+	r.Service = nextS()
+	r.Flag = nextS()
+	r.SrcBytes = nextF("src_bytes")
+	r.DstBytes = nextF("dst_bytes")
+	r.Land = nextB("land")
+	r.WrongFragment = nextF("wrong_fragment")
+	r.Urgent = nextF("urgent")
+	r.Hot = nextF("hot")
+	r.NumFailedLogins = nextF("num_failed_logins")
+	r.LoggedIn = nextB("logged_in")
+	r.NumCompromised = nextF("num_compromised")
+	r.RootShell = nextF("root_shell")
+	r.SuAttempted = nextF("su_attempted")
+	r.NumRoot = nextF("num_root")
+	r.NumFileCreations = nextF("num_file_creations")
+	r.NumShells = nextF("num_shells")
+	r.NumAccessFiles = nextF("num_access_files")
+	r.NumOutboundCmds = nextF("num_outbound_cmds")
+	r.IsHostLogin = nextB("is_host_login")
+	r.IsGuestLogin = nextB("is_guest_login")
+	r.Count = nextF("count")
+	r.SrvCount = nextF("srv_count")
+	r.SerrorRate = nextF("serror_rate")
+	r.SrvSerrorRate = nextF("srv_serror_rate")
+	r.RerrorRate = nextF("rerror_rate")
+	r.SrvRerrorRate = nextF("srv_rerror_rate")
+	r.SameSrvRate = nextF("same_srv_rate")
+	r.DiffSrvRate = nextF("diff_srv_rate")
+	r.SrvDiffHostRate = nextF("srv_diff_host_rate")
+	r.DstHostCount = nextF("dst_host_count")
+	r.DstHostSrvCount = nextF("dst_host_srv_count")
+	r.DstHostSameSrvRate = nextF("dst_host_same_srv_rate")
+	r.DstHostDiffSrvRate = nextF("dst_host_diff_srv_rate")
+	r.DstHostSameSrcPortRate = nextF("dst_host_same_src_port_rate")
+	r.DstHostSrvDiffHostRate = nextF("dst_host_srv_diff_host_rate")
+	r.DstHostSerrorRate = nextF("dst_host_serror_rate")
+	r.DstHostSrvSerrorRate = nextF("dst_host_srv_serror_rate")
+	r.DstHostRerrorRate = nextF("dst_host_rerror_rate")
+	r.DstHostSrvRerrorRate = nextF("dst_host_srv_rerror_rate")
+	r.Label = TrimLabel(nextS())
+	if err != nil {
+		return Record{}, err
+	}
+	return r, nil
+}
+
+// Fields renders the record as the 42 CSV fields of the kddcup.data
+// format. Integral values print without decimals; rates print with up to
+// two decimals, matching the original files.
+func (r *Record) Fields() []string {
+	fInt := func(v float64) string { return strconv.FormatFloat(v, 'f', -1, 64) }
+	fRate := func(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }
+	fBool := func(b bool) string {
+		if b {
+			return "1"
+		}
+		return "0"
+	}
+	return []string{
+		fInt(r.Duration), r.Protocol, r.Service, r.Flag,
+		fInt(r.SrcBytes), fInt(r.DstBytes), fBool(r.Land),
+		fInt(r.WrongFragment), fInt(r.Urgent), fInt(r.Hot),
+		fInt(r.NumFailedLogins), fBool(r.LoggedIn), fInt(r.NumCompromised),
+		fInt(r.RootShell), fInt(r.SuAttempted), fInt(r.NumRoot),
+		fInt(r.NumFileCreations), fInt(r.NumShells), fInt(r.NumAccessFiles),
+		fInt(r.NumOutboundCmds), fBool(r.IsHostLogin), fBool(r.IsGuestLogin),
+		fInt(r.Count), fInt(r.SrvCount),
+		fRate(r.SerrorRate), fRate(r.SrvSerrorRate), fRate(r.RerrorRate),
+		fRate(r.SrvRerrorRate), fRate(r.SameSrvRate), fRate(r.DiffSrvRate),
+		fRate(r.SrvDiffHostRate), fInt(r.DstHostCount), fInt(r.DstHostSrvCount),
+		fRate(r.DstHostSameSrvRate), fRate(r.DstHostDiffSrvRate),
+		fRate(r.DstHostSameSrcPortRate), fRate(r.DstHostSrvDiffHostRate),
+		fRate(r.DstHostSerrorRate), fRate(r.DstHostSrvSerrorRate),
+		fRate(r.DstHostRerrorRate), fRate(r.DstHostSrvRerrorRate),
+		r.Label + ".",
+	}
+}
+
+// ReadAll parses an entire kddcup.data stream. Malformed rows abort with
+// an error identifying the line.
+func ReadAll(rd io.Reader) ([]Record, error) {
+	cr := csv.NewReader(bufio.NewReader(rd))
+	cr.FieldsPerRecord = fieldCount
+	cr.ReuseRecord = true
+	var out []Record
+	line := 0
+	for {
+		fields, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		line++
+		if err != nil {
+			return nil, fmt.Errorf("kdd: line %d: %w", line, err)
+		}
+		rec, err := ParseFields(fields)
+		if err != nil {
+			return nil, fmt.Errorf("kdd: line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+}
+
+// WriteAll writes records in kddcup.data CSV format.
+func WriteAll(w io.Writer, records []Record) error {
+	bw := bufio.NewWriter(w)
+	cw := csv.NewWriter(bw)
+	for i := range records {
+		if err := cw.Write(records[i].Fields()); err != nil {
+			return fmt.Errorf("kdd: write record %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("kdd: flush: %w", err)
+	}
+	return bw.Flush()
+}

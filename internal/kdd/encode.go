@@ -1,0 +1,220 @@
+package kdd
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EncoderConfig controls the record-to-vector encoding.
+type EncoderConfig struct {
+	// LogTransform applies log1p to the heavy-tailed volume features
+	// (duration, src_bytes, dst_bytes, count, srv_count, dst_host_count,
+	// dst_host_srv_count) before scaling. This is the standard KDD
+	// preprocessing step: byte counts span eight orders of magnitude and
+	// would otherwise dominate the Euclidean metric.
+	LogTransform bool
+	// OtherService is the bucket used for services outside the vocabulary.
+	// Defaults to "other" when empty.
+	OtherService string
+}
+
+// indices of the log-transformed features inside NumericFeatureNames.
+var logFeatureIndex = map[int]bool{
+	0:  true, // duration
+	1:  true, // src_bytes
+	2:  true, // dst_bytes
+	19: true, // count
+	20: true, // srv_count
+	28: true, // dst_host_count
+	29: true, // dst_host_srv_count
+}
+
+// Encoder converts Records into dense numeric vectors: 38 numeric/boolean
+// features followed by one-hot blocks for protocol, service, and flag.
+// Build one with NewEncoder over the training set so the service
+// vocabulary matches the data, then reuse it for all splits.
+type Encoder struct {
+	cfg      EncoderConfig
+	services []string       // sorted vocabulary, always containing the other bucket
+	svcIndex map[string]int // service -> position in services
+	protoIdx map[string]int
+	flagIdx  map[string]int
+}
+
+// NewEncoder builds an encoder whose service vocabulary is the union of
+// CommonServices and the services observed in records.
+func NewEncoder(records []Record, cfg EncoderConfig) *Encoder {
+	if cfg.OtherService == "" {
+		cfg.OtherService = "other"
+	}
+	seen := make(map[string]bool)
+	for _, s := range CommonServices {
+		seen[s] = true
+	}
+	seen[cfg.OtherService] = true
+	for i := range records {
+		seen[records[i].Service] = true
+	}
+	services := make([]string, 0, len(seen))
+	for s := range seen {
+		services = append(services, s)
+	}
+	sort.Strings(services)
+
+	e := &Encoder{
+		cfg:      cfg,
+		services: services,
+		svcIndex: make(map[string]int, len(services)),
+		protoIdx: make(map[string]int, len(Protocols)),
+		flagIdx:  make(map[string]int, len(Flags)),
+	}
+	for i, s := range services {
+		e.svcIndex[s] = i
+	}
+	for i, p := range Protocols {
+		e.protoIdx[p] = i
+	}
+	for i, f := range Flags {
+		e.flagIdx[f] = i
+	}
+	return e
+}
+
+// NewEncoderFromServices rebuilds an encoder from a previously exported
+// service vocabulary (see Services). The vocabulary is used as-is except
+// that the other bucket is added if missing.
+func NewEncoderFromServices(services []string, cfg EncoderConfig) *Encoder {
+	if cfg.OtherService == "" {
+		cfg.OtherService = "other"
+	}
+	seen := make(map[string]bool, len(services)+1)
+	vocab := make([]string, 0, len(services)+1)
+	for _, s := range services {
+		if !seen[s] {
+			seen[s] = true
+			vocab = append(vocab, s)
+		}
+	}
+	if !seen[cfg.OtherService] {
+		vocab = append(vocab, cfg.OtherService)
+	}
+	sort.Strings(vocab)
+	e := &Encoder{
+		cfg:      cfg,
+		services: vocab,
+		svcIndex: make(map[string]int, len(vocab)),
+		protoIdx: make(map[string]int, len(Protocols)),
+		flagIdx:  make(map[string]int, len(Flags)),
+	}
+	for i, s := range vocab {
+		e.svcIndex[s] = i
+	}
+	for i, p := range Protocols {
+		e.protoIdx[p] = i
+	}
+	for i, f := range Flags {
+		e.flagIdx[f] = i
+	}
+	return e
+}
+
+// Config returns the encoder's configuration.
+func (e *Encoder) Config() EncoderConfig { return e.cfg }
+
+// Dim returns the encoded vector dimension.
+func (e *Encoder) Dim() int {
+	return len(NumericFeatureNames) + len(Protocols) + len(e.services) + len(Flags)
+}
+
+// Services returns the service vocabulary (sorted). The slice is shared;
+// callers must not modify it.
+func (e *Encoder) Services() []string { return e.services }
+
+// FeatureNames returns the name of every encoded dimension, in order.
+func (e *Encoder) FeatureNames() []string {
+	out := make([]string, 0, e.Dim())
+	out = append(out, NumericFeatureNames...)
+	for _, p := range Protocols {
+		out = append(out, "protocol="+p)
+	}
+	for _, s := range e.services {
+		out = append(out, "service="+s)
+	}
+	for _, f := range Flags {
+		out = append(out, "flag="+f)
+	}
+	return out
+}
+
+// Encode converts one record into a dense vector. Unknown protocols or
+// flags return an error (they indicate corrupted input); unknown services
+// fall into the other bucket.
+func (e *Encoder) Encode(r *Record) ([]float64, error) {
+	out := make([]float64, 0, e.Dim())
+	numeric := r.NumericFeatures()
+	if e.cfg.LogTransform {
+		for i := range numeric {
+			if logFeatureIndex[i] {
+				numeric[i] = math.Log1p(numeric[i])
+			}
+		}
+	}
+	out = append(out, numeric...)
+
+	proto := make([]float64, len(Protocols))
+	pi, ok := e.protoIdx[r.Protocol]
+	if !ok {
+		return nil, fmt.Errorf("kdd: encode: unknown protocol %q", r.Protocol)
+	}
+	proto[pi] = 1
+	out = append(out, proto...)
+
+	svc := make([]float64, len(e.services))
+	si, ok := e.svcIndex[r.Service]
+	if !ok {
+		si = e.svcIndex[e.cfg.OtherService]
+	}
+	svc[si] = 1
+	out = append(out, svc...)
+
+	flag := make([]float64, len(Flags))
+	fi, ok := e.flagIdx[r.Flag]
+	if !ok {
+		return nil, fmt.Errorf("kdd: encode: unknown flag %q", r.Flag)
+	}
+	flag[fi] = 1
+	out = append(out, flag...)
+	return out, nil
+}
+
+// EncodeAll encodes all records, aborting on the first failure.
+func (e *Encoder) EncodeAll(records []Record) ([][]float64, error) {
+	out := make([][]float64, len(records))
+	for i := range records {
+		v, err := e.Encode(&records[i])
+		if err != nil {
+			return nil, fmt.Errorf("record %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Labels extracts the label of every record.
+func Labels(records []Record) []string {
+	out := make([]string, len(records))
+	for i := range records {
+		out[i] = records[i].Label
+	}
+	return out
+}
+
+// CategoryCounts tallies records per category.
+func CategoryCounts(records []Record) map[Category]int {
+	out := make(map[Category]int)
+	for i := range records {
+		out[records[i].Category()]++
+	}
+	return out
+}

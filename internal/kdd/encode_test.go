@@ -1,0 +1,188 @@
+package kdd
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestEncoderDimAndNames(t *testing.T) {
+	e := NewEncoder(nil, EncoderConfig{})
+	wantDim := 38 + len(Protocols) + len(e.Services()) + len(Flags)
+	if e.Dim() != wantDim {
+		t.Errorf("Dim = %d, want %d", e.Dim(), wantDim)
+	}
+	names := e.FeatureNames()
+	if len(names) != e.Dim() {
+		t.Fatalf("FeatureNames has %d entries, dim %d", len(names), e.Dim())
+	}
+	if names[0] != "duration" {
+		t.Errorf("first feature = %q", names[0])
+	}
+	var protoSeen, svcSeen, flagSeen bool
+	for _, n := range names {
+		switch {
+		case strings.HasPrefix(n, "protocol="):
+			protoSeen = true
+		case strings.HasPrefix(n, "service="):
+			svcSeen = true
+		case strings.HasPrefix(n, "flag="):
+			flagSeen = true
+		}
+	}
+	if !protoSeen || !svcSeen || !flagSeen {
+		t.Error("one-hot name blocks missing")
+	}
+}
+
+func TestEncodeOneHot(t *testing.T) {
+	e := NewEncoder(nil, EncoderConfig{})
+	r := validRecord()
+	v, err := e.Encode(&r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != e.Dim() {
+		t.Fatalf("encoded dim %d, want %d", len(v), e.Dim())
+	}
+	names := e.FeatureNames()
+	// Exactly one 1 in each categorical block, at the right name.
+	blocks := map[string]string{
+		"protocol=": "protocol=tcp",
+		"service=":  "service=http",
+		"flag=":     "flag=SF",
+	}
+	for prefix, wantHot := range blocks {
+		var ones int
+		for i, n := range names {
+			if !strings.HasPrefix(n, prefix) {
+				continue
+			}
+			if v[i] == 1 {
+				ones++
+				if n != wantHot {
+					t.Errorf("hot dimension %q, want %q", n, wantHot)
+				}
+			} else if v[i] != 0 {
+				t.Errorf("one-hot dim %q has value %v", n, v[i])
+			}
+		}
+		if ones != 1 {
+			t.Errorf("block %q has %d hot dims", prefix, ones)
+		}
+	}
+}
+
+func TestEncodeUnknownServiceFallsToOther(t *testing.T) {
+	e := NewEncoder(nil, EncoderConfig{})
+	r := validRecord()
+	r.Service = "never_seen_service"
+	v, err := e.Encode(&r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := e.FeatureNames()
+	for i, n := range names {
+		if n == "service=other" && v[i] != 1 {
+			t.Error("unknown service did not fall into other bucket")
+		}
+	}
+}
+
+func TestEncodeVocabularyFromRecords(t *testing.T) {
+	r := validRecord()
+	r.Service = "exotic_svc"
+	e := NewEncoder([]Record{r}, EncoderConfig{})
+	found := false
+	for _, s := range e.Services() {
+		if s == "exotic_svc" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("observed service missing from vocabulary")
+	}
+	v, err := e.Encode(&r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := e.FeatureNames()
+	for i, n := range names {
+		if n == "service=exotic_svc" && v[i] != 1 {
+			t.Error("observed service not one-hot encoded at its own dimension")
+		}
+	}
+}
+
+func TestEncodeRejectsUnknownProtocolAndFlag(t *testing.T) {
+	e := NewEncoder(nil, EncoderConfig{})
+	r := validRecord()
+	r.Protocol = "gre"
+	if _, err := e.Encode(&r); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+	r = validRecord()
+	r.Flag = "??"
+	if _, err := e.Encode(&r); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestEncodeLogTransform(t *testing.T) {
+	r := validRecord()
+	r.SrcBytes = math.E - 1 // log1p = 1
+	plain := NewEncoder(nil, EncoderConfig{})
+	logged := NewEncoder(nil, EncoderConfig{LogTransform: true})
+	vp, err := plain.Encode(&r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vl, err := logged.Encode(&r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vp[1]-(math.E-1)) > 1e-12 {
+		t.Errorf("plain src_bytes = %v", vp[1])
+	}
+	if math.Abs(vl[1]-1) > 1e-12 {
+		t.Errorf("log src_bytes = %v, want 1", vl[1])
+	}
+	// Rates must be untouched by the log transform.
+	if vp[25] != vl[25] {
+		t.Error("log transform touched a rate feature")
+	}
+}
+
+func TestEncodeAll(t *testing.T) {
+	e := NewEncoder(nil, EncoderConfig{})
+	r1 := validRecord()
+	r2 := validRecord()
+	r2.Protocol = "udp"
+	r2.Service = "domain_u"
+	vs, err := e.EncodeAll([]Record{r1, r2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 2 {
+		t.Fatalf("EncodeAll returned %d vectors", len(vs))
+	}
+	bad := validRecord()
+	bad.Flag = "NOPE"
+	if _, err := e.EncodeAll([]Record{r1, bad}); err == nil {
+		t.Error("EncodeAll accepted bad record")
+	}
+}
+
+func TestLabelsAndCategoryCounts(t *testing.T) {
+	recs := []Record{
+		{Label: "normal"}, {Label: "neptune"}, {Label: "neptune"}, {Label: "portsweep"},
+	}
+	labels := Labels(recs)
+	if len(labels) != 4 || labels[1] != "neptune" {
+		t.Errorf("Labels = %v", labels)
+	}
+	counts := CategoryCounts(recs)
+	if counts[Normal] != 1 || counts[DoS] != 2 || counts[Probe] != 1 {
+		t.Errorf("CategoryCounts = %v", counts)
+	}
+}

@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PRPoint is one operating point of a precision-recall curve.
+type PRPoint struct {
+	// Threshold is the score cutoff: scores >= Threshold predict attack.
+	Threshold float64
+	// Recall is the detection rate at this threshold.
+	Recall float64
+	// Precision is the attack-prediction precision at this threshold.
+	Precision float64
+}
+
+// PR computes the precision-recall curve for scores where higher means
+// more anomalous. The curve is returned in increasing-recall order. It
+// requires at least one positive.
+func PR(scores []float64, truthAttack []bool) ([]PRPoint, error) {
+	if len(scores) != len(truthAttack) {
+		return nil, fmt.Errorf("%d scores vs %d truths: %w", len(scores), len(truthAttack), ErrLengthMismatch)
+	}
+	var pos int
+	for _, a := range truthAttack {
+		if a {
+			pos++
+		}
+	}
+	if pos == 0 {
+		return nil, fmt.Errorf("metrics: PR needs at least one positive")
+	}
+	type scored struct {
+		s      float64
+		attack bool
+	}
+	rows := make([]scored, len(scores))
+	for i := range scores {
+		rows[i] = scored{scores[i], truthAttack[i]}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].s > rows[j].s })
+
+	var points []PRPoint
+	var tp, fp int
+	for i := 0; i < len(rows); {
+		j := i
+		for j < len(rows) && rows[j].s == rows[i].s {
+			if rows[j].attack {
+				tp++
+			} else {
+				fp++
+			}
+			j++
+		}
+		points = append(points, PRPoint{
+			Threshold: rows[i].s,
+			Recall:    float64(tp) / float64(pos),
+			Precision: float64(tp) / float64(tp+fp),
+		})
+		i = j
+	}
+	return points, nil
+}
+
+// AveragePrecision returns the area under the PR curve using the step
+// interpolation standard in IR evaluation: sum over recall increments of
+// the precision at that threshold.
+func AveragePrecision(curve []PRPoint) float64 {
+	if len(curve) == 0 {
+		return math.NaN()
+	}
+	var ap, prevRecall float64
+	for _, p := range curve {
+		ap += (p.Recall - prevRecall) * p.Precision
+		prevRecall = p.Recall
+	}
+	return ap
+}
+
+// MCC returns the Matthews correlation coefficient of a binary outcome —
+// the balanced single-number summary that stays meaningful under the
+// heavy class skew of intrusion data. Returns 0 when any marginal is
+// empty (the conventional limit).
+func MCC(o BinaryOutcome) float64 {
+	tp, fp, tn, fn := float64(o.TP), float64(o.FP), float64(o.TN), float64(o.FN)
+	denom := math.Sqrt((tp + fp) * (tp + fn) * (tn + fp) * (tn + fn))
+	if denom == 0 {
+		return 0
+	}
+	return (tp*tn - fp*fn) / denom
+}

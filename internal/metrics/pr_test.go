@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPRPerfectDetector(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	truth := []bool{true, true, false, false}
+	curve, err := PR(scores, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ap := AveragePrecision(curve); math.Abs(ap-1) > 1e-12 {
+		t.Errorf("perfect detector AP = %v, want 1", ap)
+	}
+	// First point: recall 0.5, precision 1.
+	if curve[0].Recall != 0.5 || curve[0].Precision != 1 {
+		t.Errorf("first point = %+v", curve[0])
+	}
+	// Last point reaches full recall.
+	if curve[len(curve)-1].Recall != 1 {
+		t.Errorf("final recall = %v", curve[len(curve)-1].Recall)
+	}
+}
+
+func TestPRInvertedDetector(t *testing.T) {
+	scores := []float64{0.1, 0.2, 0.8, 0.9}
+	truth := []bool{true, true, false, false}
+	curve, err := PR(scores, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := AveragePrecision(curve)
+	if ap > 0.5 {
+		t.Errorf("inverted detector AP = %v, want low", ap)
+	}
+}
+
+func TestPRTies(t *testing.T) {
+	scores := []float64{1, 1, 1, 1}
+	truth := []bool{true, false, true, false}
+	curve, err := PR(scores, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 1 {
+		t.Fatalf("all-ties curve has %d points", len(curve))
+	}
+	if curve[0].Recall != 1 || curve[0].Precision != 0.5 {
+		t.Errorf("tie point = %+v", curve[0])
+	}
+	if ap := AveragePrecision(curve); math.Abs(ap-0.5) > 1e-12 {
+		t.Errorf("tie AP = %v", ap)
+	}
+}
+
+func TestPRErrors(t *testing.T) {
+	if _, err := PR([]float64{1}, []bool{true, false}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := PR([]float64{1, 2}, []bool{false, false}); err == nil {
+		t.Error("no-positive input accepted")
+	}
+}
+
+func TestPRRecallMonotone(t *testing.T) {
+	scores := []float64{9, 8, 7, 6, 5, 4, 3, 2, 1}
+	truth := []bool{true, false, true, true, false, true, false, false, true}
+	curve, err := PR(scores, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Recall < curve[i-1].Recall {
+			t.Fatal("recall not monotone")
+		}
+	}
+}
+
+func TestAveragePrecisionEmpty(t *testing.T) {
+	if !math.IsNaN(AveragePrecision(nil)) {
+		t.Error("empty AP should be NaN")
+	}
+}
+
+func TestMCC(t *testing.T) {
+	tests := []struct {
+		name string
+		o    BinaryOutcome
+		want float64
+		tol  float64
+	}{
+		{"perfect", BinaryOutcome{TP: 50, TN: 50}, 1, 0},
+		{"inverted", BinaryOutcome{FP: 50, FN: 50}, -1, 0},
+		{"balanced random", BinaryOutcome{TP: 25, FP: 25, TN: 25, FN: 25}, 0, 0},
+		{"empty", BinaryOutcome{}, 0, 0},
+		{"one marginal empty", BinaryOutcome{TP: 10, FN: 5}, 0, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := MCC(tt.o); math.Abs(got-tt.want) > tt.tol {
+				t.Errorf("MCC = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMCCKnownValue(t *testing.T) {
+	o := BinaryOutcome{TP: 90, FN: 10, FP: 5, TN: 95}
+	got := MCC(o)
+	// Direct computation.
+	want := (90.0*95 - 5.0*10) / math.Sqrt(95*100*100*105)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("MCC = %v, want %v", got, want)
+	}
+	if got < 0.8 {
+		t.Errorf("strong detector MCC = %v, want high", got)
+	}
+}

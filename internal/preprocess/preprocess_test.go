@@ -1,0 +1,290 @@
+package preprocess
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMinMaxScalerBasic(t *testing.T) {
+	var s MinMaxScaler
+	data := [][]float64{{0, 10}, {5, 20}, {10, 30}}
+	if err := s.Fit(data); err != nil {
+		t.Fatal(err)
+	}
+	if s.Dim() != 2 {
+		t.Errorf("Dim = %d", s.Dim())
+	}
+	got, err := s.Transform([]float64{5, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got[0]-0.5) > 1e-12 || math.Abs(got[1]-0.5) > 1e-12 {
+		t.Errorf("Transform = %v, want [0.5 0.5]", got)
+	}
+	lo, _ := s.Transform([]float64{0, 10})
+	hi, _ := s.Transform([]float64{10, 30})
+	if lo[0] != 0 || lo[1] != 0 || hi[0] != 1 || hi[1] != 1 {
+		t.Errorf("endpoints = %v, %v", lo, hi)
+	}
+}
+
+func TestMinMaxScalerClampsOutliers(t *testing.T) {
+	var s MinMaxScaler
+	if err := s.Fit([][]float64{{0}, {10}}); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := s.Transform([]float64{-5})
+	if out[0] != 0 {
+		t.Errorf("below-range transform = %v, want 0", out[0])
+	}
+	out, _ = s.Transform([]float64{100})
+	if out[0] != 1 {
+		t.Errorf("above-range transform = %v, want 1", out[0])
+	}
+}
+
+func TestMinMaxScalerConstantDim(t *testing.T) {
+	var s MinMaxScaler
+	if err := s.Fit([][]float64{{7, 1}, {7, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := s.Transform([]float64{7, 1.5})
+	if out[0] != 0 {
+		t.Errorf("constant dim transform = %v, want 0", out[0])
+	}
+}
+
+func TestScalerErrors(t *testing.T) {
+	var mm MinMaxScaler
+	if _, err := mm.Transform([]float64{1}); !errors.Is(err, ErrNotFitted) {
+		t.Errorf("unfitted Transform err = %v", err)
+	}
+	if err := mm.Fit(nil); !errors.Is(err, ErrNoData) {
+		t.Errorf("Fit(nil) err = %v", err)
+	}
+	if err := mm.Fit([][]float64{{1}, {1, 2}}); !errors.Is(err, ErrDimMismatch) {
+		t.Errorf("ragged Fit err = %v", err)
+	}
+	if err := mm.Fit([][]float64{{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mm.Transform([]float64{1}); !errors.Is(err, ErrDimMismatch) {
+		t.Errorf("wrong-dim Transform err = %v", err)
+	}
+
+	var z ZScoreScaler
+	if _, err := z.Transform([]float64{1}); !errors.Is(err, ErrNotFitted) {
+		t.Errorf("unfitted z Transform err = %v", err)
+	}
+	if err := z.Fit(nil); !errors.Is(err, ErrNoData) {
+		t.Errorf("z Fit(nil) err = %v", err)
+	}
+	if err := z.Fit([][]float64{{1}, {1, 2}}); !errors.Is(err, ErrDimMismatch) {
+		t.Errorf("z ragged Fit err = %v", err)
+	}
+}
+
+func TestZScoreScaler(t *testing.T) {
+	var s ZScoreScaler
+	data := [][]float64{{2}, {4}, {4}, {4}, {5}, {5}, {7}, {9}} // mean 5, sd 2
+	if err := s.Fit(data); err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Transform([]float64{9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out[0]-2) > 1e-12 {
+		t.Errorf("Transform(9) = %v, want 2", out[0])
+	}
+	out, _ = s.Transform([]float64{5})
+	if math.Abs(out[0]) > 1e-12 {
+		t.Errorf("Transform(mean) = %v, want 0", out[0])
+	}
+}
+
+func TestZScoreConstantDim(t *testing.T) {
+	var s ZScoreScaler
+	if err := s.Fit([][]float64{{3, 1}, {3, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := s.Transform([]float64{3, 1})
+	if out[0] != 0 {
+		t.Errorf("constant dim z-transform = %v, want 0", out[0])
+	}
+}
+
+func TestPropZScoreStandardizesTrainingData(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(100)
+		data := make([][]float64, n)
+		for i := range data {
+			data[i] = []float64{rng.NormFloat64()*5 + 10}
+		}
+		var s ZScoreScaler
+		scaled, err := FitTransform(&s, data)
+		if err != nil {
+			return false
+		}
+		var mean, varsum float64
+		for _, r := range scaled {
+			mean += r[0]
+		}
+		mean /= float64(n)
+		for _, r := range scaled {
+			varsum += (r[0] - mean) * (r[0] - mean)
+		}
+		variance := varsum / float64(n)
+		return math.Abs(mean) < 1e-9 && math.Abs(variance-1) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropMinMaxInUnitRange(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		dim := 1 + rng.Intn(5)
+		data := make([][]float64, n)
+		for i := range data {
+			data[i] = make([]float64, dim)
+			for d := range data[i] {
+				data[i][d] = rng.NormFloat64() * 100
+			}
+		}
+		var s MinMaxScaler
+		scaled, err := FitTransform(&s, data)
+		if err != nil {
+			return false
+		}
+		for _, r := range scaled {
+			for _, v := range r {
+				if v < 0 || v > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransformAllErrorPropagation(t *testing.T) {
+	var s MinMaxScaler
+	if err := s.Fit([][]float64{{1, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TransformAll(&s, [][]float64{{1, 2}, {1}}); err == nil {
+		t.Error("TransformAll accepted ragged data")
+	}
+}
+
+func TestStratifiedSplit(t *testing.T) {
+	keys := make([]string, 100)
+	for i := range keys {
+		if i < 80 {
+			keys[i] = "a"
+		} else {
+			keys[i] = "b"
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	sp, err := StratifiedSplit(keys, 0.75, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp.Train)+len(sp.Test) != 100 {
+		t.Fatalf("split loses rows: %d + %d", len(sp.Train), len(sp.Test))
+	}
+	countKey := func(idx []int, k string) int {
+		var n int
+		for _, i := range idx {
+			if keys[i] == k {
+				n++
+			}
+		}
+		return n
+	}
+	if got := countKey(sp.Train, "a"); got != 60 {
+		t.Errorf("train a count = %d, want 60", got)
+	}
+	if got := countKey(sp.Train, "b"); got != 15 {
+		t.Errorf("train b count = %d, want 15", got)
+	}
+	// No index may appear twice.
+	seen := make(map[int]bool)
+	for _, i := range append(append([]int{}, sp.Train...), sp.Test...) {
+		if seen[i] {
+			t.Fatalf("index %d appears twice", i)
+		}
+		seen[i] = true
+	}
+}
+
+func TestStratifiedSplitSingletonStratum(t *testing.T) {
+	keys := []string{"a", "a", "a", "rare"}
+	rng := rand.New(rand.NewSource(2))
+	sp, err := StratifiedSplit(keys, 0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The singleton goes to train.
+	found := false
+	for _, i := range sp.Train {
+		if keys[i] == "rare" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("singleton stratum not in train set")
+	}
+}
+
+func TestStratifiedSplitErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if _, err := StratifiedSplit(nil, 0.5, rng); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty keys err = %v", err)
+	}
+	if _, err := StratifiedSplit([]string{"a"}, 0, rng); err == nil {
+		t.Error("trainFrac 0 accepted")
+	}
+	if _, err := StratifiedSplit([]string{"a"}, 1, rng); err == nil {
+		t.Error("trainFrac 1 accepted")
+	}
+}
+
+func TestGather(t *testing.T) {
+	data := [][]float64{{0}, {1}, {2}, {3}}
+	got := Gather(data, []int{3, 1})
+	if len(got) != 2 || got[0][0] != 3 || got[1][0] != 1 {
+		t.Errorf("Gather = %v", got)
+	}
+	s := GatherStrings([]string{"x", "y", "z"}, []int{2, 0})
+	if s[0] != "z" || s[1] != "x" {
+		t.Errorf("GatherStrings = %v", s)
+	}
+}
+
+func TestCapPerKey(t *testing.T) {
+	keys := []string{"a", "a", "a", "a", "b", "b", "c"}
+	rng := rand.New(rand.NewSource(4))
+	idx := CapPerKey(keys, 2, rng)
+	counts := make(map[string]int)
+	for _, i := range idx {
+		counts[keys[i]]++
+	}
+	if counts["a"] != 2 || counts["b"] != 2 || counts["c"] != 1 {
+		t.Errorf("CapPerKey counts = %v", counts)
+	}
+	if CapPerKey(keys, 0, rng) != nil {
+		t.Error("CapPerKey with cap 0 should be nil")
+	}
+}

@@ -1,0 +1,210 @@
+// Package preprocess provides the feature scaling and data-splitting
+// utilities of the detection pipeline: min-max and z-score scalers fit on
+// training data and applied to all splits, plus stratified train/test
+// splitting and per-class sampling.
+package preprocess
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Errors returned by the package.
+var (
+	// ErrNoData is returned when an operation requires at least one row.
+	ErrNoData = errors.New("preprocess: no data")
+	// ErrDimMismatch is returned when a vector does not match the fitted
+	// dimension.
+	ErrDimMismatch = errors.New("preprocess: dimension mismatch")
+	// ErrNotFitted is returned when transform is called before fit.
+	ErrNotFitted = errors.New("preprocess: scaler not fitted")
+)
+
+// Scaler transforms feature vectors using statistics learned from a
+// training set.
+type Scaler interface {
+	// Fit learns the scaling statistics from data.
+	Fit(data [][]float64) error
+	// Transform returns a scaled copy of x.
+	Transform(x []float64) ([]float64, error)
+	// Dim returns the fitted dimension, or 0 if not fitted.
+	Dim() int
+}
+
+// Compile-time interface checks.
+var (
+	_ Scaler = (*MinMaxScaler)(nil)
+	_ Scaler = (*ZScoreScaler)(nil)
+)
+
+// MinMaxScaler maps each dimension linearly to [0, 1] using the min and
+// max observed at fit time. Constant dimensions map to 0. Out-of-range
+// values at transform time are clamped, which keeps test-set outliers from
+// exploding the SOM distance metric.
+type MinMaxScaler struct {
+	min, span []float64
+}
+
+// Fit learns per-dimension minima and ranges.
+func (s *MinMaxScaler) Fit(data [][]float64) error {
+	if len(data) == 0 {
+		return ErrNoData
+	}
+	dim := len(data[0])
+	min := make([]float64, dim)
+	max := make([]float64, dim)
+	for d := 0; d < dim; d++ {
+		min[d], max[d] = math.Inf(1), math.Inf(-1)
+	}
+	for i, row := range data {
+		if len(row) != dim {
+			return fmt.Errorf("row %d has dim %d, want %d: %w", i, len(row), dim, ErrDimMismatch)
+		}
+		for d, v := range row {
+			if v < min[d] {
+				min[d] = v
+			}
+			if v > max[d] {
+				max[d] = v
+			}
+		}
+	}
+	span := make([]float64, dim)
+	for d := range span {
+		span[d] = max[d] - min[d]
+	}
+	s.min, s.span = min, span
+	return nil
+}
+
+// Transform scales x into [0, 1] per dimension, clamping outliers.
+func (s *MinMaxScaler) Transform(x []float64) ([]float64, error) {
+	if s.min == nil {
+		return nil, ErrNotFitted
+	}
+	if len(x) != len(s.min) {
+		return nil, fmt.Errorf("vector dim %d, fitted %d: %w", len(x), len(s.min), ErrDimMismatch)
+	}
+	out := make([]float64, len(x))
+	for d, v := range x {
+		if s.span[d] <= 0 {
+			out[d] = 0
+			continue
+		}
+		u := (v - s.min[d]) / s.span[d]
+		if u < 0 {
+			u = 0
+		} else if u > 1 {
+			u = 1
+		}
+		out[d] = u
+	}
+	return out, nil
+}
+
+// Dim returns the fitted dimension.
+func (s *MinMaxScaler) Dim() int { return len(s.min) }
+
+// State exports the fitted minima and spans for serialization. The
+// returned slices are copies.
+func (s *MinMaxScaler) State() (min, span []float64) {
+	min = make([]float64, len(s.min))
+	span = make([]float64, len(s.span))
+	copy(min, s.min)
+	copy(span, s.span)
+	return min, span
+}
+
+// NewMinMaxScalerFromState rebuilds a scaler from exported state.
+func NewMinMaxScalerFromState(min, span []float64) (*MinMaxScaler, error) {
+	if len(min) == 0 || len(min) != len(span) {
+		return nil, fmt.Errorf("preprocess: state dims %d/%d: %w", len(min), len(span), ErrDimMismatch)
+	}
+	s := &MinMaxScaler{min: make([]float64, len(min)), span: make([]float64, len(span))}
+	copy(s.min, min)
+	copy(s.span, span)
+	return s, nil
+}
+
+// ZScoreScaler standardizes each dimension to zero mean and unit variance
+// using statistics from fit time. Constant dimensions map to 0.
+type ZScoreScaler struct {
+	mean, invStd []float64
+}
+
+// Fit learns per-dimension means and standard deviations.
+func (s *ZScoreScaler) Fit(data [][]float64) error {
+	if len(data) == 0 {
+		return ErrNoData
+	}
+	dim := len(data[0])
+	mean := make([]float64, dim)
+	for i, row := range data {
+		if len(row) != dim {
+			return fmt.Errorf("row %d has dim %d, want %d: %w", i, len(row), dim, ErrDimMismatch)
+		}
+		for d, v := range row {
+			mean[d] += v
+		}
+	}
+	n := float64(len(data))
+	for d := range mean {
+		mean[d] /= n
+	}
+	variance := make([]float64, dim)
+	for _, row := range data {
+		for d, v := range row {
+			dv := v - mean[d]
+			variance[d] += dv * dv
+		}
+	}
+	invStd := make([]float64, dim)
+	for d := range variance {
+		sd := math.Sqrt(variance[d] / n)
+		if sd > 0 {
+			invStd[d] = 1 / sd
+		}
+	}
+	s.mean, s.invStd = mean, invStd
+	return nil
+}
+
+// Transform standardizes x.
+func (s *ZScoreScaler) Transform(x []float64) ([]float64, error) {
+	if s.mean == nil {
+		return nil, ErrNotFitted
+	}
+	if len(x) != len(s.mean) {
+		return nil, fmt.Errorf("vector dim %d, fitted %d: %w", len(x), len(s.mean), ErrDimMismatch)
+	}
+	out := make([]float64, len(x))
+	for d, v := range x {
+		out[d] = (v - s.mean[d]) * s.invStd[d]
+	}
+	return out, nil
+}
+
+// Dim returns the fitted dimension.
+func (s *ZScoreScaler) Dim() int { return len(s.mean) }
+
+// TransformAll applies a fitted scaler to every row.
+func TransformAll(s Scaler, data [][]float64) ([][]float64, error) {
+	out := make([][]float64, len(data))
+	for i, row := range data {
+		t, err := s.Transform(row)
+		if err != nil {
+			return nil, fmt.Errorf("row %d: %w", i, err)
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+// FitTransform fits the scaler on data and returns the transformed rows.
+func FitTransform(s Scaler, data [][]float64) ([][]float64, error) {
+	if err := s.Fit(data); err != nil {
+		return nil, err
+	}
+	return TransformAll(s, data)
+}

@@ -1,0 +1,158 @@
+// Package som implements the classic Kohonen Self-Organizing Map on a
+// rectangular grid: online and batch training, neighborhood kernels,
+// parameter decay schedules, and the standard map-quality measures
+// (quantization error, topographic error, U-matrix).
+//
+// The package is the substrate under the GHSOM in internal/core: a GHSOM is
+// a hierarchy of these maps, grown row/column-wise. It is also usable as a
+// flat-SOM baseline detector on its own.
+package som
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors shared by the package.
+var (
+	// ErrNoData is returned when an operation requires at least one data
+	// vector.
+	ErrNoData = errors.New("som: no data")
+	// ErrDimMismatch is returned when a data vector does not match the
+	// map's weight dimension.
+	ErrDimMismatch = errors.New("som: dimension mismatch")
+	// ErrBadShape is returned when a map shape or index is invalid.
+	ErrBadShape = errors.New("som: invalid shape")
+)
+
+// Map is a rectangular self-organizing map. Units are stored row-major:
+// unit (r, c) lives at index r*Cols + c. Weight vectors are owned by the
+// map; callers must not retain references across training calls.
+type Map struct {
+	rows, cols, dim int
+	weights         [][]float64
+}
+
+// New returns an untrained map of the given shape with zero-valued weights.
+// Use one of the Init* methods (or set weights via SetWeight) before
+// training.
+func New(rows, cols, dim int) (*Map, error) {
+	if rows < 1 || cols < 1 || dim < 1 {
+		return nil, fmt.Errorf("new %dx%d map of dim %d: %w", rows, cols, dim, ErrBadShape)
+	}
+	w := make([][]float64, rows*cols)
+	for i := range w {
+		w[i] = make([]float64, dim)
+	}
+	return &Map{rows: rows, cols: cols, dim: dim, weights: w}, nil
+}
+
+// Rows returns the number of grid rows.
+func (m *Map) Rows() int { return m.rows }
+
+// Cols returns the number of grid columns.
+func (m *Map) Cols() int { return m.cols }
+
+// Dim returns the weight-vector dimension.
+func (m *Map) Dim() int { return m.dim }
+
+// Units returns the total number of units (Rows*Cols).
+func (m *Map) Units() int { return m.rows * m.cols }
+
+// Index converts grid coordinates to a unit index. It does not validate
+// bounds; use InBounds for that.
+func (m *Map) Index(r, c int) int { return r*m.cols + c }
+
+// Coords converts a unit index back to grid coordinates.
+func (m *Map) Coords(i int) (r, c int) { return i / m.cols, i % m.cols }
+
+// InBounds reports whether (r, c) is a valid grid coordinate.
+func (m *Map) InBounds(r, c int) bool {
+	return r >= 0 && r < m.rows && c >= 0 && c < m.cols
+}
+
+// Weight returns the weight vector of unit i. The returned slice aliases
+// map storage: it is valid for reading; mutate only via SetWeight.
+func (m *Map) Weight(i int) []float64 { return m.weights[i] }
+
+// WeightAt returns the weight vector of unit (r, c), aliasing map storage.
+func (m *Map) WeightAt(r, c int) []float64 { return m.weights[m.Index(r, c)] }
+
+// SetWeight copies w into unit i's weight vector.
+func (m *Map) SetWeight(i int, w []float64) error {
+	if len(w) != m.dim {
+		return fmt.Errorf("set weight of length %d on dim-%d map: %w", len(w), m.dim, ErrDimMismatch)
+	}
+	copy(m.weights[i], w)
+	return nil
+}
+
+// GridDistance2 returns the squared Euclidean distance between units i and
+// j measured on the grid lattice (not in weight space).
+func (m *Map) GridDistance2(i, j int) float64 {
+	ri, ci := m.Coords(i)
+	rj, cj := m.Coords(j)
+	dr := float64(ri - rj)
+	dc := float64(ci - cj)
+	return dr*dr + dc*dc
+}
+
+// AreGridNeighbors reports whether units i and j are direct 4-neighbors on
+// the lattice.
+func (m *Map) AreGridNeighbors(i, j int) bool {
+	ri, ci := m.Coords(i)
+	rj, cj := m.Coords(j)
+	dr := ri - rj
+	if dr < 0 {
+		dr = -dr
+	}
+	dc := ci - cj
+	if dc < 0 {
+		dc = -dc
+	}
+	return dr+dc == 1
+}
+
+// Neighbors returns the direct 4-neighborhood unit indices of unit i,
+// appended to dst (which may be nil). At most four indices are appended.
+func (m *Map) Neighbors(i int, dst []int) []int {
+	r, c := m.Coords(i)
+	if m.InBounds(r-1, c) {
+		dst = append(dst, m.Index(r-1, c))
+	}
+	if m.InBounds(r+1, c) {
+		dst = append(dst, m.Index(r+1, c))
+	}
+	if m.InBounds(r, c-1) {
+		dst = append(dst, m.Index(r, c-1))
+	}
+	if m.InBounds(r, c+1) {
+		dst = append(dst, m.Index(r, c+1))
+	}
+	return dst
+}
+
+// Clone returns a deep copy of the map.
+func (m *Map) Clone() *Map {
+	out := &Map{rows: m.rows, cols: m.cols, dim: m.dim}
+	out.weights = make([][]float64, len(m.weights))
+	for i, w := range m.weights {
+		cw := make([]float64, len(w))
+		copy(cw, w)
+		out.weights[i] = cw
+	}
+	return out
+}
+
+// checkData validates a data set against the map dimension.
+func (m *Map) checkData(data [][]float64) error {
+	if len(data) == 0 {
+		return ErrNoData
+	}
+	for i, x := range data {
+		if len(x) != m.dim {
+			return fmt.Errorf("data row %d has dim %d, map dim %d: %w", i, len(x), m.dim, ErrDimMismatch)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package som
+
+import "fmt"
+
+// InsertRowBetween grows the map by one row inserted between adjacent rows
+// r and r+1. Each new unit's weight is the mean of its vertical neighbors —
+// the GHSOM interpolation rule, which preserves the map's ordering.
+func (m *Map) InsertRowBetween(r int) error {
+	if r < 0 || r >= m.rows-1 {
+		return fmt.Errorf("insert row between %d and %d in %d-row map: %w", r, r+1, m.rows, ErrBadShape)
+	}
+	newWeights := make([][]float64, (m.rows+1)*m.cols)
+	for row := 0; row <= r; row++ {
+		for c := 0; c < m.cols; c++ {
+			newWeights[row*m.cols+c] = m.weights[row*m.cols+c]
+		}
+	}
+	for c := 0; c < m.cols; c++ {
+		above := m.weights[r*m.cols+c]
+		below := m.weights[(r+1)*m.cols+c]
+		w := make([]float64, m.dim)
+		for d := 0; d < m.dim; d++ {
+			w[d] = (above[d] + below[d]) / 2
+		}
+		newWeights[(r+1)*m.cols+c] = w
+	}
+	for row := r + 1; row < m.rows; row++ {
+		for c := 0; c < m.cols; c++ {
+			newWeights[(row+1)*m.cols+c] = m.weights[row*m.cols+c]
+		}
+	}
+	m.weights = newWeights
+	m.rows++
+	return nil
+}
+
+// InsertColBetween grows the map by one column inserted between adjacent
+// columns c and c+1, with interpolated weights.
+func (m *Map) InsertColBetween(c int) error {
+	if c < 0 || c >= m.cols-1 {
+		return fmt.Errorf("insert column between %d and %d in %d-col map: %w", c, c+1, m.cols, ErrBadShape)
+	}
+	newCols := m.cols + 1
+	newWeights := make([][]float64, m.rows*newCols)
+	for r := 0; r < m.rows; r++ {
+		for col := 0; col <= c; col++ {
+			newWeights[r*newCols+col] = m.weights[r*m.cols+col]
+		}
+		left := m.weights[r*m.cols+c]
+		right := m.weights[r*m.cols+c+1]
+		w := make([]float64, m.dim)
+		for d := 0; d < m.dim; d++ {
+			w[d] = (left[d] + right[d]) / 2
+		}
+		newWeights[r*newCols+c+1] = w
+		for col := c + 1; col < m.cols; col++ {
+			newWeights[r*newCols+col+1] = m.weights[r*m.cols+col]
+		}
+	}
+	m.weights = newWeights
+	m.cols = newCols
+	return nil
+}
+
+// GrowBetween inserts a row or a column between the error unit e and its
+// dissimilar neighbor d, which must be direct grid neighbors. This is the
+// single growth step of the GHSOM horizontal-growth loop.
+func (m *Map) GrowBetween(e, d int) error {
+	if e < 0 || e >= m.Units() || d < 0 || d >= m.Units() {
+		return fmt.Errorf("grow between units %d and %d of %d: %w", e, d, m.Units(), ErrBadShape)
+	}
+	if !m.AreGridNeighbors(e, d) {
+		return fmt.Errorf("grow between non-neighbor units %d and %d: %w", e, d, ErrBadShape)
+	}
+	re, ce := m.Coords(e)
+	rd, _ := m.Coords(d)
+	if re != rd {
+		// Vertical neighbors: insert a row between them.
+		r := re
+		if rd < re {
+			r = rd
+		}
+		return m.InsertRowBetween(r)
+	}
+	// Horizontal neighbors: insert a column between them.
+	cd := ce
+	if c2 := d % m.cols; c2 < ce {
+		cd = c2
+	}
+	return m.InsertColBetween(cd)
+}

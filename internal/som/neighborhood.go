@@ -1,0 +1,109 @@
+package som
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kernel selects the neighborhood function used to scale weight updates by
+// grid distance from the best-matching unit.
+type Kernel int
+
+// Supported neighborhood kernels.
+const (
+	// KernelGaussian scales updates by exp(-d²/(2σ²)). The canonical SOM
+	// choice and the GHSOM default.
+	KernelGaussian Kernel = iota + 1
+	// KernelBubble applies the full update inside the radius and none
+	// outside (a hard cutoff).
+	KernelBubble
+	// KernelMexicanHat uses the difference-of-Gaussians "ricker" shape:
+	// excitatory near the BMU, mildly inhibitory at mid range.
+	KernelMexicanHat
+)
+
+// String returns the kernel name.
+func (k Kernel) String() string {
+	switch k {
+	case KernelGaussian:
+		return "gaussian"
+	case KernelBubble:
+		return "bubble"
+	case KernelMexicanHat:
+		return "mexican-hat"
+	default:
+		return fmt.Sprintf("Kernel(%d)", int(k))
+	}
+}
+
+// Valid reports whether k names a supported kernel.
+func (k Kernel) Valid() bool {
+	return k >= KernelGaussian && k <= KernelMexicanHat
+}
+
+// Value returns the neighborhood coefficient in [-1, 1] for a unit at
+// squared grid distance dist2 from the BMU, given the current radius.
+// A non-positive radius degenerates to "BMU only".
+func (k Kernel) Value(dist2, radius float64) float64 {
+	if radius <= 0 {
+		if dist2 == 0 {
+			return 1
+		}
+		return 0
+	}
+	switch k {
+	case KernelBubble:
+		if dist2 <= radius*radius {
+			return 1
+		}
+		return 0
+	case KernelMexicanHat:
+		s2 := radius * radius
+		u := dist2 / s2
+		return (1 - u) * math.Exp(-u/2)
+	default: // KernelGaussian
+		return math.Exp(-dist2 / (2 * radius * radius))
+	}
+}
+
+// Decay selects how a training parameter (learning rate, radius) moves from
+// its start value to its end value over training.
+type Decay int
+
+// Supported decay schedules.
+const (
+	// DecayLinear interpolates linearly from start to end.
+	DecayLinear Decay = iota + 1
+	// DecayExponential interpolates geometrically: start*(end/start)^frac.
+	// If either endpoint is non-positive it falls back to linear.
+	DecayExponential
+)
+
+// String returns the decay-schedule name.
+func (d Decay) String() string {
+	switch d {
+	case DecayLinear:
+		return "linear"
+	case DecayExponential:
+		return "exponential"
+	default:
+		return fmt.Sprintf("Decay(%d)", int(d))
+	}
+}
+
+// Valid reports whether d names a supported schedule.
+func (d Decay) Valid() bool { return d == DecayLinear || d == DecayExponential }
+
+// Interp returns the parameter value at training fraction frac ∈ [0, 1].
+func (d Decay) Interp(start, end, frac float64) float64 {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	if d == DecayExponential && start > 0 && end > 0 {
+		return start * math.Pow(end/start, frac)
+	}
+	return start + (end-start)*frac
+}

@@ -1,0 +1,112 @@
+package som
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestKernelValues(t *testing.T) {
+	tests := []struct {
+		name   string
+		k      Kernel
+		dist2  float64
+		radius float64
+		want   float64
+		tol    float64
+	}{
+		{"gaussian at center", KernelGaussian, 0, 2, 1, 0},
+		{"gaussian at radius", KernelGaussian, 4, 2, math.Exp(-0.5), 1e-12},
+		{"bubble inside", KernelBubble, 3.9, 2, 1, 0},
+		{"bubble outside", KernelBubble, 4.1, 2, 0, 0},
+		{"hat at center", KernelMexicanHat, 0, 2, 1, 0},
+		{"hat inhibitory region", KernelMexicanHat, 8, 2, (1 - 2.0) * math.Exp(-1), 1e-12},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.k.Value(tt.dist2, tt.radius); math.Abs(got-tt.want) > tt.tol {
+				t.Errorf("Value(%v, %v) = %v, want %v", tt.dist2, tt.radius, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestKernelZeroRadius(t *testing.T) {
+	for _, k := range []Kernel{KernelGaussian, KernelBubble, KernelMexicanHat} {
+		if got := k.Value(0, 0); got != 1 {
+			t.Errorf("%v.Value(0, 0) = %v, want 1 (BMU only)", k, got)
+		}
+		if got := k.Value(1, 0); got != 0 {
+			t.Errorf("%v.Value(1, 0) = %v, want 0", k, got)
+		}
+	}
+}
+
+func TestKernelMonotoneDecreasing(t *testing.T) {
+	// Gaussian and bubble must be non-increasing in distance.
+	for _, k := range []Kernel{KernelGaussian, KernelBubble} {
+		prev := math.Inf(1)
+		for d2 := 0.0; d2 <= 25; d2 += 0.5 {
+			v := k.Value(d2, 2)
+			if v > prev+1e-12 {
+				t.Errorf("%v not monotone at d2=%v", k, d2)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestKernelStringAndValid(t *testing.T) {
+	if KernelGaussian.String() != "gaussian" || KernelBubble.String() != "bubble" || KernelMexicanHat.String() != "mexican-hat" {
+		t.Error("kernel names wrong")
+	}
+	if !strings.Contains(Kernel(42).String(), "42") {
+		t.Error("unknown kernel String should embed the value")
+	}
+	if Kernel(0).Valid() || Kernel(42).Valid() {
+		t.Error("invalid kernels reported valid")
+	}
+	if !KernelGaussian.Valid() || !KernelMexicanHat.Valid() {
+		t.Error("valid kernels reported invalid")
+	}
+}
+
+func TestDecayInterp(t *testing.T) {
+	tests := []struct {
+		name       string
+		d          Decay
+		start, end float64
+		frac       float64
+		want       float64
+		tol        float64
+	}{
+		{"linear start", DecayLinear, 10, 1, 0, 10, 0},
+		{"linear mid", DecayLinear, 10, 0, 0.5, 5, 0},
+		{"linear end", DecayLinear, 10, 1, 1, 1, 0},
+		{"exp start", DecayExponential, 8, 2, 0, 8, 0},
+		{"exp mid", DecayExponential, 8, 2, 0.5, 4, 1e-12},
+		{"exp end", DecayExponential, 8, 2, 1, 2, 1e-12},
+		{"exp falls back to linear for zero end", DecayExponential, 8, 0, 0.5, 4, 0},
+		{"clamps frac below", DecayLinear, 10, 0, -0.5, 10, 0},
+		{"clamps frac above", DecayLinear, 10, 0, 1.5, 0, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.d.Interp(tt.start, tt.end, tt.frac); math.Abs(got-tt.want) > tt.tol {
+				t.Errorf("Interp(%v, %v, %v) = %v, want %v", tt.start, tt.end, tt.frac, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestDecayStringAndValid(t *testing.T) {
+	if DecayLinear.String() != "linear" || DecayExponential.String() != "exponential" {
+		t.Error("decay names wrong")
+	}
+	if !strings.Contains(Decay(9).String(), "9") {
+		t.Error("unknown decay String should embed the value")
+	}
+	if Decay(0).Valid() {
+		t.Error("Decay(0) reported valid")
+	}
+}

@@ -1,0 +1,136 @@
+package som
+
+import (
+	"math"
+
+	"ghsom/internal/vecmath"
+)
+
+// Assign returns the BMU index for every data vector. Callers must ensure
+// dimensions match (use checkData-validating entry points otherwise).
+func (m *Map) Assign(data [][]float64) []int {
+	out := make([]int, len(data))
+	for i, x := range data {
+		out[i], _ = m.BMU(x)
+	}
+	return out
+}
+
+// MQE returns the map's mean quantization error over data: the mean
+// Euclidean distance from each vector to its BMU. Returns NaN for empty
+// data.
+func (m *Map) MQE(data [][]float64) float64 {
+	if len(data) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range data {
+		_, d2 := m.BMU(x)
+		sum += math.Sqrt(d2)
+	}
+	return sum / float64(len(data))
+}
+
+// UnitErrors returns, per unit, the summed quantization error of the data
+// vectors mapped to it and the number of vectors mapped. Units with no data
+// have zero error and zero count.
+func (m *Map) UnitErrors(data [][]float64) (sumQE []float64, counts []int) {
+	sumQE = make([]float64, m.Units())
+	counts = make([]int, m.Units())
+	for _, x := range data {
+		bmu, d2 := m.BMU(x)
+		sumQE[bmu] += math.Sqrt(d2)
+		counts[bmu]++
+	}
+	return sumQE, counts
+}
+
+// UnitMeanErrors returns the per-unit mean quantization error (sum/count)
+// with zero for empty units, plus the counts.
+func (m *Map) UnitMeanErrors(data [][]float64) (meanQE []float64, counts []int) {
+	sum, counts := m.UnitErrors(data)
+	meanQE = sum
+	for i := range meanQE {
+		if counts[i] > 0 {
+			meanQE[i] /= float64(counts[i])
+		}
+	}
+	return meanQE, counts
+}
+
+// MeanUnitMQE returns the GHSOM growth criterion: the mean of the per-unit
+// mean quantization errors, taken over units that have at least one mapped
+// vector. Returns NaN when no unit has data.
+func (m *Map) MeanUnitMQE(data [][]float64) float64 {
+	meanQE, counts := m.UnitMeanErrors(data)
+	var sum float64
+	var n int
+	for i, c := range counts {
+		if c > 0 {
+			sum += meanQE[i]
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// TopographicError returns the fraction of data vectors whose first and
+// second BMUs are not grid neighbors — the standard measure of topology
+// preservation. Returns 0 for maps with fewer than two units, NaN for empty
+// data.
+func (m *Map) TopographicError(data [][]float64) float64 {
+	if len(data) == 0 {
+		return math.NaN()
+	}
+	if m.Units() < 2 {
+		return 0
+	}
+	var bad int
+	for _, x := range data {
+		first, second := m.BMU2(x)
+		if !m.AreGridNeighbors(first, second) {
+			bad++
+		}
+	}
+	return float64(bad) / float64(len(data))
+}
+
+// UMatrix returns the unified distance matrix: for each unit, the mean
+// weight-space distance to its direct grid neighbors. High values mark
+// cluster boundaries. The result is indexed [row][col].
+func (m *Map) UMatrix() [][]float64 {
+	out := make([][]float64, m.rows)
+	var nbuf [4]int
+	for r := 0; r < m.rows; r++ {
+		out[r] = make([]float64, m.cols)
+		for c := 0; c < m.cols; c++ {
+			i := m.Index(r, c)
+			neighbors := m.Neighbors(i, nbuf[:0])
+			if len(neighbors) == 0 {
+				continue
+			}
+			var sum float64
+			for _, j := range neighbors {
+				sum += vecmath.Distance(m.weights[i], m.weights[j])
+			}
+			out[r][c] = sum / float64(len(neighbors))
+		}
+	}
+	return out
+}
+
+// ComponentPlane returns the d-th weight component of every unit as a
+// [row][col] matrix — the standard per-feature view of a trained map.
+func (m *Map) ComponentPlane(d int) [][]float64 {
+	out := make([][]float64, m.rows)
+	for r := 0; r < m.rows; r++ {
+		out[r] = make([]float64, m.cols)
+		for c := 0; c < m.cols; c++ {
+			out[r][c] = m.weights[m.Index(r, c)][d]
+		}
+	}
+	return out
+}

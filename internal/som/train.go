@@ -1,0 +1,364 @@
+package som
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ghsom/internal/vecmath"
+)
+
+// TrainConfig controls SOM training. The zero value is not usable; obtain a
+// baseline with DefaultTrainConfig and override fields as needed.
+type TrainConfig struct {
+	// Epochs is the number of full passes over the data.
+	Epochs int
+	// Alpha0 and AlphaEnd are the initial and final learning rates.
+	Alpha0, AlphaEnd float64
+	// Radius0 and RadiusEnd are the initial and final neighborhood radii,
+	// in grid units. If Radius0 <= 0 it defaults to half the larger grid
+	// side at training time.
+	Radius0, RadiusEnd float64
+	// Kernel is the neighborhood function (default gaussian).
+	Kernel Kernel
+	// Decay is the parameter schedule (default exponential).
+	Decay Decay
+	// Shuffle controls whether the presentation order is reshuffled each
+	// epoch (online training only).
+	Shuffle bool
+	// Rng drives initialization sampling and shuffling. Required when
+	// Shuffle is set.
+	Rng *rand.Rand
+}
+
+// DefaultTrainConfig returns the training configuration used by the GHSOM
+// layers: a short, hot training run suited to small growing maps.
+func DefaultTrainConfig(rng *rand.Rand) TrainConfig {
+	return TrainConfig{
+		Epochs:    10,
+		Alpha0:    0.5,
+		AlphaEnd:  0.01,
+		Radius0:   0, // auto: max(rows, cols)/2
+		RadiusEnd: 0.5,
+		Kernel:    KernelGaussian,
+		Decay:     DecayExponential,
+		Shuffle:   true,
+		Rng:       rng,
+	}
+}
+
+func (c *TrainConfig) validate() error {
+	if c.Epochs < 1 {
+		return fmt.Errorf("som: epochs %d, want >= 1", c.Epochs)
+	}
+	if c.Alpha0 <= 0 || c.Alpha0 > 1 {
+		return fmt.Errorf("som: alpha0 %v outside (0, 1]", c.Alpha0)
+	}
+	if c.AlphaEnd < 0 || c.AlphaEnd > c.Alpha0 {
+		return fmt.Errorf("som: alphaEnd %v outside [0, alpha0=%v]", c.AlphaEnd, c.Alpha0)
+	}
+	if !c.Kernel.Valid() {
+		return fmt.Errorf("som: invalid kernel %v", c.Kernel)
+	}
+	if !c.Decay.Valid() {
+		return fmt.Errorf("som: invalid decay %v", c.Decay)
+	}
+	if c.Shuffle && c.Rng == nil {
+		return fmt.Errorf("som: shuffle requested without rng")
+	}
+	return nil
+}
+
+// effectiveRadius0 resolves the auto (non-positive) initial radius.
+func (c *TrainConfig) effectiveRadius0(m *Map) float64 {
+	if c.Radius0 > 0 {
+		return c.Radius0
+	}
+	r := float64(m.rows)
+	if float64(m.cols) > r {
+		r = float64(m.cols)
+	}
+	r /= 2
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// TrainStats reports per-epoch quality collected during training.
+type TrainStats struct {
+	// EpochMQE is the mean quantization error measured after each epoch.
+	EpochMQE []float64
+}
+
+// FinalMQE returns the last epoch's MQE, or NaN if no epochs ran.
+func (s TrainStats) FinalMQE() float64 {
+	if len(s.EpochMQE) == 0 {
+		return math.NaN()
+	}
+	return s.EpochMQE[len(s.EpochMQE)-1]
+}
+
+// InitRandomUniform initializes each weight uniformly within the
+// per-dimension [min, max] ranges observed in data.
+func (m *Map) InitRandomUniform(data [][]float64, rng *rand.Rand) error {
+	if err := m.checkData(data); err != nil {
+		return err
+	}
+	lo := make([]float64, m.dim)
+	hi := make([]float64, m.dim)
+	for d := 0; d < m.dim; d++ {
+		lo[d], hi[d] = math.Inf(1), math.Inf(-1)
+	}
+	for _, x := range data {
+		for d, v := range x {
+			if v < lo[d] {
+				lo[d] = v
+			}
+			if v > hi[d] {
+				hi[d] = v
+			}
+		}
+	}
+	for _, w := range m.weights {
+		for d := range w {
+			w[d] = lo[d] + rng.Float64()*(hi[d]-lo[d])
+		}
+	}
+	return nil
+}
+
+// InitSample initializes each unit with a uniformly sampled data vector
+// (with replacement).
+func (m *Map) InitSample(data [][]float64, rng *rand.Rand) error {
+	if err := m.checkData(data); err != nil {
+		return err
+	}
+	for _, w := range m.weights {
+		copy(w, data[rng.Intn(len(data))])
+	}
+	return nil
+}
+
+// InitLinear initializes the map on the plane spanned by the data's two
+// principal axes — the SOM-Toolbox "lininit". Unit (r, c) is placed at
+// mean + a·scale1·axis1 + b·scale2·axis2 with a, b spanning [-1, 1]
+// across the grid. Linear initialization gives the map a globally ordered
+// starting state, which speeds convergence and removes most topological
+// defects. For one-dimensional data (or a 1xN map) only the first axis is
+// used.
+func (m *Map) InitLinear(data [][]float64, rng *rand.Rand) error {
+	if err := m.checkData(data); err != nil {
+		return err
+	}
+	k := 2
+	if m.dim < 2 {
+		k = 1
+	}
+	axes, scales, err := vecmath.PrincipalComponents(data, k, rng)
+	if err != nil {
+		return fmt.Errorf("som: linear init: %w", err)
+	}
+	mean, err := vecmath.Mean(data)
+	if err != nil {
+		return fmt.Errorf("som: linear init: %w", err)
+	}
+	// Span ±2 standard deviations across the grid, covering ~95% of the
+	// data along each axis.
+	spread := func(idx, n int) float64 {
+		if n <= 1 {
+			return 0
+		}
+		return 2 * (2*float64(idx)/float64(n-1) - 1)
+	}
+	for r := 0; r < m.rows; r++ {
+		for c := 0; c < m.cols; c++ {
+			w := m.weights[m.Index(r, c)]
+			copy(w, mean)
+			// Rows span the first (dominant) axis, columns the second.
+			vecmath.AXPYInPlace(w, spread(r, m.rows)*scales[0], axes[0])
+			if k > 1 {
+				vecmath.AXPYInPlace(w, spread(c, m.cols)*scales[1], axes[1])
+			}
+		}
+	}
+	return nil
+}
+
+// InitAroundMean initializes every unit at mean plus gaussian jitter of the
+// given spread. This is the GHSOM child-map initializer: new maps start
+// near their parent unit's position in weight space.
+func (m *Map) InitAroundMean(mean []float64, spread float64, rng *rand.Rand) error {
+	if len(mean) != m.dim {
+		return fmt.Errorf("init around mean of dim %d on dim-%d map: %w", len(mean), m.dim, ErrDimMismatch)
+	}
+	for _, w := range m.weights {
+		for d := range w {
+			w[d] = mean[d] + rng.NormFloat64()*spread
+		}
+	}
+	return nil
+}
+
+// BMU returns the index of the best-matching (nearest) unit for x and the
+// squared distance to it.
+func (m *Map) BMU(x []float64) (int, float64) {
+	best, bestDist := 0, math.Inf(1)
+	for i, w := range m.weights {
+		d := vecmath.SquaredDistance(x, w)
+		if d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best, bestDist
+}
+
+// BMUWhere returns the best-matching unit among units accepted by the
+// allowed predicate, with its squared distance. ok is false when no unit
+// is allowed.
+func (m *Map) BMUWhere(x []float64, allowed func(int) bool) (bmu int, dist2 float64, ok bool) {
+	bmu, dist2 = -1, math.Inf(1)
+	for i, w := range m.weights {
+		if !allowed(i) {
+			continue
+		}
+		if d := vecmath.SquaredDistance(x, w); d < dist2 {
+			bmu, dist2 = i, d
+		}
+	}
+	if bmu < 0 {
+		return 0, 0, false
+	}
+	return bmu, dist2, true
+}
+
+// BMU2 returns the indices of the best and second-best matching units for
+// x. The map must have at least two units; with a single unit both results
+// are 0.
+func (m *Map) BMU2(x []float64) (first, second int) {
+	firstDist, secondDist := math.Inf(1), math.Inf(1)
+	second = -1
+	for i, w := range m.weights {
+		d := vecmath.SquaredDistance(x, w)
+		switch {
+		case d < firstDist:
+			second, secondDist = first, firstDist
+			first, firstDist = i, d
+		case d < secondDist:
+			second, secondDist = i, d
+		}
+	}
+	if second < 0 {
+		second = first
+	}
+	return first, second
+}
+
+// TrainOnline trains the map with stochastic (per-record) updates and
+// returns per-epoch statistics. The data slice itself is never modified;
+// presentation order is shuffled on a private index slice.
+func (m *Map) TrainOnline(data [][]float64, cfg TrainConfig) (TrainStats, error) {
+	if err := cfg.validate(); err != nil {
+		return TrainStats{}, err
+	}
+	if err := m.checkData(data); err != nil {
+		return TrainStats{}, err
+	}
+	radius0 := cfg.effectiveRadius0(m)
+	order := make([]int, len(data))
+	for i := range order {
+		order[i] = i
+	}
+	stats := TrainStats{EpochMQE: make([]float64, 0, cfg.Epochs)}
+	totalSteps := cfg.Epochs * len(data)
+	step := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		if cfg.Shuffle {
+			cfg.Rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		}
+		for _, idx := range order {
+			frac := float64(step) / float64(totalSteps)
+			alpha := cfg.Decay.Interp(cfg.Alpha0, cfg.AlphaEnd, frac)
+			radius := cfg.Decay.Interp(radius0, cfg.RadiusEnd, frac)
+			m.updateOnline(data[idx], alpha, radius, cfg.Kernel)
+			step++
+		}
+		stats.EpochMQE = append(stats.EpochMQE, m.MQE(data))
+	}
+	return stats, nil
+}
+
+// updateOnline applies one stochastic update for sample x.
+func (m *Map) updateOnline(x []float64, alpha, radius float64, kernel Kernel) {
+	bmu, _ := m.BMU(x)
+	// Cut off the neighborhood at 3σ for the gaussian (coefficient < 1.2e-4
+	// beyond that), at σ for bubble, and 4σ for the hat's tail.
+	cut := radius * 3
+	if kernel == KernelBubble {
+		cut = radius
+	}
+	cut2 := cut * cut
+	for i := range m.weights {
+		d2 := m.GridDistance2(bmu, i)
+		if d2 > cut2 && i != bmu {
+			continue
+		}
+		h := kernel.Value(d2, radius)
+		if h == 0 {
+			continue
+		}
+		vecmath.MoveToward(m.weights[i], alpha*h, x)
+	}
+}
+
+// TrainBatch trains the map with the deterministic batch rule: each epoch
+// every unit moves to the neighborhood-weighted mean of all data. Batch
+// training ignores Alpha and Shuffle.
+func (m *Map) TrainBatch(data [][]float64, cfg TrainConfig) (TrainStats, error) {
+	if err := cfg.validate(); err != nil {
+		return TrainStats{}, err
+	}
+	if err := m.checkData(data); err != nil {
+		return TrainStats{}, err
+	}
+	radius0 := cfg.effectiveRadius0(m)
+	units := m.Units()
+	numer := make([][]float64, units)
+	for i := range numer {
+		numer[i] = make([]float64, m.dim)
+	}
+	denom := make([]float64, units)
+	stats := TrainStats{EpochMQE: make([]float64, 0, cfg.Epochs)}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		frac := float64(epoch) / float64(cfg.Epochs)
+		radius := cfg.Decay.Interp(radius0, cfg.RadiusEnd, frac)
+		for i := range numer {
+			for d := range numer[i] {
+				numer[i][d] = 0
+			}
+			denom[i] = 0
+		}
+		for _, x := range data {
+			bmu, _ := m.BMU(x)
+			for i := 0; i < units; i++ {
+				h := cfg.Kernel.Value(m.GridDistance2(bmu, i), radius)
+				if h <= 0 {
+					continue
+				}
+				denom[i] += h
+				vecmath.AXPYInPlace(numer[i], h, x)
+			}
+		}
+		for i := 0; i < units; i++ {
+			if denom[i] <= 0 {
+				continue // keep previous weight for starved units
+			}
+			inv := 1 / denom[i]
+			for d := range m.weights[i] {
+				m.weights[i][d] = numer[i][d] * inv
+			}
+		}
+		stats.EpochMQE = append(stats.EpochMQE, m.MQE(data))
+	}
+	return stats, nil
+}

@@ -1,0 +1,607 @@
+package trafficgen
+
+import "ghsom/internal/flowstats"
+
+// episodeGens dispatches an attack label to its episode generator. Each
+// call emits one episode: a time-local burst of connections carrying the
+// attack's signature.
+var episodeGens = map[string]func(*gen){
+	// DoS
+	"neptune":  (*gen).neptuneEpisode,
+	"smurf":    (*gen).smurfEpisode,
+	"back":     (*gen).backEpisode,
+	"teardrop": (*gen).teardropEpisode,
+	"pod":      (*gen).podEpisode,
+	"land":     (*gen).landEpisode,
+	// Probe
+	"portsweep": (*gen).portsweepEpisode,
+	"ipsweep":   (*gen).ipsweepEpisode,
+	"nmap":      (*gen).nmapEpisode,
+	"satan":     (*gen).satanEpisode,
+	// R2L
+	"guess_passwd": (*gen).guessPasswdEpisode,
+	"warezclient":  (*gen).warezclientEpisode,
+	"warezmaster":  (*gen).warezmasterEpisode,
+	"ftp_write":    (*gen).ftpWriteEpisode,
+	"imap":         (*gen).imapEpisode,
+	"phf":          (*gen).phfEpisode,
+	"multihop":     (*gen).multihopEpisode,
+	"spy":          (*gen).spyEpisode,
+	// U2R
+	"buffer_overflow": (*gen).bufferOverflowEpisode,
+	"rootkit":         (*gen).rootkitEpisode,
+	"loadmodule":      (*gen).loadmoduleEpisode,
+	"perl":            (*gen).perlEpisode,
+}
+
+// --- DoS ---
+
+// neptuneEpisode emits a SYN flood: hundreds of half-open connections
+// (flag S0, zero payload) from spoofed sources to one victim service.
+// Signature: count and serror_rate saturate.
+func (g *gen) neptuneEpisode() {
+	victim := g.server()
+	service := [...]string{"private", "http", "telnet", "smtp"}[g.rng.Intn(4)]
+	n := g.intn(250, 600)
+	start := g.when()
+	span := g.uniform(2, 12)
+	for i := 0; i < n; i++ {
+		g.emit(rawConn{
+			protocol: "tcp",
+			label:    "neptune",
+			fc: flowstats.Conn{
+				Time:    start + g.rng.Float64()*span,
+				SrcHost: g.spoofed(),
+				DstHost: victim,
+				SrcPort: g.ephemeralPort(),
+				Service: service,
+				Flag:    "S0",
+			},
+		})
+	}
+}
+
+// smurfEpisode emits an ICMP echo-reply flood (ecr_i) at one victim:
+// fixed-size 1032-byte payloads from many spoofed reflectors. Signature:
+// huge srv_count on icmp with constant src_bytes.
+func (g *gen) smurfEpisode() {
+	victim := g.server()
+	n := g.intn(300, 700)
+	start := g.when()
+	span := g.uniform(3, 15)
+	for i := 0; i < n; i++ {
+		g.emit(rawConn{
+			protocol: "icmp",
+			label:    "smurf",
+			srcBytes: 1032,
+			fc: flowstats.Conn{
+				Time:    start + g.rng.Float64()*span,
+				SrcHost: g.spoofed(),
+				DstHost: victim,
+				SrcPort: 0,
+				Service: "ecr_i",
+				Flag:    "SF",
+			},
+		})
+	}
+}
+
+// backEpisode emits the Apache "back" DoS: HTTP requests whose URL is
+// thousands of slashes. Signature: src_bytes ~54k on service http.
+func (g *gen) backEpisode() {
+	victim := g.server()
+	src := g.client()
+	n := g.intn(20, 80)
+	start := g.when()
+	t := start
+	for i := 0; i < n; i++ {
+		g.emit(rawConn{
+			protocol: "tcp",
+			label:    "back",
+			duration: g.uniform(0, 4),
+			srcBytes: g.jitter(54540),
+			dstBytes: g.jitter(8314),
+			fc: flowstats.Conn{
+				Time:    t,
+				SrcHost: src,
+				DstHost: victim,
+				SrcPort: g.ephemeralPort(),
+				Service: "http",
+				Flag:    "SF",
+			},
+		})
+		t += g.uniform(0.05, 0.5)
+	}
+}
+
+// teardropEpisode emits overlapping-fragment UDP datagrams
+// (wrong_fragment set). Signature: udp with wrong_fragment > 0.
+func (g *gen) teardropEpisode() {
+	victim := g.server()
+	src := g.spoofed()
+	n := g.intn(80, 250)
+	start := g.when()
+	t := start
+	for i := 0; i < n; i++ {
+		g.emit(rawConn{
+			protocol:      "udp",
+			label:         "teardrop",
+			srcBytes:      28,
+			wrongFragment: 3,
+			fc: flowstats.Conn{
+				Time:    t,
+				SrcHost: src,
+				DstHost: victim,
+				SrcPort: g.ephemeralPort(),
+				Service: "private",
+				Flag:    "SF",
+			},
+		})
+		t += g.uniform(0.01, 0.1)
+	}
+}
+
+// podEpisode emits ping-of-death ICMP fragments. Signature: icmp ecr_i
+// with wrong_fragment.
+func (g *gen) podEpisode() {
+	victim := g.server()
+	src := g.spoofed()
+	n := g.intn(40, 150)
+	start := g.when()
+	t := start
+	for i := 0; i < n; i++ {
+		g.emit(rawConn{
+			protocol:      "icmp",
+			label:         "pod",
+			srcBytes:      1480,
+			wrongFragment: 1,
+			fc: flowstats.Conn{
+				Time:    t,
+				SrcHost: src,
+				DstHost: victim,
+				SrcPort: 0,
+				Service: "ecr_i",
+				Flag:    "SF",
+			},
+		})
+		t += g.uniform(0.02, 0.2)
+	}
+}
+
+// landEpisode emits the land attack: a SYN whose source equals its
+// destination. Signature: the land bit itself.
+func (g *gen) landEpisode() {
+	victim := g.server()
+	n := g.intn(1, 3)
+	start := g.when()
+	for i := 0; i < n; i++ {
+		g.emit(rawConn{
+			protocol: "tcp",
+			label:    "land",
+			land:     true,
+			fc: flowstats.Conn{
+				Time:    start + float64(i)*0.5,
+				SrcHost: victim,
+				DstHost: victim,
+				SrcPort: 23,
+				Service: "telnet",
+				Flag:    "S0",
+			},
+		})
+	}
+}
+
+// --- Probe ---
+
+// portsweepEpisode probes many services on one host. Signature: REJ/S0
+// flags with near-1 diff_srv_rate at the victim.
+func (g *gen) portsweepEpisode() {
+	victim := g.server()
+	src := g.client()
+	n := g.intn(30, 90)
+	start := g.when()
+	t := start
+	services := []string{"http", "ftp", "telnet", "smtp", "pop_3", "imap4", "ssh", "finger", "auth", "private"}
+	for i := 0; i < n; i++ {
+		flag := "REJ"
+		if g.chance(0.3) {
+			flag = "S0"
+		}
+		g.emit(rawConn{
+			protocol: "tcp",
+			label:    "portsweep",
+			fc: flowstats.Conn{
+				Time:    t,
+				SrcHost: src,
+				DstHost: victim,
+				SrcPort: g.ephemeralPort(),
+				Service: services[g.rng.Intn(len(services))],
+				Flag:    flag,
+			},
+		})
+		t += g.uniform(0.02, 0.6)
+	}
+}
+
+// ipsweepEpisode pings many hosts looking for live ones. Signature: icmp
+// eco_i fanning out across destinations (high srv_diff_host_rate).
+func (g *gen) ipsweepEpisode() {
+	src := g.client()
+	n := g.intn(30, 90)
+	start := g.when()
+	t := start
+	for i := 0; i < n; i++ {
+		dst := g.server()
+		if g.chance(0.4) {
+			dst = g.client()
+		}
+		g.emit(rawConn{
+			protocol: "icmp",
+			label:    "ipsweep",
+			srcBytes: 8,
+			fc: flowstats.Conn{
+				Time:    t,
+				SrcHost: src,
+				DstHost: dst,
+				SrcPort: 0,
+				Service: "eco_i",
+				Flag:    "SF",
+			},
+		})
+		t += g.uniform(0.01, 0.3)
+	}
+}
+
+// nmapEpisode is a fast stealth scan: SH/S0/REJ mix over services and a
+// couple of hosts.
+func (g *gen) nmapEpisode() {
+	src := g.client()
+	n := g.intn(20, 60)
+	start := g.when()
+	t := start
+	services := []string{"http", "ftp", "telnet", "private", "ssh", "smtp"}
+	flags := []string{"SH", "S0", "REJ"}
+	victims := []int{g.server(), g.server()}
+	for i := 0; i < n; i++ {
+		g.emit(rawConn{
+			protocol: "tcp",
+			label:    "nmap",
+			fc: flowstats.Conn{
+				Time:    t,
+				SrcHost: src,
+				DstHost: victims[g.rng.Intn(len(victims))],
+				SrcPort: g.ephemeralPort(),
+				Service: services[g.rng.Intn(len(services))],
+				Flag:    flags[g.rng.Intn(len(flags))],
+			},
+		})
+		t += g.uniform(0.005, 0.08)
+	}
+}
+
+// satanEpisode is a vulnerability scan across hosts and services with
+// mixed rejected and tiny successful probes.
+func (g *gen) satanEpisode() {
+	src := g.client()
+	n := g.intn(50, 140)
+	start := g.when()
+	t := start
+	services := []string{"http", "ftp", "telnet", "smtp", "finger", "auth", "private", "domain_u"}
+	for i := 0; i < n; i++ {
+		flag := "REJ"
+		var src2, dst2 float64
+		if g.chance(0.25) {
+			flag = "SF"
+			src2, dst2 = g.uniform(10, 60), g.uniform(20, 200)
+		}
+		proto := "tcp"
+		svc := services[g.rng.Intn(len(services))]
+		if svc == "domain_u" {
+			proto = "udp"
+		}
+		g.emit(rawConn{
+			protocol: proto,
+			label:    "satan",
+			srcBytes: src2,
+			dstBytes: dst2,
+			fc: flowstats.Conn{
+				Time:    t,
+				SrcHost: src,
+				DstHost: g.server(),
+				SrcPort: g.ephemeralPort(),
+				Service: svc,
+				Flag:    flag,
+			},
+		})
+		t += g.uniform(0.01, 0.25)
+	}
+}
+
+// --- R2L ---
+
+// guessPasswdEpisode is a password-guessing run against one login
+// service: a series of short sessions each ending in a failed login.
+func (g *gen) guessPasswdEpisode() {
+	victim := g.server()
+	src := g.client()
+	service := [...]string{"telnet", "pop_3", "ftp"}[g.rng.Intn(3)]
+	n := g.intn(10, 30)
+	start := g.when()
+	t := start
+	for i := 0; i < n; i++ {
+		g.emit(rawConn{
+			protocol:        "tcp",
+			label:           "guess_passwd",
+			duration:        g.uniform(1, 5),
+			srcBytes:        g.jitter(120),
+			dstBytes:        g.jitter(300),
+			numFailedLogins: float64(g.intn(1, 5)),
+			hot:             1, // failed auth is itself a hot indicator
+			fc: flowstats.Conn{
+				Time:    t,
+				SrcHost: src,
+				DstHost: victim,
+				SrcPort: g.ephemeralPort(),
+				Service: service,
+				Flag:    "SF",
+			},
+		})
+		t += g.uniform(1, 6)
+	}
+}
+
+// warezclientEpisode downloads pirated content over anonymous FTP:
+// guest logins pulling large files.
+func (g *gen) warezclientEpisode() {
+	victim := g.server()
+	src := g.client()
+	n := g.intn(5, 18)
+	start := g.when()
+	t := start
+	for i := 0; i < n; i++ {
+		g.emit(rawConn{
+			protocol:     "tcp",
+			label:        "warezclient",
+			duration:     g.uniform(2, 90),
+			srcBytes:     g.jitter(150),
+			dstBytes:     g.uniform(100000, 5000000),
+			loggedIn:     true,
+			isGuestLogin: true,
+			hot:          float64(g.intn(1, 3)),
+			fc: flowstats.Conn{
+				Time:    t,
+				SrcHost: src,
+				DstHost: victim,
+				SrcPort: g.ephemeralPort(),
+				Service: "ftp_data",
+				Flag:    "SF",
+			},
+		})
+		t += g.uniform(5, 60)
+	}
+}
+
+// warezmasterEpisode uploads pirated content: the mirror image of
+// warezclient with large src_bytes.
+func (g *gen) warezmasterEpisode() {
+	victim := g.server()
+	src := g.client()
+	n := g.intn(2, 8)
+	start := g.when()
+	t := start
+	for i := 0; i < n; i++ {
+		g.emit(rawConn{
+			protocol:         "tcp",
+			label:            "warezmaster",
+			duration:         g.uniform(5, 120),
+			srcBytes:         g.uniform(100000, 3000000),
+			dstBytes:         g.jitter(300),
+			loggedIn:         true,
+			isGuestLogin:     true,
+			hot:              float64(g.intn(1, 3)),
+			numFileCreations: 1,
+			fc: flowstats.Conn{
+				Time:    t,
+				SrcHost: src,
+				DstHost: victim,
+				SrcPort: g.ephemeralPort(),
+				Service: "ftp",
+				Flag:    "SF",
+			},
+		})
+		t += g.uniform(10, 120)
+	}
+}
+
+// ftpWriteEpisode exploits a writable anonymous FTP directory.
+func (g *gen) ftpWriteEpisode() {
+	victim := g.server()
+	src := g.client()
+	n := g.intn(1, 3)
+	start := g.when()
+	for i := 0; i < n; i++ {
+		g.emit(rawConn{
+			protocol:         "tcp",
+			label:            "ftp_write",
+			duration:         g.uniform(5, 60),
+			srcBytes:         g.jitter(250),
+			dstBytes:         g.jitter(400),
+			loggedIn:         true,
+			isGuestLogin:     true,
+			numFileCreations: float64(g.intn(1, 2)),
+			numAccessFiles:   1,
+			fc: flowstats.Conn{
+				Time:    start + float64(i)*10,
+				SrcHost: src,
+				DstHost: victim,
+				SrcPort: g.ephemeralPort(),
+				Service: "ftp",
+				Flag:    "SF",
+			},
+		})
+	}
+}
+
+// imapEpisode attacks the IMAP server (buffer exploit attempts over the
+// imap4 service, connections often reset).
+func (g *gen) imapEpisode() {
+	victim := g.server()
+	src := g.client()
+	n := g.intn(2, 6)
+	start := g.when()
+	t := start
+	for i := 0; i < n; i++ {
+		flag := "RSTO"
+		if g.chance(0.4) {
+			flag = "SF"
+		}
+		g.emit(rawConn{
+			protocol: "tcp",
+			label:    "imap",
+			duration: g.uniform(0, 3),
+			srcBytes: g.jitter(1200),
+			dstBytes: g.jitter(300),
+			hot:      1,
+			fc: flowstats.Conn{
+				Time:    t,
+				SrcHost: src,
+				DstHost: victim,
+				SrcPort: g.ephemeralPort(),
+				Service: "imap4",
+				Flag:    flag,
+			},
+		})
+		t += g.uniform(1, 10)
+	}
+}
+
+// phfEpisode exploits the classic CGI phf bug over HTTP.
+func (g *gen) phfEpisode() {
+	g.emit(rawConn{
+		protocol:       "tcp",
+		label:          "phf",
+		duration:       g.uniform(0, 2),
+		srcBytes:       g.jitter(51),
+		dstBytes:       g.jitter(8127),
+		hot:            2,
+		numAccessFiles: 1,
+		fc: flowstats.Conn{
+			Time:    g.when(),
+			SrcHost: g.client(),
+			DstHost: g.server(),
+			SrcPort: g.ephemeralPort(),
+			Service: "http",
+			Flag:    "SF",
+		},
+	})
+}
+
+// multihopEpisode hops through an intermediate host to reach a target:
+// long telnet sessions with file activity.
+func (g *gen) multihopEpisode() {
+	victim := g.server()
+	src := g.client()
+	n := g.intn(1, 3)
+	start := g.when()
+	for i := 0; i < n; i++ {
+		g.emit(rawConn{
+			protocol:         "tcp",
+			label:            "multihop",
+			duration:         g.uniform(30, 500),
+			srcBytes:         g.jitter(1500),
+			dstBytes:         g.jitter(3000),
+			loggedIn:         true,
+			hot:              float64(g.intn(1, 4)),
+			numFileCreations: float64(g.intn(0, 2)),
+			fc: flowstats.Conn{
+				Time:    start + float64(i)*60,
+				SrcHost: src,
+				DstHost: victim,
+				SrcPort: g.ephemeralPort(),
+				Service: "telnet",
+				Flag:    "SF",
+			},
+		})
+	}
+}
+
+// spyEpisode is low-and-slow credential snooping over telnet.
+func (g *gen) spyEpisode() {
+	g.emit(rawConn{
+		protocol:       "tcp",
+		label:          "spy",
+		duration:       g.uniform(60, 900),
+		srcBytes:       g.jitter(800),
+		dstBytes:       g.jitter(5000),
+		loggedIn:       true,
+		hot:            1,
+		numAccessFiles: float64(g.intn(1, 2)),
+		fc: flowstats.Conn{
+			Time:    g.when(),
+			SrcHost: g.client(),
+			DstHost: g.server(),
+			SrcPort: g.ephemeralPort(),
+			Service: "telnet",
+			Flag:    "SF",
+		},
+	})
+}
+
+// --- U2R ---
+
+// u2rSession emits one privilege-escalation telnet session with the given
+// content signature.
+func (g *gen) u2rSession(label string, hotLo, hotHi int, rootShell, suAttempted float64, numRootLo, numRootHi, filesLo, filesHi int) {
+	g.emit(rawConn{
+		protocol:         "tcp",
+		label:            label,
+		duration:         g.uniform(30, 400),
+		srcBytes:         g.jitter(1800),
+		dstBytes:         g.jitter(10000),
+		loggedIn:         true,
+		hot:              float64(g.intn(hotLo, hotHi)),
+		rootShell:        rootShell,
+		suAttempted:      suAttempted,
+		numRoot:          float64(g.intn(numRootLo, numRootHi)),
+		numFileCreations: float64(g.intn(filesLo, filesHi)),
+		numCompromised:   float64(g.intn(0, 2)),
+		numShells:        float64(g.intn(0, 1)),
+		fc: flowstats.Conn{
+			Time:    g.when(),
+			SrcHost: g.client(),
+			DstHost: g.server(),
+			SrcPort: g.ephemeralPort(),
+			Service: "telnet",
+			Flag:    "SF",
+		},
+	})
+}
+
+// bufferOverflowEpisode overflows a setuid binary to get a root shell.
+func (g *gen) bufferOverflowEpisode() {
+	n := g.intn(1, 3)
+	for i := 0; i < n; i++ {
+		g.u2rSession("buffer_overflow", 2, 6, 1, 0, 1, 3, 1, 4)
+	}
+}
+
+// rootkitEpisode installs a rootkit: heavy root activity and file drops.
+func (g *gen) rootkitEpisode() {
+	n := g.intn(1, 4)
+	for i := 0; i < n; i++ {
+		g.u2rSession("rootkit", 1, 3, float64(g.rng.Intn(2)), 0, 2, 6, 1, 3)
+	}
+}
+
+// loadmoduleEpisode abuses loadmodule to escalate.
+func (g *gen) loadmoduleEpisode() {
+	n := g.intn(1, 2)
+	for i := 0; i < n; i++ {
+		g.u2rSession("loadmodule", 1, 4, 1, 1, 1, 2, 1, 3)
+	}
+}
+
+// perlEpisode exploits a setuid perl bug.
+func (g *gen) perlEpisode() {
+	g.u2rSession("perl", 1, 3, 1, 1, 1, 2, 0, 1)
+}

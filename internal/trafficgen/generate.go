@@ -1,0 +1,204 @@
+package trafficgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ghsom/internal/flowstats"
+	"ghsom/internal/kdd"
+)
+
+// rawConn is one connection before the window statistics are computed: the
+// flowstats view plus the intrinsic and content features and the label.
+type rawConn struct {
+	fc       flowstats.Conn
+	protocol string
+
+	duration, srcBytes, dstBytes float64
+	land                         bool
+	wrongFragment, urgent        float64
+
+	hot, numFailedLogins float64
+	loggedIn             bool
+	numCompromised       float64
+	rootShell            float64
+	suAttempted          float64
+	numRoot              float64
+	numFileCreations     float64
+	numShells            float64
+	numAccessFiles       float64
+	isHostLogin          bool
+	isGuestLogin         bool
+
+	label string
+}
+
+// gen carries shared generation state.
+type gen struct {
+	cfg Config
+	rng *rand.Rand
+	out []rawConn
+}
+
+// Generate synthesizes the trace described by cfg and returns the records
+// in time order.
+func Generate(cfg Config) ([]kdd.Record, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &gen{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+
+	for i := 0; i < cfg.NormalSessions; i++ {
+		g.normalSession()
+	}
+	// Attack labels in sorted order for determinism.
+	labels := make([]string, 0, len(cfg.AttackEpisodes))
+	for l := range cfg.AttackEpisodes {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, label := range labels {
+		genFn := episodeGens[label]
+		for e := 0; e < cfg.AttackEpisodes[label]; e++ {
+			genFn(g)
+		}
+	}
+
+	sort.SliceStable(g.out, func(i, j int) bool { return g.out[i].fc.Time < g.out[j].fc.Time })
+
+	tracker := flowstats.NewTracker()
+	records := make([]kdd.Record, 0, len(g.out))
+	for i := range g.out {
+		rc := &g.out[i]
+		d, err := tracker.Observe(rc.fc)
+		if err != nil {
+			return nil, fmt.Errorf("trafficgen: record %d: %w", i, err)
+		}
+		records = append(records, assemble(rc, d))
+	}
+	return records, nil
+}
+
+// assemble merges the raw connection and its derived statistics into a
+// full KDD record.
+func assemble(rc *rawConn, d flowstats.Derived) kdd.Record {
+	return kdd.Record{
+		Duration:         rc.duration,
+		Protocol:         rc.protocol,
+		Service:          rc.fc.Service,
+		Flag:             rc.fc.Flag,
+		SrcBytes:         rc.srcBytes,
+		DstBytes:         rc.dstBytes,
+		Land:             rc.land,
+		WrongFragment:    rc.wrongFragment,
+		Urgent:           rc.urgent,
+		Hot:              rc.hot,
+		NumFailedLogins:  rc.numFailedLogins,
+		LoggedIn:         rc.loggedIn,
+		NumCompromised:   rc.numCompromised,
+		RootShell:        rc.rootShell,
+		SuAttempted:      rc.suAttempted,
+		NumRoot:          rc.numRoot,
+		NumFileCreations: rc.numFileCreations,
+		NumShells:        rc.numShells,
+		NumAccessFiles:   rc.numAccessFiles,
+		IsHostLogin:      rc.isHostLogin,
+		IsGuestLogin:     rc.isGuestLogin,
+
+		Count:           d.Count,
+		SrvCount:        d.SrvCount,
+		SerrorRate:      d.SerrorRate,
+		SrvSerrorRate:   d.SrvSerrorRate,
+		RerrorRate:      d.RerrorRate,
+		SrvRerrorRate:   d.SrvRerrorRate,
+		SameSrvRate:     d.SameSrvRate,
+		DiffSrvRate:     d.DiffSrvRate,
+		SrvDiffHostRate: d.SrvDiffHostRate,
+
+		DstHostCount:           d.DstHostCount,
+		DstHostSrvCount:        d.DstHostSrvCount,
+		DstHostSameSrvRate:     d.DstHostSameSrvRate,
+		DstHostDiffSrvRate:     d.DstHostDiffSrvRate,
+		DstHostSameSrcPortRate: d.DstHostSameSrcPortRate,
+		DstHostSrvDiffHostRate: d.DstHostSrvDiffHostRate,
+		DstHostSerrorRate:      d.DstHostSerrorRate,
+		DstHostSrvSerrorRate:   d.DstHostSrvSerrorRate,
+		DstHostRerrorRate:      d.DstHostRerrorRate,
+		DstHostSrvRerrorRate:   d.DstHostSrvRerrorRate,
+
+		Label: rc.label,
+	}
+}
+
+// GenerateSequence generates each phase in order and concatenates the
+// record streams — the building block for drift scenarios, where later
+// phases shift the traffic mix or introduce attacks absent from earlier
+// ones. Window statistics are computed per phase (the phase boundary is a
+// measurement restart, as when a sensor is redeployed).
+func GenerateSequence(phases ...Config) ([]kdd.Record, error) {
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("trafficgen: no phases: %w", ErrBadConfig)
+	}
+	var out []kdd.Record
+	for i, cfg := range phases {
+		records, err := Generate(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("trafficgen: phase %d: %w", i, err)
+		}
+		out = append(out, records...)
+	}
+	return out, nil
+}
+
+// --- shared sampling helpers ---
+
+// client returns a random client host ID.
+func (g *gen) client() int { return g.rng.Intn(g.cfg.Clients) }
+
+// server returns a random server host ID (IDs after the client range).
+func (g *gen) server() int { return g.cfg.Clients + g.rng.Intn(g.cfg.Servers) }
+
+// spoofed returns a host ID outside both pools, modeling a spoofed source.
+func (g *gen) spoofed() int {
+	return g.cfg.Clients + g.cfg.Servers + g.rng.Intn(1<<16)
+}
+
+// when returns a uniform random trace time.
+func (g *gen) when() float64 { return g.rng.Float64() * g.cfg.Duration }
+
+// ephemeralPort returns a random high source port.
+func (g *gen) ephemeralPort() int { return 1024 + g.rng.Intn(60000) }
+
+// jitter multiplies v by a noise-scaled lognormal-ish factor, keeping the
+// result non-negative.
+func (g *gen) jitter(v float64) float64 {
+	if v == 0 {
+		return 0
+	}
+	spread := 0.1 + 0.6*g.cfg.Noise
+	f := 1 + g.rng.NormFloat64()*spread
+	if f < 0.05 {
+		f = 0.05
+	}
+	return v * f
+}
+
+// uniform returns a uniform value in [lo, hi).
+func (g *gen) uniform(lo, hi float64) float64 {
+	return lo + g.rng.Float64()*(hi-lo)
+}
+
+// intn returns a uniform int in [lo, hi].
+func (g *gen) intn(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + g.rng.Intn(hi-lo+1)
+}
+
+// chance reports true with probability p.
+func (g *gen) chance(p float64) bool { return g.rng.Float64() < p }
+
+// emit appends a raw connection.
+func (g *gen) emit(rc rawConn) { g.out = append(g.out, rc) }

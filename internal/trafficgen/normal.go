@@ -1,0 +1,141 @@
+package trafficgen
+
+import "ghsom/internal/flowstats"
+
+// serviceProfile describes the shape of one legitimate service's traffic.
+type serviceProfile struct {
+	service  string
+	protocol string
+	// weight is the relative frequency of the service in normal traffic.
+	weight float64
+	// connsLo/Hi bound the number of connections per session.
+	connsLo, connsHi int
+	// durLo/Hi bound per-connection duration (seconds).
+	durLo, durHi float64
+	// srcLo/Hi and dstLo/Hi bound the byte volumes.
+	srcLo, srcHi float64
+	dstLo, dstHi float64
+	// login services set logged_in and may carry content activity.
+	login bool
+	// guestRate is the probability of a guest login (ftp anonymous).
+	guestRate float64
+}
+
+// normalProfiles approximates the service mix of the KDD-99 normal
+// traffic: web-dominated with mail, file transfer, name lookups and
+// interactive logins.
+var normalProfiles = []serviceProfile{
+	{service: "http", protocol: "tcp", weight: 0.46, connsLo: 1, connsHi: 8, durLo: 0, durHi: 4, srcLo: 100, srcHi: 1500, dstLo: 300, dstHi: 40000},
+	{service: "smtp", protocol: "tcp", weight: 0.14, connsLo: 1, connsHi: 2, durLo: 0.5, durHi: 8, srcLo: 300, srcHi: 4000, dstLo: 250, dstHi: 800},
+	{service: "domain_u", protocol: "udp", weight: 0.12, connsLo: 1, connsHi: 4, durLo: 0, durHi: 0.1, srcLo: 30, srcHi: 90, dstLo: 50, dstHi: 350},
+	{service: "ftp_data", protocol: "tcp", weight: 0.07, connsLo: 1, connsHi: 4, durLo: 0.5, durHi: 30, srcLo: 0, srcHi: 100, dstLo: 2000, dstHi: 500000},
+	{service: "ftp", protocol: "tcp", weight: 0.04, connsLo: 1, connsHi: 1, durLo: 2, durHi: 60, srcLo: 100, srcHi: 800, dstLo: 200, dstHi: 2000, login: true, guestRate: 0.3},
+	{service: "telnet", protocol: "tcp", weight: 0.04, connsLo: 1, connsHi: 1, durLo: 10, durHi: 600, srcLo: 200, srcHi: 5000, dstLo: 500, dstHi: 20000, login: true},
+	{service: "ssh", protocol: "tcp", weight: 0.03, connsLo: 1, connsHi: 1, durLo: 5, durHi: 300, srcLo: 500, srcHi: 8000, dstLo: 500, dstHi: 8000, login: true},
+	{service: "pop_3", protocol: "tcp", weight: 0.03, connsLo: 1, connsHi: 2, durLo: 0.5, durHi: 5, srcLo: 60, srcHi: 300, dstLo: 200, dstHi: 30000, login: true},
+	{service: "imap4", protocol: "tcp", weight: 0.02, connsLo: 1, connsHi: 2, durLo: 0.5, durHi: 10, srcLo: 80, srcHi: 400, dstLo: 200, dstHi: 20000, login: true},
+	{service: "finger", protocol: "tcp", weight: 0.02, connsLo: 1, connsHi: 1, durLo: 0, durHi: 1, srcLo: 10, srcHi: 60, dstLo: 50, dstHi: 500},
+	{service: "auth", protocol: "tcp", weight: 0.01, connsLo: 1, connsHi: 1, durLo: 0, durHi: 1, srcLo: 20, srcHi: 80, dstLo: 20, dstHi: 120},
+	{service: "eco_i", protocol: "icmp", weight: 0.02, connsLo: 1, connsHi: 5, durLo: 0, durHi: 0, srcLo: 8, srcHi: 64, dstLo: 0, dstHi: 0},
+}
+
+// pickProfile samples a service profile by weight.
+func (g *gen) pickProfile() *serviceProfile {
+	var total float64
+	for i := range normalProfiles {
+		total += normalProfiles[i].weight
+	}
+	r := g.rng.Float64() * total
+	for i := range normalProfiles {
+		r -= normalProfiles[i].weight
+		if r <= 0 {
+			return &normalProfiles[i]
+		}
+	}
+	return &normalProfiles[len(normalProfiles)-1]
+}
+
+// normalSession emits the connections of one legitimate session.
+func (g *gen) normalSession() {
+	p := g.pickProfile()
+	src := g.client()
+	dst := g.server()
+	start := g.when()
+	conns := g.intn(p.connsLo, p.connsHi)
+	t := start
+	for i := 0; i < conns; i++ {
+		rc := rawConn{
+			protocol: p.protocol,
+			label:    "normal",
+		}
+		rc.fc = flowstats.Conn{
+			Time:    t,
+			SrcHost: src,
+			DstHost: dst,
+			SrcPort: g.srcPortFor(p),
+			Service: p.service,
+			Flag:    g.normalFlag(),
+		}
+		rc.duration = g.jitter(g.uniform(p.durLo, p.durHi))
+		rc.srcBytes = g.jitter(g.uniform(p.srcLo, p.srcHi))
+		rc.dstBytes = g.jitter(g.uniform(p.dstLo, p.dstHi))
+		if flowstats.IsSynError(rc.fc.Flag) || flowstats.IsRejError(rc.fc.Flag) {
+			// Failed handshakes carry no payload.
+			rc.duration, rc.srcBytes, rc.dstBytes = 0, 0, 0
+		}
+		if p.login && rc.fc.Flag == "SF" {
+			rc.loggedIn = true
+			if g.chance(p.guestRate) {
+				rc.isGuestLogin = true
+			}
+			// Benign interactive sessions occasionally touch "hot" paths
+			// or create files; this is the noise floor U2R must beat.
+			if p.service == "telnet" || p.service == "ssh" {
+				if g.chance(0.05 + 0.1*g.cfg.Noise) {
+					rc.hot = float64(g.intn(1, 2))
+				}
+				if g.chance(0.04 + 0.08*g.cfg.Noise) {
+					rc.numFileCreations = float64(g.intn(1, 2))
+				}
+				if g.chance(0.02) {
+					rc.numShells = 1
+				}
+			}
+			if g.chance(0.01 + 0.04*g.cfg.Noise) {
+				rc.numFailedLogins = 1 // a benign typo before success
+			}
+		}
+		g.emit(rc)
+		t += g.uniform(0.05, 1.5)
+	}
+}
+
+// srcPortFor returns a source port: ephemeral for tcp/udp, 0 for icmp
+// (which has no ports; the constant port is itself a weak icmp signature,
+// matching the original dataset).
+func (g *gen) srcPortFor(p *serviceProfile) int {
+	if p.protocol == "icmp" {
+		return 0
+	}
+	return g.ephemeralPort()
+}
+
+// normalFlag samples a connection status for legitimate traffic: almost
+// always SF, with a noise-scaled residue of resets and rejections (busy
+// servers, crashed peers).
+func (g *gen) normalFlag() string {
+	errP := 0.01 + 0.06*g.cfg.Noise
+	if !g.chance(errP) {
+		return "SF"
+	}
+	switch g.rng.Intn(4) {
+	case 0:
+		return "REJ"
+	case 1:
+		return "RSTO"
+	case 2:
+		return "RSTR"
+	default:
+		return "S1"
+	}
+}

@@ -1,0 +1,281 @@
+package trafficgen
+
+import "ghsom/internal/flowstats"
+
+// This file implements the attacks that appear only in the KDD-99
+// *corrected test set* — the novel attacks absent from all training data.
+// They exist to exercise the unseen-attack experiments (A1 and the
+// streaming drift demo): a detector trained on the 22 training-set
+// attacks meets these through its novelty path only.
+
+func init() {
+	for label, fn := range map[string]func(*gen){
+		"mailbomb":      (*gen).mailbombEpisode,
+		"apache2":       (*gen).apache2Episode,
+		"mscan":         (*gen).mscanEpisode,
+		"saint":         (*gen).saintEpisode,
+		"snmpguess":     (*gen).snmpguessEpisode,
+		"snmpgetattack": (*gen).snmpgetattackEpisode,
+		"httptunnel":    (*gen).httptunnelEpisode,
+		"xterm":         (*gen).xtermEpisode,
+		"ps":            (*gen).psEpisode,
+	} {
+		episodeGens[label] = fn
+	}
+}
+
+// mailbombEpisode floods an SMTP server with oversized messages from one
+// source. Signature: smtp with large src_bytes at high same-service rate
+// — unlike neptune (no payload) or back (http).
+func (g *gen) mailbombEpisode() {
+	victim := g.server()
+	src := g.client()
+	n := g.intn(100, 300)
+	start := g.when()
+	t := start
+	for i := 0; i < n; i++ {
+		g.emit(rawConn{
+			protocol: "tcp",
+			label:    "mailbomb",
+			duration: g.uniform(0.5, 4),
+			srcBytes: g.jitter(12000),
+			dstBytes: g.jitter(330),
+			fc: flowstats.Conn{
+				Time:    t,
+				SrcHost: src,
+				DstHost: victim,
+				SrcPort: g.ephemeralPort(),
+				Service: "smtp",
+				Flag:    "SF",
+			},
+		})
+		t += g.uniform(0.02, 0.3)
+	}
+}
+
+// apache2Episode sends HTTP requests with thousands of headers, tying up
+// Apache workers. Signature: http with moderate src_bytes but long
+// durations and many concurrent connections — distinct from back's huge
+// 54k URLs.
+func (g *gen) apache2Episode() {
+	victim := g.server()
+	src := g.client()
+	n := g.intn(60, 200)
+	start := g.when()
+	t := start
+	for i := 0; i < n; i++ {
+		flag := "SF"
+		if g.chance(0.2) {
+			flag = "RSTR" // server killing wedged workers
+		}
+		g.emit(rawConn{
+			protocol: "tcp",
+			label:    "apache2",
+			duration: g.uniform(5, 60),
+			srcBytes: g.jitter(2500),
+			dstBytes: g.jitter(450),
+			fc: flowstats.Conn{
+				Time:    t,
+				SrcHost: src,
+				DstHost: victim,
+				SrcPort: g.ephemeralPort(),
+				Service: "http",
+				Flag:    flag,
+			},
+		})
+		t += g.uniform(0.05, 0.4)
+	}
+}
+
+// mscanEpisode is a broad multi-host scan hitting well-known weak points
+// across every server. Signature: one source fanning over hosts and
+// services with REJ/S0, denser than satan.
+func (g *gen) mscanEpisode() {
+	src := g.client()
+	n := g.intn(80, 200)
+	start := g.when()
+	t := start
+	services := []string{"http", "ftp", "telnet", "domain_u", "imap4", "pop_3", "private", "ssh"}
+	for i := 0; i < n; i++ {
+		flag := "S0"
+		if g.chance(0.5) {
+			flag = "REJ"
+		}
+		proto := "tcp"
+		svc := services[g.rng.Intn(len(services))]
+		if svc == "domain_u" {
+			proto = "udp"
+		}
+		g.emit(rawConn{
+			protocol: proto,
+			label:    "mscan",
+			fc: flowstats.Conn{
+				Time:    t,
+				SrcHost: src,
+				DstHost: g.server(),
+				SrcPort: g.ephemeralPort(),
+				Service: svc,
+				Flag:    flag,
+			},
+		})
+		t += g.uniform(0.005, 0.1)
+	}
+}
+
+// saintEpisode is the SATAN successor: slower, politer vulnerability
+// sweep with more successful tiny probes.
+func (g *gen) saintEpisode() {
+	src := g.client()
+	n := g.intn(40, 120)
+	start := g.when()
+	t := start
+	services := []string{"http", "ftp", "telnet", "smtp", "finger", "private"}
+	for i := 0; i < n; i++ {
+		flag := "REJ"
+		var sb, db float64
+		if g.chance(0.4) {
+			flag = "SF"
+			sb, db = g.uniform(20, 120), g.uniform(40, 400)
+		}
+		g.emit(rawConn{
+			protocol: "tcp",
+			label:    "saint",
+			srcBytes: sb,
+			dstBytes: db,
+			fc: flowstats.Conn{
+				Time:    t,
+				SrcHost: src,
+				DstHost: g.server(),
+				SrcPort: g.ephemeralPort(),
+				Service: services[g.rng.Intn(len(services))],
+				Flag:    flag,
+			},
+		})
+		t += g.uniform(0.1, 1.0)
+	}
+}
+
+// snmpguessEpisode brute-forces SNMP community strings: a stream of
+// small, identical UDP datagrams at the management port.
+func (g *gen) snmpguessEpisode() {
+	victim := g.server()
+	src := g.client()
+	n := g.intn(30, 100)
+	start := g.when()
+	t := start
+	for i := 0; i < n; i++ {
+		g.emit(rawConn{
+			protocol: "udp",
+			label:    "snmpguess",
+			srcBytes: g.jitter(45),
+			dstBytes: 0, // wrong community: no reply
+			fc: flowstats.Conn{
+				Time:    t,
+				SrcHost: src,
+				DstHost: victim,
+				SrcPort: g.ephemeralPort(),
+				Service: "private",
+				Flag:    "SF",
+			},
+		})
+		t += g.uniform(0.05, 0.5)
+	}
+}
+
+// snmpgetattackEpisode reads MIBs with a guessed community string: like
+// snmpguess but the replies come back.
+func (g *gen) snmpgetattackEpisode() {
+	victim := g.server()
+	src := g.client()
+	n := g.intn(20, 80)
+	start := g.when()
+	t := start
+	for i := 0; i < n; i++ {
+		g.emit(rawConn{
+			protocol: "udp",
+			label:    "snmpgetattack",
+			srcBytes: g.jitter(45),
+			dstBytes: g.jitter(130),
+			fc: flowstats.Conn{
+				Time:    t,
+				SrcHost: src,
+				DstHost: victim,
+				SrcPort: g.ephemeralPort(),
+				Service: "private",
+				Flag:    "SF",
+			},
+		})
+		t += g.uniform(0.1, 1.0)
+	}
+}
+
+// httptunnelEpisode smuggles an interactive channel over HTTP: long-lived
+// http connections with balanced byte flow, nothing like a page fetch.
+func (g *gen) httptunnelEpisode() {
+	victim := g.server()
+	src := g.client()
+	n := g.intn(2, 6)
+	start := g.when()
+	t := start
+	for i := 0; i < n; i++ {
+		bytes := g.uniform(5000, 80000)
+		g.emit(rawConn{
+			protocol: "tcp",
+			label:    "httptunnel",
+			duration: g.uniform(120, 1200),
+			srcBytes: g.jitter(bytes),
+			dstBytes: g.jitter(bytes * g.uniform(0.7, 1.3)),
+			fc: flowstats.Conn{
+				Time:    t,
+				SrcHost: src,
+				DstHost: victim,
+				SrcPort: g.ephemeralPort(),
+				Service: "http",
+				Flag:    "SF",
+			},
+		})
+		t += g.uniform(60, 600)
+	}
+}
+
+// xtermEpisode exploits an xterm buffer overflow for a root shell.
+func (g *gen) xtermEpisode() {
+	g.u2rSession("xterm", 1, 4, 1, 0, 1, 3, 1, 2)
+}
+
+// psEpisode escalates through the Solaris ps race condition.
+func (g *gen) psEpisode() {
+	n := g.intn(1, 2)
+	for i := 0; i < n; i++ {
+		g.u2rSession("ps", 1, 3, 1, 1, 1, 2, 0, 2)
+	}
+}
+
+// NovelAttackEpisodes returns an episode mix containing only the
+// test-set-only attacks, scaled by factor (1 = a light mix suitable for
+// appending to Small).
+func NovelAttackEpisodes(factor int) map[string]int {
+	if factor < 1 {
+		factor = 1
+	}
+	return map[string]int{
+		"mailbomb": 2 * factor, "apache2": 2 * factor,
+		"mscan": 3 * factor, "saint": 3 * factor,
+		"snmpguess": 4 * factor, "snmpgetattack": 3 * factor,
+		"httptunnel": 2 * factor, "xterm": 2 * factor, "ps": 2 * factor,
+	}
+}
+
+// WithNovelAttacks returns a copy of cfg with the novel-attack mix added
+// on top of its existing episodes — the "corrected test set" analogue.
+func WithNovelAttacks(cfg Config, factor int) Config {
+	out := cfg
+	out.AttackEpisodes = make(map[string]int, len(cfg.AttackEpisodes)+9)
+	for l, n := range cfg.AttackEpisodes {
+		out.AttackEpisodes[l] = n
+	}
+	for l, n := range NovelAttackEpisodes(factor) {
+		out.AttackEpisodes[l] += n
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package vecmath
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// ErrNoConverge is returned when power iteration fails to converge.
+var ErrNoConverge = errors.New("vecmath: power iteration did not converge")
+
+// PrincipalComponents returns the top-k principal axes of the rows (unit
+// vectors, ordered by decreasing variance) and the standard deviation of
+// the data along each axis. It centers the data, then applies power
+// iteration with deflation on the covariance operator — O(k·iters·n·d)
+// time and O(d) extra space, which is all the SOM linear initializer
+// needs (k=2).
+//
+// Degenerate directions (zero variance) yield arbitrary orthonormal axes
+// with zero scale. rng seeds the iteration start vectors.
+func PrincipalComponents(rows [][]float64, k int, rng *rand.Rand) (axes [][]float64, scales []float64, err error) {
+	if len(rows) == 0 {
+		return nil, nil, ErrEmpty
+	}
+	dim := len(rows[0])
+	if k < 1 || k > dim {
+		return nil, nil, errors.New("vecmath: component count out of range")
+	}
+	mean, err := Mean(rows)
+	if err != nil {
+		return nil, nil, err
+	}
+	centered := make([][]float64, len(rows))
+	for i, r := range rows {
+		c := make([]float64, dim)
+		for d := range c {
+			c[d] = r[d] - mean[d]
+		}
+		centered[i] = c
+	}
+
+	axes = make([][]float64, 0, k)
+	scales = make([]float64, 0, k)
+	const (
+		maxIters = 200
+		tol      = 1e-9
+	)
+	for comp := 0; comp < k; comp++ {
+		v := make([]float64, dim)
+		for d := range v {
+			v[d] = rng.NormFloat64()
+		}
+		orthonormalize(v, axes)
+		if normalizeInPlace(v) == 0 {
+			// Fully degenerate residual space: emit an arbitrary basis
+			// vector orthogonal to previous axes.
+			v = basisOrthogonal(dim, axes)
+		}
+		var lambda float64
+		for iter := 0; iter < maxIters; iter++ {
+			next := applyCovariance(centered, v)
+			orthonormalize(next, axes)
+			norm := normalizeInPlace(next)
+			if norm == 0 {
+				lambda = 0
+				break
+			}
+			delta := 1 - math.Abs(Dot(next, v))
+			copy(v, next)
+			lambda = norm
+			if delta < tol {
+				break
+			}
+		}
+		axes = append(axes, Clone(v))
+		if lambda < 0 {
+			lambda = 0
+		}
+		scales = append(scales, math.Sqrt(lambda))
+	}
+	return axes, scales, nil
+}
+
+// applyCovariance returns C·v for the empirical covariance C of the
+// centered rows, without materializing C: C·v = (1/n) Σ x (xᵀ v).
+func applyCovariance(centered [][]float64, v []float64) []float64 {
+	out := make([]float64, len(v))
+	for _, x := range centered {
+		coef := Dot(x, v)
+		AXPYInPlace(out, coef, x)
+	}
+	inv := 1 / float64(len(centered))
+	for d := range out {
+		out[d] *= inv
+	}
+	return out
+}
+
+// orthonormalize removes the projections of v onto each axis, in place.
+func orthonormalize(v []float64, axes [][]float64) {
+	for _, a := range axes {
+		coef := Dot(v, a)
+		AXPYInPlace(v, -coef, a)
+	}
+}
+
+// normalizeInPlace scales v to unit norm and returns the original norm.
+func normalizeInPlace(v []float64) float64 {
+	n := Norm(v)
+	if n == 0 {
+		return 0
+	}
+	inv := 1 / n
+	for d := range v {
+		v[d] *= inv
+	}
+	return n
+}
+
+// basisOrthogonal returns the first standard basis vector orthogonal to
+// all axes (falling back to e0 in pathological cases).
+func basisOrthogonal(dim int, axes [][]float64) []float64 {
+	for d := 0; d < dim; d++ {
+		v := make([]float64, dim)
+		v[d] = 1
+		orthonormalize(v, axes)
+		if normalizeInPlace(v) > 1e-9 {
+			return v
+		}
+	}
+	v := make([]float64, dim)
+	v[0] = 1
+	return v
+}

@@ -1,0 +1,146 @@
+package vecmath
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// anisotropicCloud samples points stretched along a known direction.
+func anisotropicCloud(rng *rand.Rand, n int, dir []float64, major, minor float64) [][]float64 {
+	dim := len(dir)
+	// Build an arbitrary orthogonal direction for the minor axis.
+	perp := make([]float64, dim)
+	perp[(argMaxAbs(dir)+1)%dim] = 1
+	coef := Dot(perp, dir)
+	AXPYInPlace(perp, -coef, dir)
+	normalizeInPlace(perp)
+
+	rows := make([][]float64, n)
+	for i := range rows {
+		a := rng.NormFloat64() * major
+		b := rng.NormFloat64() * minor
+		x := make([]float64, dim)
+		for d := range x {
+			x[d] = 5 + a*dir[d] + b*perp[d] // offset mean to test centering
+		}
+		rows[i] = x
+	}
+	return rows
+}
+
+func argMaxAbs(v []float64) int {
+	best, bestV := 0, 0.0
+	for i, x := range v {
+		if math.Abs(x) > bestV {
+			best, bestV = i, math.Abs(x)
+		}
+	}
+	return best
+}
+
+func TestPrincipalComponentsRecoversAxis(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	dir := []float64{1 / math.Sqrt2, 1 / math.Sqrt2, 0}
+	rows := anisotropicCloud(rng, 2000, dir, 5, 0.5)
+	axes, scales, err := PrincipalComponents(rows, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(axes) != 2 || len(scales) != 2 {
+		t.Fatalf("got %d axes, %d scales", len(axes), len(scales))
+	}
+	// First axis aligns with dir up to sign.
+	align := math.Abs(Dot(axes[0], dir))
+	if align < 0.99 {
+		t.Errorf("first axis alignment = %v, want ~1 (axis %v)", align, axes[0])
+	}
+	// Scales approximate the generating standard deviations.
+	if math.Abs(scales[0]-5) > 0.5 {
+		t.Errorf("first scale = %v, want ~5", scales[0])
+	}
+	if math.Abs(scales[1]-0.5) > 0.2 {
+		t.Errorf("second scale = %v, want ~0.5", scales[1])
+	}
+	// Axes are orthonormal.
+	if math.Abs(Norm(axes[0])-1) > 1e-9 || math.Abs(Norm(axes[1])-1) > 1e-9 {
+		t.Error("axes not unit length")
+	}
+	if math.Abs(Dot(axes[0], axes[1])) > 1e-6 {
+		t.Errorf("axes not orthogonal: dot = %v", Dot(axes[0], axes[1]))
+	}
+}
+
+func TestPrincipalComponentsErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if _, _, err := PrincipalComponents(nil, 1, rng); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty err = %v", err)
+	}
+	rows := [][]float64{{1, 2}, {3, 4}}
+	if _, _, err := PrincipalComponents(rows, 0, rng); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, _, err := PrincipalComponents(rows, 3, rng); err == nil {
+		t.Error("k>dim accepted")
+	}
+}
+
+func TestPrincipalComponentsConstantData(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rows := [][]float64{{7, 7}, {7, 7}, {7, 7}}
+	axes, scales, err := PrincipalComponents(rows, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scales[0] != 0 || scales[1] != 0 {
+		t.Errorf("constant data scales = %v, want zeros", scales)
+	}
+	// Axes still orthonormal even if arbitrary.
+	if math.Abs(Dot(axes[0], axes[1])) > 1e-6 {
+		t.Error("degenerate axes not orthogonal")
+	}
+}
+
+func TestPrincipalComponentsRankOne(t *testing.T) {
+	// All points on a single line: second component has ~zero scale.
+	rng := rand.New(rand.NewSource(4))
+	rows := make([][]float64, 100)
+	for i := range rows {
+		a := rng.NormFloat64()
+		rows[i] = []float64{a, 2 * a}
+	}
+	axes, scales, err := PrincipalComponents(rows, 2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1 / math.Sqrt(5), 2 / math.Sqrt(5)}
+	if math.Abs(math.Abs(Dot(axes[0], want))-1) > 1e-3 {
+		t.Errorf("rank-one axis = %v", axes[0])
+	}
+	if scales[1] > 1e-6 {
+		t.Errorf("rank-one second scale = %v, want ~0", scales[1])
+	}
+}
+
+func TestPropPCAFirstScaleDominates(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		dim := 2 + rng.Intn(6)
+		n := 50 + rng.Intn(200)
+		rows := make([][]float64, n)
+		for i := range rows {
+			rows[i] = make([]float64, dim)
+			for d := range rows[i] {
+				rows[i][d] = rng.NormFloat64() * float64(d+1)
+			}
+		}
+		_, scales, err := PrincipalComponents(rows, 2, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if scales[1] > scales[0]+1e-9 {
+			t.Fatalf("trial %d: scales not ordered: %v", trial, scales)
+		}
+	}
+}

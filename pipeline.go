@@ -1,0 +1,197 @@
+package ghsom
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"ghsom/internal/anomaly"
+	"ghsom/internal/core"
+	"ghsom/internal/kdd"
+	"ghsom/internal/preprocess"
+)
+
+// ErrEmptyTrainingSet is returned when TrainPipeline receives no records.
+var ErrEmptyTrainingSet = errors.New("ghsom: empty training set")
+
+// PipelineConfig bundles the configuration of the full detection chain.
+type PipelineConfig struct {
+	// Model configures the GHSOM.
+	Model ModelConfig
+	// Detector configures unit labeling and novelty thresholds.
+	Detector DetectorConfig
+	// LogTransform applies log1p to heavy-tailed volume features before
+	// scaling (recommended; on in DefaultPipelineConfig).
+	LogTransform bool
+	// TrainCapPerLabel caps the records per label used for GHSOM weight
+	// training, preventing the dominant DoS classes from starving
+	// low-volume classes of map area. Zero disables capping. Detector
+	// fitting always uses the full training set.
+	TrainCapPerLabel int
+	// Seed drives the label-capping subsample (the model has its own seed
+	// in Model.Seed).
+	Seed int64
+}
+
+// DefaultPipelineConfig returns the configuration used by the
+// reproduction experiments.
+func DefaultPipelineConfig() PipelineConfig {
+	return PipelineConfig{
+		Model:            DefaultModelConfig(),
+		Detector:         DetectorConfig{},
+		LogTransform:     true,
+		TrainCapPerLabel: 3000,
+		Seed:             1,
+	}
+}
+
+// Pipeline is a trained end-to-end detector: encoder, scaler, GHSOM, and
+// labeled-unit detector.
+type Pipeline struct {
+	encoder  *kdd.Encoder
+	scaler   *preprocess.MinMaxScaler
+	model    *core.GHSOM
+	detector *anomaly.Detector
+	cfg      PipelineConfig
+}
+
+// TrainPipeline builds the full detection chain from labeled records.
+func TrainPipeline(records []Record, cfg PipelineConfig) (*Pipeline, error) {
+	if len(records) == 0 {
+		return nil, ErrEmptyTrainingSet
+	}
+	encoder := kdd.NewEncoder(records, kdd.EncoderConfig{LogTransform: cfg.LogTransform})
+	raw, err := encoder.EncodeAll(records)
+	if err != nil {
+		return nil, fmt.Errorf("ghsom: encode training set: %w", err)
+	}
+	scaler := &preprocess.MinMaxScaler{}
+	scaled, err := preprocess.FitTransform(scaler, raw)
+	if err != nil {
+		return nil, fmt.Errorf("ghsom: scale training set: %w", err)
+	}
+	labels := kdd.Labels(records)
+
+	modelData := scaled
+	if cfg.TrainCapPerLabel > 0 {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		idx := preprocess.CapPerKey(labels, cfg.TrainCapPerLabel, rng)
+		modelData = preprocess.Gather(scaled, idx)
+	}
+	model, err := core.Train(modelData, cfg.Model)
+	if err != nil {
+		return nil, fmt.Errorf("ghsom: train model: %w", err)
+	}
+	det, err := anomaly.Fit(anomaly.GHSOMQuantizer{Model: model}, scaled, labels, cfg.Detector)
+	if err != nil {
+		return nil, fmt.Errorf("ghsom: fit detector: %w", err)
+	}
+	return &Pipeline{
+		encoder:  encoder,
+		scaler:   scaler,
+		model:    model,
+		detector: det,
+		cfg:      cfg,
+	}, nil
+}
+
+// Encode converts a record into the scaled feature vector the model sees.
+func (p *Pipeline) Encode(rec *Record) ([]float64, error) {
+	raw, err := p.encoder.Encode(rec)
+	if err != nil {
+		return nil, fmt.Errorf("ghsom: encode: %w", err)
+	}
+	scaled, err := p.scaler.Transform(raw)
+	if err != nil {
+		return nil, fmt.Errorf("ghsom: scale: %w", err)
+	}
+	return scaled, nil
+}
+
+// Detect classifies one record.
+func (p *Pipeline) Detect(rec *Record) (Prediction, error) {
+	x, err := p.Encode(rec)
+	if err != nil {
+		return Prediction{}, err
+	}
+	return p.detector.Classify(x), nil
+}
+
+// DetectAll classifies a batch of records.
+func (p *Pipeline) DetectAll(records []Record) ([]Prediction, error) {
+	out := make([]Prediction, len(records))
+	for i := range records {
+		pr, err := p.Detect(&records[i])
+		if err != nil {
+			return nil, fmt.Errorf("record %d: %w", i, err)
+		}
+		out[i] = pr
+	}
+	return out, nil
+}
+
+// Score returns the anomaly score of a record (higher = more anomalous).
+func (p *Pipeline) Score(rec *Record) (float64, error) {
+	x, err := p.Encode(rec)
+	if err != nil {
+		return 0, err
+	}
+	return p.detector.Score(x), nil
+}
+
+// FeatureContribution explains one feature's share of a verdict: how far
+// the record sits from its matched prototype along that feature.
+type FeatureContribution struct {
+	// Feature is the encoded dimension name (e.g. "serror_rate",
+	// "flag=S0").
+	Feature string
+	// Value is the record's scaled feature value.
+	Value float64
+	// Prototype is the matched unit's value for the feature.
+	Prototype float64
+	// Delta is Value - Prototype.
+	Delta float64
+}
+
+// Explain returns the top-k features separating the record from its
+// matched prototype, most influential first — the "why was this flagged"
+// view. Returns nil if the record cannot be encoded.
+func (p *Pipeline) Explain(rec *Record, k int) ([]FeatureContribution, error) {
+	x, err := p.Encode(rec)
+	if err != nil {
+		return nil, err
+	}
+	contribs := p.detector.Explain(x, k)
+	if contribs == nil {
+		return nil, nil
+	}
+	names := p.encoder.FeatureNames()
+	out := make([]FeatureContribution, 0, len(contribs))
+	for _, c := range contribs {
+		if c.Dim < 0 || c.Dim >= len(names) {
+			continue
+		}
+		out = append(out, FeatureContribution{
+			Feature:   names[c.Dim],
+			Value:     x[c.Dim],
+			Prototype: x[c.Dim] - c.Delta,
+			Delta:     c.Delta,
+		})
+	}
+	return out, nil
+}
+
+// Model returns the trained GHSOM for structural inspection.
+func (p *Pipeline) Model() *Model { return p.model }
+
+// Detector returns the fitted anomaly detector.
+func (p *Pipeline) Detector() *anomaly.Detector { return p.detector }
+
+// Config returns the pipeline's training configuration.
+func (p *Pipeline) Config() PipelineConfig { return p.cfg }
+
+// Stream wraps the pipeline's detector for online use with the given
+// rolling-window alarm configuration.
+func (p *Pipeline) Stream(cfg anomaly.StreamConfig) (*anomaly.Stream, error) {
+	return anomaly.NewStream(p.detector, cfg)
+}

@@ -1,0 +1,85 @@
+package ghsom
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ghsom/internal/anomaly"
+	"ghsom/internal/core"
+	"ghsom/internal/kdd"
+	"ghsom/internal/preprocess"
+)
+
+// pipelineJSON is the on-disk envelope for a trained pipeline.
+type pipelineJSON struct {
+	Version      int             `json:"version"`
+	LogTransform bool            `json:"logTransform"`
+	Services     []string        `json:"services"`
+	ScalerMin    []float64       `json:"scalerMin"`
+	ScalerSpan   []float64       `json:"scalerSpan"`
+	Model        json.RawMessage `json:"model"`
+	Detector     anomaly.State   `json:"detector"`
+}
+
+const pipelineVersion = 1
+
+// Save writes the trained pipeline — encoder vocabulary, scaler state,
+// GHSOM model, and detector cell table — as a single JSON document.
+func (p *Pipeline) Save(w io.Writer) error {
+	var modelBuf bytes.Buffer
+	if err := p.model.Save(&modelBuf); err != nil {
+		return fmt.Errorf("ghsom: save model: %w", err)
+	}
+	min, span := p.scaler.State()
+	env := pipelineJSON{
+		Version:      pipelineVersion,
+		LogTransform: p.encoder.Config().LogTransform,
+		Services:     p.encoder.Services(),
+		ScalerMin:    min,
+		ScalerSpan:   span,
+		Model:        bytes.TrimSpace(modelBuf.Bytes()),
+		Detector:     p.detector.State(),
+	}
+	if err := json.NewEncoder(w).Encode(env); err != nil {
+		return fmt.Errorf("ghsom: encode pipeline: %w", err)
+	}
+	return nil
+}
+
+// LoadPipeline reads a pipeline previously written by Save.
+func LoadPipeline(r io.Reader) (*Pipeline, error) {
+	var env pipelineJSON
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return nil, fmt.Errorf("ghsom: decode pipeline: %w", err)
+	}
+	if env.Version != pipelineVersion {
+		return nil, fmt.Errorf("ghsom: unsupported pipeline version %d, want %d", env.Version, pipelineVersion)
+	}
+	model, err := core.Load(bytes.NewReader(env.Model))
+	if err != nil {
+		return nil, fmt.Errorf("ghsom: load model: %w", err)
+	}
+	scaler, err := preprocess.NewMinMaxScalerFromState(env.ScalerMin, env.ScalerSpan)
+	if err != nil {
+		return nil, fmt.Errorf("ghsom: load scaler: %w", err)
+	}
+	encoder := kdd.NewEncoderFromServices(env.Services, kdd.EncoderConfig{LogTransform: env.LogTransform})
+	if encoder.Dim() != scaler.Dim() {
+		return nil, fmt.Errorf("ghsom: encoder dim %d does not match scaler dim %d", encoder.Dim(), scaler.Dim())
+	}
+	if scaler.Dim() != model.Dim() {
+		return nil, fmt.Errorf("ghsom: scaler dim %d does not match model dim %d", scaler.Dim(), model.Dim())
+	}
+	det, err := anomaly.FromState(anomaly.GHSOMQuantizer{Model: model}, env.Detector)
+	if err != nil {
+		return nil, fmt.Errorf("ghsom: load detector: %w", err)
+	}
+	return &Pipeline{
+		encoder:  encoder,
+		scaler:   scaler,
+		model:    model,
+		detector: det,
+	}, nil
+}
