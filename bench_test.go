@@ -275,3 +275,74 @@ func BenchmarkPipelineDetect(b *testing.B) {
 		}
 	}
 }
+
+// --- parallel-scaling benchmarks ---
+
+// benchParallelConfig returns the small-scenario pipeline config with
+// every layer's Parallelism knob at p.
+func benchParallelConfig(p int) PipelineConfig {
+	cfg := DefaultPipelineConfig()
+	cfg.Parallelism = p
+	cfg.Model.Parallelism = p
+	cfg.Detector.Parallelism = p
+	return cfg
+}
+
+// benchParallelism is the worker sweep: 1 (serial baseline), 4 (the
+// speedup target), and 0 (GOMAXPROCS). On multi-core hardware DetectAll
+// at P=4 should run >= 2x the records/sec of P=1; on a single-core
+// runner the three points collapse to the same throughput.
+var benchParallelism = []struct {
+	name string
+	p    int
+}{
+	{"P1", 1},
+	{"P4", 4},
+	{"Pmax", 0},
+}
+
+// BenchmarkDetectAll measures batch classification throughput — the
+// inference hot path — at each Parallelism setting, reporting records/sec.
+func BenchmarkDetectAll(b *testing.B) {
+	benchEncoded(b)
+	records := benchState.ds.Test
+	for _, pc := range benchParallelism {
+		b.Run(pc.name, func(b *testing.B) {
+			pipe, err := TrainPipeline(benchState.ds.Train, benchParallelConfig(pc.p))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pipe.DetectAll(records); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			recPerSec := float64(len(records)) * float64(b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(recPerSec, "records/sec")
+		})
+	}
+}
+
+// BenchmarkTrainPipeline measures end-to-end pipeline training (encoding,
+// scaling, GHSOM growth with parallel sibling subtrees, detector fitting)
+// at each Parallelism setting, reporting training records/sec.
+func BenchmarkTrainPipeline(b *testing.B) {
+	benchEncoded(b)
+	records := benchState.ds.Train
+	for _, pc := range benchParallelism {
+		b.Run(pc.name, func(b *testing.B) {
+			cfg := benchParallelConfig(pc.p)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := TrainPipeline(records, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			recPerSec := float64(len(records)) * float64(b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(recPerSec, "records/sec")
+		})
+	}
+}

@@ -33,6 +33,7 @@ func run(args []string) error {
 	modelPath := fs.String("model", "model.json", "trained pipeline file")
 	in := fs.String("in", "", "input CSV in kddcup.data format (required)")
 	verdicts := fs.String("verdicts", "", "optional per-record verdict CSV output")
+	par := fs.Int("parallelism", 0, "classification worker bound (0 = GOMAXPROCS, 1 = serial; results identical)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,6 +61,7 @@ func run(args []string) error {
 		return err
 	}
 
+	pipe.SetParallelism(*par)
 	preds, err := pipe.DetectAll(records)
 	if err != nil {
 		return err

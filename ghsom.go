@@ -18,6 +18,13 @@
 // SOM substrate, the baselines) are exposed through type aliases so
 // downstream code can compose its own pipelines without importing
 // internal packages.
+//
+// Training and batch inference are parallel by default: every layer
+// exposes a Parallelism knob (0 = GOMAXPROCS, 1 = serial) — see
+// PipelineConfig.Parallelism, ModelConfig.Parallelism, and
+// DetectorConfig.Parallelism — and results are bit-for-bit identical at
+// every setting (see the "Performance & parallelism" section of the
+// README).
 package ghsom
 
 import (

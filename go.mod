@@ -1,0 +1,3 @@
+module ghsom
+
+go 1.24

@@ -20,6 +20,7 @@ import (
 	"math"
 	"sort"
 
+	"ghsom/internal/parallel"
 	"ghsom/internal/vecmath"
 )
 
@@ -54,6 +55,15 @@ type Config struct {
 	// above 1 absorb distribution shift between training and deployment
 	// traffic, trading novelty sensitivity for false-positive rate.
 	NoveltyMargin float64
+	// Parallelism bounds the workers used by Fit's quantization pass and
+	// by ClassifyAll: 0 means GOMAXPROCS, 1 forces serial execution.
+	// Fitted thresholds and predictions are bit-for-bit identical for
+	// every setting (per-record quantization is embarrassingly parallel;
+	// threshold accumulation stays in data order). Requires the quantizer
+	// to be safe for concurrent Quantize calls, which all adapters over
+	// trained models in this repository are. The knob is an execution
+	// detail, not fitted state, and is excluded from serialized detectors.
+	Parallelism int `json:"-"`
 }
 
 func (c *Config) fillDefaults() {
@@ -140,6 +150,15 @@ func Fit(q Quantizer, data [][]float64, labels []string, cfg Config) (*Detector,
 		return nil, fmt.Errorf("anomaly: %d rows vs %d labels", len(data), len(labels))
 	}
 
+	// Quantize every record in parallel (the dominant cost: one hierarchy
+	// descent per record), then accumulate serially in data order so the
+	// fitted thresholds are identical at every Parallelism setting.
+	cellOf := make([]string, len(data))
+	qeOf := make([]float64, len(data))
+	parallel.ForEach(cfg.Parallelism, len(data), func(i int) {
+		cellOf[i], qeOf[i] = q.Quantize(data[i])
+	})
+
 	type cellAccum struct {
 		labelCounts map[string]int
 		qes         []float64
@@ -148,8 +167,8 @@ func Fit(q Quantizer, data [][]float64, labels []string, cfg Config) (*Detector,
 	accum := make(map[string]*cellAccum)
 	var allQEs []float64
 	labelTotals := make(map[string]int)
-	for i, x := range data {
-		cell, qe := q.Quantize(x)
+	for i := range data {
+		cell, qe := cellOf[i], qeOf[i]
 		a, ok := accum[cell]
 		if !ok {
 			a = &cellAccum{labelCounts: make(map[string]int)}
@@ -253,14 +272,21 @@ func noveltyRatio(qe, threshold float64) float64 {
 	return r / (1 + r)
 }
 
-// ClassifyAll classifies every row.
+// ClassifyAll classifies every row. Records are classified concurrently on
+// the detector's configured Parallelism; predictions are positionally
+// stable and identical to serial classification.
 func (d *Detector) ClassifyAll(data [][]float64) []Prediction {
 	out := make([]Prediction, len(data))
-	for i, x := range data {
-		out[i] = d.Classify(x)
-	}
+	parallel.ForEach(d.cfg.Parallelism, len(data), func(i int) {
+		out[i] = d.Classify(data[i])
+	})
 	return out
 }
+
+// SetParallelism adjusts the worker bound used by ClassifyAll after
+// fitting (or loading from state): 0 means GOMAXPROCS, 1 forces serial
+// execution. Predictions are identical at every setting.
+func (d *Detector) SetParallelism(p int) { d.cfg.Parallelism = p }
 
 // Score returns the anomaly score of x (higher = more anomalous).
 func (d *Detector) Score(x []float64) float64 { return d.Classify(x).Score }

@@ -1,6 +1,9 @@
 package anomaly
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // CellState is the serializable form of one fitted cell.
 type CellState struct {
@@ -46,6 +49,9 @@ func (d *Detector) State() State {
 			QEThreshold: info.qeThreshold,
 		})
 	}
+	// Map iteration order is random; sort so serialized detectors are
+	// byte-for-byte reproducible for identical fits.
+	sort.Slice(st.Cells, func(i, j int) bool { return st.Cells[i].Cell < st.Cells[j].Cell })
 	return st
 }
 

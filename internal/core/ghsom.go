@@ -86,11 +86,19 @@ type Config struct {
 	// their data mean.
 	OrientChildren bool
 	// Seed drives all stochastic choices; identical seeds and data yield
-	// identical models.
+	// identical models. Each node of the hierarchy trains on its own RNG
+	// stream derived deterministically from Seed and the node's position in
+	// the tree, so the model is reproducible at every Parallelism setting.
 	Seed int64
 	// CollectTrace enables recording of the per-map growth trace used by
 	// the convergence and growth figures. Off by default to save memory.
 	CollectTrace bool
+	// Parallelism bounds the worker goroutines used to train independent
+	// sibling subtrees concurrently and to run batch BMU passes: 0 means
+	// GOMAXPROCS, 1 forces serial execution. Models are bit-for-bit
+	// identical for every setting. The knob is an execution detail, not
+	// model state, and is excluded from serialized models.
+	Parallelism int `json:"-"`
 }
 
 // DefaultConfig returns the configuration used by the reproduction

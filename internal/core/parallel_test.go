@@ -1,0 +1,158 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func clusteredData(n int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	centers := [][]float64{
+		{0, 0, 0}, {5, 5, 0}, {0, 5, 5}, {5, 0, 5},
+	}
+	data := make([][]float64, n)
+	for i := range data {
+		c := centers[rng.Intn(len(centers))]
+		data[i] = []float64{
+			c[0] + rng.NormFloat64()*0.3,
+			c[1] + rng.NormFloat64()*0.3,
+			c[2] + rng.NormFloat64()*0.3,
+		}
+	}
+	return data
+}
+
+// trainCfgForParallelTest builds a config that reliably produces a
+// multi-level hierarchy on the clustered data, so the parallel expansion
+// path actually runs with more than one job per level.
+func trainCfgForParallelTest(parallelism int) Config {
+	cfg := DefaultConfig()
+	cfg.Tau1 = 0.5
+	cfg.Tau2 = 0.05
+	cfg.MinMapData = 20
+	cfg.MaxDepth = 3
+	cfg.Parallelism = parallelism
+	return cfg
+}
+
+// TestTrainByteIdenticalAcrossParallelism is the headline determinism
+// guarantee: for a fixed seed and data, serial and parallel training must
+// produce byte-identical serialized models.
+func TestTrainByteIdenticalAcrossParallelism(t *testing.T) {
+	data := clusteredData(1200, 4)
+	serialize := func(p int) []byte {
+		g, err := Train(data, trainCfgForParallelTest(p))
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", p, err)
+		}
+		var buf bytes.Buffer
+		if err := g.Save(&buf); err != nil {
+			t.Fatalf("parallelism %d: save: %v", p, err)
+		}
+		return buf.Bytes()
+	}
+	ref := serialize(1)
+	for _, p := range []int{2, 8, 0} {
+		if got := serialize(p); !bytes.Equal(got, ref) {
+			t.Errorf("Parallelism=%d model differs from Parallelism=1 (lens %d vs %d)",
+				p, len(got), len(ref))
+		}
+	}
+
+	// Batch training must hold the same guarantee (it adds the parallel
+	// per-epoch BMU pass inside TrainBatch).
+	batch := func(p int) []byte {
+		cfg := trainCfgForParallelTest(p)
+		cfg.Batch = true
+		g, err := Train(data, cfg)
+		if err != nil {
+			t.Fatalf("batch parallelism %d: %v", p, err)
+		}
+		var buf bytes.Buffer
+		if err := g.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	refBatch := batch(1)
+	if got := batch(8); !bytes.Equal(got, refBatch) {
+		t.Error("batch training differs between Parallelism=1 and Parallelism=8")
+	}
+}
+
+// TestTrainParallelStructure sanity-checks that the parallel path produces
+// a real hierarchy (the guarantee above would hold trivially for a single
+// root map).
+func TestTrainParallelStructure(t *testing.T) {
+	data := clusteredData(1200, 4)
+	g, err := Train(data, trainCfgForParallelTest(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := g.Stats()
+	if st.Maps < 3 {
+		t.Fatalf("expected a multi-map hierarchy, got %d maps", st.Maps)
+	}
+	// Node IDs must be the stable BFS order: the slice index, with depths
+	// non-decreasing.
+	prevDepth := 0
+	for i, n := range g.Nodes() {
+		if n.ID != i {
+			t.Errorf("node %d has ID %d", i, n.ID)
+		}
+		if n.Depth < prevDepth {
+			t.Errorf("node %d depth %d after depth %d: not BFS order", i, n.Depth, prevDepth)
+		}
+		prevDepth = n.Depth
+	}
+}
+
+// TestTrainTraceIdenticalAcrossParallelism pins the growth-trace ordering:
+// events are grouped per node in ID order regardless of worker count.
+func TestTrainTraceIdenticalAcrossParallelism(t *testing.T) {
+	data := clusteredData(900, 11)
+	trace := func(p int) []GrowthEvent {
+		cfg := trainCfgForParallelTest(p)
+		cfg.CollectTrace = true
+		g, err := Train(data, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g.Trace().Events
+	}
+	ref := trace(1)
+	got := trace(8)
+	if len(ref) != len(got) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(ref), len(got))
+	}
+	for i := range ref {
+		if ref[i] != got[i] {
+			t.Fatalf("trace event %d differs: %+v vs %+v", i, ref[i], got[i])
+		}
+	}
+}
+
+func TestDeriveSeedStable(t *testing.T) {
+	// Distinct paths must get distinct streams; same path the same stream.
+	seen := map[int64]string{}
+	root := deriveSeed(1, -1)
+	seen[root] = "root"
+	for u := 0; u < 32; u++ {
+		s := deriveSeed(root, u)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("seed collision between %s and root/%d", prev, u)
+		}
+		seen[s] = "root/" + string(rune('0'+u))
+		for v := 0; v < 8; v++ {
+			s2 := deriveSeed(s, v)
+			if prev, dup := seen[s2]; dup {
+				t.Fatalf("seed collision at depth 2 (%s)", prev)
+			}
+			seen[s2] = "deep"
+		}
+	}
+	if deriveSeed(1, -1) != root {
+		t.Error("deriveSeed not stable across calls")
+	}
+}

@@ -3,8 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
-	"math/rand"
 
+	"ghsom/internal/parallel"
 	"ghsom/internal/som"
 	"ghsom/internal/vecmath"
 )
@@ -45,8 +45,28 @@ func (t *GrowthTrace) ForNode(id int) []GrowthEvent {
 	return out
 }
 
+// nodeJob describes one map to train: the root, or the expansion of one
+// parent unit. Jobs within a breadth-first level are independent (sibling
+// subtrees see disjoint data), which is what makes them safe to train
+// concurrently.
+type nodeJob struct {
+	parent     *Node // nil for the root
+	parentUnit int   // -1 for the root
+	data       [][]float64
+	mean       []float64
+	parentQE   float64
+	depth      int
+	corners    [][]float64
+	seed       int64 // RNG seed for this node's private stream
+}
+
 // Train builds a GHSOM from data. Every row must have the same dimension.
-// Training is deterministic for a fixed Config (including Seed) and data.
+// Training is deterministic for a fixed Config (including Seed) and data:
+// every node trains on a private RNG stream derived from Seed and the
+// node's position in the tree, node IDs are assigned in breadth-first
+// order after each level completes, and all floating-point reductions run
+// in data order — so the model is bit-for-bit identical at every
+// Parallelism setting.
 func Train(data [][]float64, cfg Config) (*GHSOM, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -78,84 +98,156 @@ func Train(data [][]float64, cfg Config) (*GHSOM, error) {
 	if cfg.CollectTrace {
 		g.trace = &GrowthTrace{}
 	}
-	rng := newRNG(cfg.Seed)
 
-	// Layer 1 grows against the layer-0 unit's error.
-	root, err := g.trainNode(data, mean, mqe0, 1, -1, nil, rng)
-	if err != nil {
-		return nil, err
+	// Level-synchronous breadth-first expansion: train every map of a
+	// level concurrently (sibling subtrees are embarrassingly parallel),
+	// then register the results and derive the next level's jobs in the
+	// deterministic (parent training order, unit index) order.
+	type trained struct {
+		node   *Node
+		events []GrowthEvent
+		err    error
 	}
-	g.root = root
-
-	// Breadth-first vertical expansion. The queue order plus the single
-	// rng stream keeps training deterministic.
-	type job struct {
-		node *Node
-		data [][]float64
-	}
-	queue := []job{{root, data}}
-	// A (near-)zero layer-0 error means the data is degenerate (all
-	// records identical); any vertical expansion would be noise-chasing.
-	if mqe0 <= 1e-12 {
-		queue = nil
-	}
-	for len(queue) > 0 {
-		j := queue[0]
-		queue = queue[1:]
-		if j.node.Depth >= cfg.MaxDepth {
-			continue
+	jobs := []nodeJob{{
+		parentUnit: -1,
+		data:       data,
+		mean:       mean,
+		parentQE:   mqe0, // layer 1 grows against the layer-0 unit's error
+		depth:      1,
+		seed:       deriveSeed(cfg.Seed, -1),
+	}}
+	for len(jobs) > 0 {
+		// Split the worker budget between the level fan-out and each job's
+		// inner batch passes: with W jobs training concurrently, each gets
+		// ~budget/W inner workers instead of multiplying the fan-out to
+		// W*budget goroutines contending for the same cores. Results are
+		// identical either way; only scheduling pressure changes.
+		levelWorkers := parallel.Workers(cfg.Parallelism, len(jobs))
+		innerP := parallel.Resolve(cfg.Parallelism) / levelWorkers
+		if innerP < 1 {
+			innerP = 1
 		}
-		assignments := j.node.Map.Assign(j.data)
-		for u := 0; u < j.node.Map.Units(); u++ {
-			if j.node.UnitCount[u] < cfg.MinMapData {
-				continue
-			}
-			if j.node.UnitQE[u] <= cfg.Tau2*mqe0 {
-				continue
-			}
-			sub := make([][]float64, 0, j.node.UnitCount[u])
-			for i, a := range assignments {
-				if a == u {
-					sub = append(sub, j.data[i])
+		results := make([]trained, len(jobs))
+		parallel.ForEach(cfg.Parallelism, len(jobs), func(i int) {
+			n, ev, err := g.trainNodeMap(jobs[i], innerP)
+			results[i] = trained{node: n, events: ev, err: err}
+		})
+		var next []nodeJob
+		for i, res := range results {
+			jb := jobs[i]
+			if res.err != nil {
+				if jb.parent != nil {
+					return nil, fmt.Errorf("core: expand node %d unit %d: %w", jb.parent.ID, jb.parentUnit, res.err)
 				}
+				return nil, res.err
 			}
-			if len(sub) < cfg.MinMapData {
-				continue
+			n := res.node
+			n.ID = len(g.nodes)
+			g.nodes = append(g.nodes, n)
+			// Training is over for this map; from here on (expansion
+			// assignment, routing, quality measures) it runs outside the
+			// level fan-out and gets the full worker budget.
+			n.Map.SetParallelism(cfg.Parallelism)
+			if jb.parent == nil {
+				g.root = n
+			} else {
+				if jb.parent.Children == nil {
+					jb.parent.Children = make(map[int]*Node)
+				}
+				jb.parent.Children[jb.parentUnit] = n
 			}
-			childMean, err := vecmath.Mean(sub)
+			if g.trace != nil {
+				for k := range res.events {
+					res.events[k].NodeID = n.ID
+				}
+				g.trace.Events = append(g.trace.Events, res.events...)
+			}
+			children, err := g.expandJobs(n, jb)
 			if err != nil {
-				return nil, fmt.Errorf("core: child mean for node %d unit %d: %w", j.node.ID, u, err)
+				return nil, err
 			}
-			var corners [][]float64
-			if cfg.OrientChildren {
-				corners = orientationCorners(j.node.Map, u)
-			}
-			child, err := g.trainNode(sub, childMean, j.node.UnitQE[u], j.node.Depth+1, u, corners, rng)
-			if err != nil {
-				return nil, fmt.Errorf("core: expand node %d unit %d: %w", j.node.ID, u, err)
-			}
-			if j.node.Children == nil {
-				j.node.Children = make(map[int]*Node)
-			}
-			j.node.Children[u] = child
-			queue = append(queue, job{child, sub})
+			next = append(next, children...)
 		}
+		jobs = next
 	}
 	return g, nil
 }
 
-// trainNode creates, grows, and fine-tunes a single map on data, stopping
-// when its mean unit error falls below Tau1 * parentQE.
-func (g *GHSOM) trainNode(data [][]float64, mean []float64, parentQE float64, depth, parentUnit int, corners [][]float64, rng *rand.Rand) (*Node, error) {
+// expandJobs derives the child-map training jobs for a freshly registered
+// node: every unit holding enough data and still exceeding the tau2
+// granularity criterion is queued for vertical expansion.
+func (g *GHSOM) expandJobs(n *Node, jb nodeJob) ([]nodeJob, error) {
 	cfg := g.cfg
+	if n.Depth >= cfg.MaxDepth {
+		return nil, nil
+	}
+	// A (near-)zero layer-0 error means the data is degenerate (all
+	// records identical); any vertical expansion would be noise-chasing.
+	if g.mqe0 <= 1e-12 {
+		return nil, nil
+	}
+	assignments := n.Map.Assign(jb.data)
+	var out []nodeJob
+	for u := 0; u < n.Map.Units(); u++ {
+		if n.UnitCount[u] < cfg.MinMapData {
+			continue
+		}
+		if n.UnitQE[u] <= cfg.Tau2*g.mqe0 {
+			continue
+		}
+		sub := make([][]float64, 0, n.UnitCount[u])
+		for i, a := range assignments {
+			if a == u {
+				sub = append(sub, jb.data[i])
+			}
+		}
+		if len(sub) < cfg.MinMapData {
+			continue
+		}
+		childMean, err := vecmath.Mean(sub)
+		if err != nil {
+			return nil, fmt.Errorf("core: child mean for node %d unit %d: %w", n.ID, u, err)
+		}
+		var corners [][]float64
+		if cfg.OrientChildren {
+			corners = orientationCorners(n.Map, u)
+		}
+		out = append(out, nodeJob{
+			parent:     n,
+			parentUnit: u,
+			data:       sub,
+			mean:       childMean,
+			parentQE:   n.UnitQE[u],
+			depth:      n.Depth + 1,
+			corners:    corners,
+			seed:       deriveSeed(jb.seed, u),
+		})
+	}
+	return out, nil
+}
+
+// trainNodeMap creates, grows, and fine-tunes a single map on jb.data,
+// stopping when its mean unit error falls below Tau1 * jb.parentQE. It is
+// a pure function of the job (plus the read-only model config): it touches
+// no shared GHSOM state and draws randomness only from the job's private
+// seed, so jobs of one level may run concurrently. innerP bounds the
+// workers of the map's own batch passes while it trains inside the level
+// fan-out. The returned node has no ID yet (the caller assigns IDs in
+// registration order), and growth events carry a placeholder NodeID for
+// the caller to fill in.
+func (g *GHSOM) trainNodeMap(jb nodeJob, innerP int) (*Node, []GrowthEvent, error) {
+	cfg := g.cfg
+	rng := newRNG(jb.seed)
+	data := jb.data
 	m, err := som.New(2, 2, g.dim)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	if err := m.InitAroundMean(mean, cfg.InitSpread, rng); err != nil {
-		return nil, err
+	m.SetParallelism(innerP)
+	if err := m.InitAroundMean(jb.mean, cfg.InitSpread, rng); err != nil {
+		return nil, nil, err
 	}
-	if len(corners) == 4 {
+	if len(jb.corners) == 4 {
 		// Coherent orientation: bias each corner of the new 2x2 map in
 		// the direction of the corresponding parent-grid neighbor, so the
 		// child map unfolds the parent unit's region with the same
@@ -164,27 +256,28 @@ func (g *GHSOM) trainNode(data [][]float64, mean []float64, parentQE float64, de
 		// region being expanded.
 		for i := 0; i < 4; i++ {
 			w := make([]float64, g.dim)
-			copy(w, mean)
-			vecmath.AXPYInPlace(w, orientationBlend, corners[i])
+			copy(w, jb.mean)
+			vecmath.AXPYInPlace(w, orientationBlend, jb.corners[i])
 			if err := m.SetWeight(i, w); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 	}
-	node := &Node{ID: len(g.nodes), Depth: depth, Map: m, ParentUnit: parentUnit}
-	g.nodes = append(g.nodes, node)
+	node := &Node{ID: -1, Depth: jb.depth, Map: m, ParentUnit: jb.parentUnit}
+	var events []GrowthEvent
 
 	train := func(epochs int) error {
 		tc := som.TrainConfig{
-			Epochs:    epochs,
-			Alpha0:    cfg.Alpha0,
-			AlphaEnd:  cfg.AlphaEnd,
-			Radius0:   0, // derive from current map size
-			RadiusEnd: cfg.RadiusEnd,
-			Kernel:    cfg.Kernel,
-			Decay:     cfg.Decay,
-			Shuffle:   !cfg.Batch,
-			Rng:       rng,
+			Epochs:      epochs,
+			Alpha0:      cfg.Alpha0,
+			AlphaEnd:    cfg.AlphaEnd,
+			Radius0:     0, // derive from current map size
+			RadiusEnd:   cfg.RadiusEnd,
+			Kernel:      cfg.Kernel,
+			Decay:       cfg.Decay,
+			Shuffle:     !cfg.Batch,
+			Rng:         rng,
+			Parallelism: innerP,
 		}
 		if cfg.Batch {
 			_, err := m.TrainBatch(data, tc)
@@ -197,9 +290,9 @@ func (g *GHSOM) trainNode(data [][]float64, mean []float64, parentQE float64, de
 	record := func(iter int) float64 {
 		muMQE := m.MeanUnitMQE(data)
 		if g.trace != nil {
-			g.trace.Events = append(g.trace.Events, GrowthEvent{
-				NodeID:      node.ID,
-				Depth:       depth,
+			events = append(events, GrowthEvent{
+				NodeID:      -1, // assigned at registration
+				Depth:       jb.depth,
 				Iteration:   iter,
 				Rows:        m.Rows(),
 				Cols:        m.Cols(),
@@ -211,16 +304,16 @@ func (g *GHSOM) trainNode(data [][]float64, mean []float64, parentQE float64, de
 	}
 
 	if err := train(cfg.EpochsPerGrowth); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	muMQE := record(0)
 
 	// The growth target: stop once the map represents its data tau1 times
 	// better than the parent unit did. A (near-)zero parent error means
 	// the data is already fully represented; skip growth entirely.
-	target := cfg.Tau1 * parentQE
+	target := cfg.Tau1 * jb.parentQE
 	for iter := 1; iter <= cfg.MaxGrowIters; iter++ {
-		if parentQE <= 1e-12 || math.IsNaN(muMQE) || muMQE <= target {
+		if jb.parentQE <= 1e-12 || math.IsNaN(muMQE) || muMQE <= target {
 			break
 		}
 		if m.Units() >= cfg.MaxMapUnits {
@@ -236,21 +329,32 @@ func (g *GHSOM) trainNode(data [][]float64, mean []float64, parentQE float64, de
 			break
 		}
 		if err := m.GrowBetween(e, d); err != nil {
-			return nil, fmt.Errorf("core: grow node %d: %w", node.ID, err)
+			return nil, nil, fmt.Errorf("core: grow map: %w", err)
 		}
 		if err := train(cfg.EpochsPerGrowth); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		muMQE = record(iter)
 	}
 
 	if cfg.FineTuneEpochs > 0 {
 		if err := train(cfg.FineTuneEpochs); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	node.UnitQE, node.UnitCount = m.UnitMeanErrors(data)
-	return node, nil
+	return node, events, nil
+}
+
+// deriveSeed maps a parent stream seed and a unit index to the child
+// node's private RNG seed via a splitmix64-style finalizer. The derivation
+// depends only on the path from the root (root uses unit -1), never on
+// execution order, which keeps training deterministic under parallelism.
+func deriveSeed(parent int64, unit int) int64 {
+	z := uint64(parent) + uint64(unit+1)*0x9E3779B97F4A7C15 + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
 }
 
 // orientationBlend scales the parent-neighborhood direction offsets used

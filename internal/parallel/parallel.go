@@ -1,0 +1,130 @@
+// Package parallel provides the bounded fork-join primitives shared by the
+// training and inference hot paths: a resolved worker count, a parallel
+// index loop, and a deterministic chunked map-reduce.
+//
+// # The Parallelism knob
+//
+// Every layer of the library (som, core, anomaly, the Pipeline façade)
+// exposes a Parallelism int configuration field that is interpreted by
+// Workers: values <= 0 mean "use runtime.GOMAXPROCS(0)", 1 means strictly
+// serial execution on the calling goroutine, and n > 1 bounds the fan-out
+// at n goroutines. The worker count is additionally capped by the job
+// count, so small inputs never pay goroutine overhead.
+//
+// # Determinism
+//
+// ForEach runs fn exactly once per index; when every fn(i) writes only to
+// its own output slot, the result is identical for every worker count —
+// this is how BMU assignment and batch classification stay bit-for-bit
+// reproducible under parallelism. Reductions whose result must not depend
+// on the worker count (floating-point sums on the training path) are
+// instead expressed as a parallel per-index pass followed by a serial
+// index-order fold in the caller. MapReduce is deterministic for a fixed
+// (p, n) pair: chunk boundaries depend only on p and n, and partial
+// results are folded in ascending chunk order.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve maps a Parallelism knob value to a concrete worker budget:
+// p <= 0 selects runtime.GOMAXPROCS(0), any other value is returned as is.
+func Resolve(p int) int {
+	if p <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p
+}
+
+// Workers resolves a Parallelism knob value p against a job count n: p <= 0
+// selects runtime.GOMAXPROCS(0), and the result is clamped to [1, n] (with
+// a floor of 1 even for n == 0).
+func Workers(p, n int) int {
+	p = Resolve(p)
+	if n < p {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// ForEach invokes fn(i) exactly once for every i in [0, n), using at most
+// Workers(p, n) goroutines. Indices are handed out in contiguous grains via
+// an atomic cursor, so uneven per-index costs (e.g. GHSOM subtrees of very
+// different sizes) stay balanced across workers. ForEach returns after all
+// calls complete. fn must be safe to call concurrently; writes to distinct
+// per-index slots need no further synchronization.
+func ForEach(p, n int, fn func(i int)) {
+	w := Workers(p, n)
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	// Grain size trades scheduling overhead against balance: ~8 grains per
+	// worker keeps the atomic traffic negligible while still smoothing
+	// skewed workloads.
+	grain := n / (w * 8)
+	if grain < 1 {
+		grain = 1
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for c := 0; c < w; c++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(cursor.Add(int64(grain))) - grain
+				if lo >= n {
+					return
+				}
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					fn(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// MapReduce splits [0, n) into Workers(p, n) contiguous chunks, runs mapFn
+// on each chunk concurrently, and folds the partial results into zero in
+// ascending chunk order: reduceFn(...reduceFn(zero, part0)..., partK). The
+// chunk layout is a function of (p, n) only, so the result is deterministic
+// for a fixed worker count. mapFn must be safe to call concurrently.
+func MapReduce[T any](p, n int, zero T, mapFn func(lo, hi int) T, reduceFn func(acc, part T) T) T {
+	w := Workers(p, n)
+	if w <= 1 {
+		if n <= 0 {
+			return zero
+		}
+		return reduceFn(zero, mapFn(0, n))
+	}
+	parts := make([]T, w)
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for c := 0; c < w; c++ {
+		lo, hi := c*n/w, (c+1)*n/w
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			parts[c] = mapFn(lo, hi)
+		}(c, lo, hi)
+	}
+	wg.Wait()
+	acc := zero
+	for _, part := range parts {
+		acc = reduceFn(acc, part)
+	}
+	return acc
+}

@@ -1,0 +1,101 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	gmp := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		p, n, want int
+	}{
+		{0, 100, min(gmp, 100)},
+		{-3, 100, min(gmp, 100)},
+		{1, 100, 1},
+		{4, 100, 4},
+		{4, 2, 2},
+		{4, 0, 1},
+		{0, 0, 1},
+	}
+	for _, c := range cases {
+		if got := Workers(c.p, c.n); got != c.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", c.p, c.n, got, c.want)
+		}
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 8, 0} {
+		for _, n := range []int{0, 1, 7, 100, 1000} {
+			counts := make([]int32, n)
+			ForEach(p, n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("p=%d n=%d: index %d visited %d times", p, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachDeterministicOutputAcrossWorkerCounts(t *testing.T) {
+	n := 512
+	ref := make([]int, n)
+	ForEach(1, n, func(i int) { ref[i] = i * i })
+	for _, p := range []int{2, 4, 8, 0} {
+		out := make([]int, n)
+		ForEach(p, n, func(i int) { out[i] = i * i })
+		for i := range out {
+			if out[i] != ref[i] {
+				t.Fatalf("p=%d: out[%d] = %d, want %d", p, i, out[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestMapReduceSum(t *testing.T) {
+	n := 1000
+	want := n * (n - 1) / 2
+	for _, p := range []int{1, 2, 4, 8, 0} {
+		got := MapReduce(p, n, 0,
+			func(lo, hi int) int {
+				s := 0
+				for i := lo; i < hi; i++ {
+					s += i
+				}
+				return s
+			},
+			func(acc, part int) int { return acc + part })
+		if got != want {
+			t.Errorf("p=%d: sum = %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestMapReduceEmpty(t *testing.T) {
+	got := MapReduce(4, 0, 42,
+		func(lo, hi int) int { t.Fatal("mapFn called on empty range"); return 0 },
+		func(acc, part int) int { return acc + part })
+	if got != 42 {
+		t.Errorf("empty MapReduce = %d, want zero value 42", got)
+	}
+}
+
+// TestMapReduceChunkOrder verifies partials are folded in ascending chunk
+// order — the documented determinism contract.
+func TestMapReduceChunkOrder(t *testing.T) {
+	n, p := 100, 4
+	got := MapReduce(p, n, []int(nil),
+		func(lo, hi int) []int { return []int{lo} },
+		func(acc, part []int) []int { return append(acc, part...) })
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("chunk lows not ascending: %v", got)
+		}
+	}
+	if len(got) != Workers(p, n) {
+		t.Fatalf("got %d chunks, want %d", len(got), Workers(p, n))
+	}
+}

@@ -26,11 +26,16 @@ var (
 )
 
 // Map is a rectangular self-organizing map. Units are stored row-major:
-// unit (r, c) lives at index r*Cols + c. Weight vectors are owned by the
-// map; callers must not retain references across training calls.
+// unit (r, c) lives at index r*Cols + c. All weight vectors live in one
+// contiguous row-major backing array (unit i occupies flat[i*Dim :
+// (i+1)*Dim]), so BMU search streams a single allocation instead of
+// pointer-chasing one heap object per unit. Weight vectors are owned by
+// the map; callers must not retain references across training or growth
+// calls (see Weight).
 type Map struct {
 	rows, cols, dim int
-	weights         [][]float64
+	flat            []float64 // rows*cols*dim, unit-major then dimension
+	parallelism     int       // batch-op worker knob; <= 0 means GOMAXPROCS
 }
 
 // New returns an untrained map of the given shape with zero-valued weights.
@@ -40,11 +45,7 @@ func New(rows, cols, dim int) (*Map, error) {
 	if rows < 1 || cols < 1 || dim < 1 {
 		return nil, fmt.Errorf("new %dx%d map of dim %d: %w", rows, cols, dim, ErrBadShape)
 	}
-	w := make([][]float64, rows*cols)
-	for i := range w {
-		w[i] = make([]float64, dim)
-	}
-	return &Map{rows: rows, cols: cols, dim: dim, weights: w}, nil
+	return &Map{rows: rows, cols: cols, dim: dim, flat: make([]float64, rows*cols*dim)}, nil
 }
 
 // Rows returns the number of grid rows.
@@ -71,21 +72,47 @@ func (m *Map) InBounds(r, c int) bool {
 	return r >= 0 && r < m.rows && c >= 0 && c < m.cols
 }
 
-// Weight returns the weight vector of unit i. The returned slice aliases
-// map storage: it is valid for reading; mutate only via SetWeight.
-func (m *Map) Weight(i int) []float64 { return m.weights[i] }
+// Weight returns the weight vector of unit i as a strided view into the
+// map's contiguous backing array. The returned slice aliases map storage:
+// it is valid for reading; mutate only via SetWeight.
+//
+// Invalidation: any growth operation (InsertRowBetween, InsertColBetween,
+// GrowBetween) reallocates the backing array. Slices returned by Weight or
+// WeightAt before a growth call keep pointing at the old, abandoned array —
+// they neither observe nor affect the grown map. Re-fetch weight views
+// after every growth (and, defensively, after any training call).
+func (m *Map) Weight(i int) []float64 {
+	o := i * m.dim
+	return m.flat[o : o+m.dim : o+m.dim]
+}
 
 // WeightAt returns the weight vector of unit (r, c), aliasing map storage.
-func (m *Map) WeightAt(r, c int) []float64 { return m.weights[m.Index(r, c)] }
+// The invalidation rules of Weight apply.
+func (m *Map) WeightAt(r, c int) []float64 { return m.Weight(m.Index(r, c)) }
+
+// Weights returns the map's contiguous row-major backing array (unit i at
+// [i*Dim, (i+1)*Dim)). It aliases live storage and is invalidated by growth
+// operations exactly like Weight; treat it as read-only.
+func (m *Map) Weights() []float64 { return m.flat }
 
 // SetWeight copies w into unit i's weight vector.
 func (m *Map) SetWeight(i int, w []float64) error {
 	if len(w) != m.dim {
 		return fmt.Errorf("set weight of length %d on dim-%d map: %w", len(w), m.dim, ErrDimMismatch)
 	}
-	copy(m.weights[i], w)
+	copy(m.Weight(i), w)
 	return nil
 }
+
+// SetParallelism sets the worker bound used by the map's batch operations
+// (Assign, MQE, UnitErrors, TrainBatch's BMU pass): 0 (the default) means
+// runtime.GOMAXPROCS, 1 forces serial execution, n > 1 caps the fan-out at
+// n goroutines. Results are bit-for-bit identical for every setting; see
+// internal/parallel.
+func (m *Map) SetParallelism(p int) { m.parallelism = p }
+
+// Parallelism returns the configured batch-operation worker bound.
+func (m *Map) Parallelism() int { return m.parallelism }
 
 // GridDistance2 returns the squared Euclidean distance between units i and
 // j measured on the grid lattice (not in weight space).
@@ -134,13 +161,9 @@ func (m *Map) Neighbors(i int, dst []int) []int {
 
 // Clone returns a deep copy of the map.
 func (m *Map) Clone() *Map {
-	out := &Map{rows: m.rows, cols: m.cols, dim: m.dim}
-	out.weights = make([][]float64, len(m.weights))
-	for i, w := range m.weights {
-		cw := make([]float64, len(w))
-		copy(cw, w)
-		out.weights[i] = cw
-	}
+	out := &Map{rows: m.rows, cols: m.cols, dim: m.dim, parallelism: m.parallelism}
+	out.flat = make([]float64, len(m.flat))
+	copy(out.flat, m.flat)
 	return out
 }
 

@@ -2,6 +2,11 @@ package som
 
 import "fmt"
 
+// Growth operations reallocate the map's contiguous backing array: every
+// weight slice previously obtained via Weight/WeightAt/Weights keeps
+// aliasing the old array and becomes stale. Callers must re-fetch views
+// after a successful growth call.
+
 // InsertRowBetween grows the map by one row inserted between adjacent rows
 // r and r+1. Each new unit's weight is the mean of its vertical neighbors —
 // the GHSOM interpolation rule, which preserves the map's ordering.
@@ -9,27 +14,19 @@ func (m *Map) InsertRowBetween(r int) error {
 	if r < 0 || r >= m.rows-1 {
 		return fmt.Errorf("insert row between %d and %d in %d-row map: %w", r, r+1, m.rows, ErrBadShape)
 	}
-	newWeights := make([][]float64, (m.rows+1)*m.cols)
-	for row := 0; row <= r; row++ {
-		for c := 0; c < m.cols; c++ {
-			newWeights[row*m.cols+c] = m.weights[row*m.cols+c]
-		}
+	rowLen := m.cols * m.dim // one grid row of packed weights
+	newFlat := make([]float64, (m.rows+1)*rowLen)
+	// Rows 0..r keep their position; rows r+1.. shift down by one.
+	copy(newFlat[:(r+1)*rowLen], m.flat[:(r+1)*rowLen])
+	copy(newFlat[(r+2)*rowLen:], m.flat[(r+1)*rowLen:])
+	// The inserted row interpolates its vertical neighbors.
+	above := m.flat[r*rowLen : (r+1)*rowLen]
+	below := m.flat[(r+1)*rowLen : (r+2)*rowLen]
+	inserted := newFlat[(r+1)*rowLen : (r+2)*rowLen]
+	for i := range inserted {
+		inserted[i] = (above[i] + below[i]) / 2
 	}
-	for c := 0; c < m.cols; c++ {
-		above := m.weights[r*m.cols+c]
-		below := m.weights[(r+1)*m.cols+c]
-		w := make([]float64, m.dim)
-		for d := 0; d < m.dim; d++ {
-			w[d] = (above[d] + below[d]) / 2
-		}
-		newWeights[(r+1)*m.cols+c] = w
-	}
-	for row := r + 1; row < m.rows; row++ {
-		for c := 0; c < m.cols; c++ {
-			newWeights[(row+1)*m.cols+c] = m.weights[row*m.cols+c]
-		}
-	}
-	m.weights = newWeights
+	m.flat = newFlat
 	m.rows++
 	return nil
 }
@@ -41,30 +38,30 @@ func (m *Map) InsertColBetween(c int) error {
 		return fmt.Errorf("insert column between %d and %d in %d-col map: %w", c, c+1, m.cols, ErrBadShape)
 	}
 	newCols := m.cols + 1
-	newWeights := make([][]float64, m.rows*newCols)
+	newFlat := make([]float64, m.rows*newCols*m.dim)
 	for r := 0; r < m.rows; r++ {
-		for col := 0; col <= c; col++ {
-			newWeights[r*newCols+col] = m.weights[r*m.cols+col]
-		}
-		left := m.weights[r*m.cols+c]
-		right := m.weights[r*m.cols+c+1]
-		w := make([]float64, m.dim)
-		for d := 0; d < m.dim; d++ {
-			w[d] = (left[d] + right[d]) / 2
-		}
-		newWeights[r*newCols+c+1] = w
-		for col := c + 1; col < m.cols; col++ {
-			newWeights[r*newCols+col+1] = m.weights[r*m.cols+col]
+		oldRow := m.flat[r*m.cols*m.dim : (r+1)*m.cols*m.dim]
+		newRow := newFlat[r*newCols*m.dim : (r+1)*newCols*m.dim]
+		// Columns 0..c keep their position; columns c+1.. shift right.
+		copy(newRow[:(c+1)*m.dim], oldRow[:(c+1)*m.dim])
+		copy(newRow[(c+2)*m.dim:], oldRow[(c+1)*m.dim:])
+		left := oldRow[c*m.dim : (c+1)*m.dim]
+		right := oldRow[(c+1)*m.dim : (c+2)*m.dim]
+		inserted := newRow[(c+1)*m.dim : (c+2)*m.dim]
+		for d := range inserted {
+			inserted[d] = (left[d] + right[d]) / 2
 		}
 	}
-	m.weights = newWeights
+	m.flat = newFlat
 	m.cols = newCols
 	return nil
 }
 
 // GrowBetween inserts a row or a column between the error unit e and its
 // dissimilar neighbor d, which must be direct grid neighbors. This is the
-// single growth step of the GHSOM horizontal-growth loop.
+// single growth step of the GHSOM horizontal-growth loop. Like all growth
+// operations it reallocates the backing array, invalidating previously
+// returned weight views.
 func (m *Map) GrowBetween(e, d int) error {
 	if e < 0 || e >= m.Units() || d < 0 || d >= m.Units() {
 		return fmt.Errorf("grow between units %d and %d of %d: %w", e, d, m.Units(), ErrBadShape)

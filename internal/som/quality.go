@@ -3,29 +3,50 @@ package som
 import (
 	"math"
 
+	"ghsom/internal/parallel"
 	"ghsom/internal/vecmath"
 )
+
+// Batch quality measures run their BMU searches on the map's configured
+// Parallelism (SetParallelism; 0 = GOMAXPROCS). Every reduction over the
+// per-record results happens serially in data order, so all results are
+// bit-for-bit identical for every worker count.
+
+// bmuAll computes the BMU index and squared distance for every data vector
+// into the provided slices, in parallel.
+func (m *Map) bmuAll(data [][]float64, bmus []int, d2s []float64) {
+	parallel.ForEach(m.parallelism, len(data), func(i int) {
+		bmus[i], d2s[i] = m.BMU(data[i])
+	})
+}
 
 // Assign returns the BMU index for every data vector. Callers must ensure
 // dimensions match (use checkData-validating entry points otherwise).
 func (m *Map) Assign(data [][]float64) []int {
 	out := make([]int, len(data))
-	for i, x := range data {
-		out[i], _ = m.BMU(x)
-	}
+	parallel.ForEach(m.parallelism, len(data), func(i int) {
+		out[i], _ = m.BMU(data[i])
+	})
 	return out
 }
 
 // MQE returns the map's mean quantization error over data: the mean
 // Euclidean distance from each vector to its BMU. Returns NaN for empty
 // data.
-func (m *Map) MQE(data [][]float64) float64 {
+func (m *Map) MQE(data [][]float64) float64 { return m.mqeAt(data, m.parallelism) }
+
+// mqeAt is MQE with an explicit worker bound, so TrainBatch can honor its
+// own TrainConfig.Parallelism rather than the map-level knob.
+func (m *Map) mqeAt(data [][]float64, p int) float64 {
 	if len(data) == 0 {
 		return math.NaN()
 	}
+	d2s := make([]float64, len(data))
+	parallel.ForEach(p, len(data), func(i int) {
+		_, d2s[i] = m.BMU(data[i])
+	})
 	var sum float64
-	for _, x := range data {
-		_, d2 := m.BMU(x)
+	for _, d2 := range d2s {
 		sum += math.Sqrt(d2)
 	}
 	return sum / float64(len(data))
@@ -37,10 +58,12 @@ func (m *Map) MQE(data [][]float64) float64 {
 func (m *Map) UnitErrors(data [][]float64) (sumQE []float64, counts []int) {
 	sumQE = make([]float64, m.Units())
 	counts = make([]int, m.Units())
-	for _, x := range data {
-		bmu, d2 := m.BMU(x)
-		sumQE[bmu] += math.Sqrt(d2)
-		counts[bmu]++
+	bmus := make([]int, len(data))
+	d2s := make([]float64, len(data))
+	m.bmuAll(data, bmus, d2s)
+	for i := range data {
+		sumQE[bmus[i]] += math.Sqrt(d2s[i])
+		counts[bmus[i]]++
 	}
 	return sumQE, counts
 }
@@ -88,14 +111,21 @@ func (m *Map) TopographicError(data [][]float64) float64 {
 	if m.Units() < 2 {
 		return 0
 	}
-	var bad int
-	for _, x := range data {
-		first, second := m.BMU2(x)
-		if !m.AreGridNeighbors(first, second) {
-			bad++
-		}
-	}
-	return float64(bad) / float64(len(data))
+	// An integer count is order-independent, so the chunked map-reduce is
+	// exact at every worker count.
+	n := parallel.MapReduce(m.parallelism, len(data), 0,
+		func(lo, hi int) int {
+			bad := 0
+			for i := lo; i < hi; i++ {
+				first, second := m.BMU2(data[i])
+				if !m.AreGridNeighbors(first, second) {
+					bad++
+				}
+			}
+			return bad
+		},
+		func(acc, part int) int { return acc + part })
+	return float64(n) / float64(len(data))
 }
 
 // UMatrix returns the unified distance matrix: for each unit, the mean
@@ -114,7 +144,7 @@ func (m *Map) UMatrix() [][]float64 {
 			}
 			var sum float64
 			for _, j := range neighbors {
-				sum += vecmath.Distance(m.weights[i], m.weights[j])
+				sum += vecmath.Distance(m.Weight(i), m.Weight(j))
 			}
 			out[r][c] = sum / float64(len(neighbors))
 		}
@@ -129,7 +159,7 @@ func (m *Map) ComponentPlane(d int) [][]float64 {
 	for r := 0; r < m.rows; r++ {
 		out[r] = make([]float64, m.cols)
 		for c := 0; c < m.cols; c++ {
-			out[r][c] = m.weights[m.Index(r, c)][d]
+			out[r][c] = m.WeightAt(r, c)[d]
 		}
 	}
 	return out

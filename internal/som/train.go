@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"ghsom/internal/parallel"
 	"ghsom/internal/vecmath"
 )
 
@@ -29,6 +30,14 @@ type TrainConfig struct {
 	// Rng drives initialization sampling and shuffling. Required when
 	// Shuffle is set.
 	Rng *rand.Rand
+	// Parallelism bounds the workers used inside a training call — batch
+	// training's BMU pass and the per-epoch MQE measurement of both rules:
+	// 0 means GOMAXPROCS, 1 forces strictly serial execution on the
+	// calling goroutine. Training results are bit-for-bit identical for
+	// every setting (the BMU pass is embarrassingly parallel; accumulation
+	// stays in data order). Map-level batch operations called outside
+	// training read the separate Map.SetParallelism knob instead.
+	Parallelism int
 }
 
 // DefaultTrainConfig returns the training configuration used by the GHSOM
@@ -120,7 +129,8 @@ func (m *Map) InitRandomUniform(data [][]float64, rng *rand.Rand) error {
 			}
 		}
 	}
-	for _, w := range m.weights {
+	for i := 0; i < m.Units(); i++ {
+		w := m.Weight(i)
 		for d := range w {
 			w[d] = lo[d] + rng.Float64()*(hi[d]-lo[d])
 		}
@@ -134,8 +144,8 @@ func (m *Map) InitSample(data [][]float64, rng *rand.Rand) error {
 	if err := m.checkData(data); err != nil {
 		return err
 	}
-	for _, w := range m.weights {
-		copy(w, data[rng.Intn(len(data))])
+	for i := 0; i < m.Units(); i++ {
+		copy(m.Weight(i), data[rng.Intn(len(data))])
 	}
 	return nil
 }
@@ -173,7 +183,7 @@ func (m *Map) InitLinear(data [][]float64, rng *rand.Rand) error {
 	}
 	for r := 0; r < m.rows; r++ {
 		for c := 0; c < m.cols; c++ {
-			w := m.weights[m.Index(r, c)]
+			w := m.WeightAt(r, c)
 			copy(w, mean)
 			// Rows span the first (dominant) axis, columns the second.
 			vecmath.AXPYInPlace(w, spread(r, m.rows)*scales[0], axes[0])
@@ -192,7 +202,8 @@ func (m *Map) InitAroundMean(mean []float64, spread float64, rng *rand.Rand) err
 	if len(mean) != m.dim {
 		return fmt.Errorf("init around mean of dim %d on dim-%d map: %w", len(mean), m.dim, ErrDimMismatch)
 	}
-	for _, w := range m.weights {
+	for i := 0; i < m.Units(); i++ {
+		w := m.Weight(i)
 		for d := range w {
 			w[d] = mean[d] + rng.NormFloat64()*spread
 		}
@@ -203,10 +214,22 @@ func (m *Map) InitAroundMean(mean []float64, spread float64, rng *rand.Rand) err
 // BMU returns the index of the best-matching (nearest) unit for x and the
 // squared distance to it.
 func (m *Map) BMU(x []float64) (int, float64) {
+	if len(x) == m.dim {
+		best, bestDist := vecmath.ArgMinDistance(x, m.flat)
+		if best < 0 {
+			// Degenerate query (e.g. all-NaN distances): keep the
+			// historical contract of reporting unit 0.
+			return 0, bestDist
+		}
+		return best, bestDist
+	}
+	// Dimension-mismatched query: ArgMinDistance strides by len(x), which
+	// would walk misaligned rows. Fall back to the per-unit kernel, whose
+	// contract matches the pre-flat storage (prefix distance for short
+	// queries, panic for long ones) and always yields an in-range unit.
 	best, bestDist := 0, math.Inf(1)
-	for i, w := range m.weights {
-		d := vecmath.SquaredDistance(x, w)
-		if d < bestDist {
+	for i, units := 0, m.Units(); i < units; i++ {
+		if d := vecmath.SquaredDistance(x, m.Weight(i)); d < bestDist {
 			best, bestDist = i, d
 		}
 	}
@@ -218,11 +241,11 @@ func (m *Map) BMU(x []float64) (int, float64) {
 // is allowed.
 func (m *Map) BMUWhere(x []float64, allowed func(int) bool) (bmu int, dist2 float64, ok bool) {
 	bmu, dist2 = -1, math.Inf(1)
-	for i, w := range m.weights {
+	for i, units := 0, m.Units(); i < units; i++ {
 		if !allowed(i) {
 			continue
 		}
-		if d := vecmath.SquaredDistance(x, w); d < dist2 {
+		if d := vecmath.SquaredDistanceFlat(x, m.flat, i*m.dim); d < dist2 {
 			bmu, dist2 = i, d
 		}
 	}
@@ -238,8 +261,8 @@ func (m *Map) BMUWhere(x []float64, allowed func(int) bool) (bmu int, dist2 floa
 func (m *Map) BMU2(x []float64) (first, second int) {
 	firstDist, secondDist := math.Inf(1), math.Inf(1)
 	second = -1
-	for i, w := range m.weights {
-		d := vecmath.SquaredDistance(x, w)
+	for i, units := 0, m.Units(); i < units; i++ {
+		d := vecmath.SquaredDistanceFlat(x, m.flat, i*m.dim)
 		switch {
 		case d < firstDist:
 			second, secondDist = first, firstDist
@@ -283,7 +306,7 @@ func (m *Map) TrainOnline(data [][]float64, cfg TrainConfig) (TrainStats, error)
 			m.updateOnline(data[idx], alpha, radius, cfg.Kernel)
 			step++
 		}
-		stats.EpochMQE = append(stats.EpochMQE, m.MQE(data))
+		stats.EpochMQE = append(stats.EpochMQE, m.mqeAt(data, cfg.Parallelism))
 	}
 	return stats, nil
 }
@@ -298,7 +321,7 @@ func (m *Map) updateOnline(x []float64, alpha, radius float64, kernel Kernel) {
 		cut = radius
 	}
 	cut2 := cut * cut
-	for i := range m.weights {
+	for i, units := 0, m.Units(); i < units; i++ {
 		d2 := m.GridDistance2(bmu, i)
 		if d2 > cut2 && i != bmu {
 			continue
@@ -307,13 +330,15 @@ func (m *Map) updateOnline(x []float64, alpha, radius float64, kernel Kernel) {
 		if h == 0 {
 			continue
 		}
-		vecmath.MoveToward(m.weights[i], alpha*h, x)
+		vecmath.MoveToward(m.Weight(i), alpha*h, x)
 	}
 }
 
 // TrainBatch trains the map with the deterministic batch rule: each epoch
 // every unit moves to the neighborhood-weighted mean of all data. Batch
-// training ignores Alpha and Shuffle.
+// training ignores Alpha and Shuffle. The per-epoch BMU search runs on
+// cfg.Parallelism workers; the weighted-mean accumulation stays in data
+// order, so results are bit-for-bit identical for every worker count.
 func (m *Map) TrainBatch(data [][]float64, cfg TrainConfig) (TrainStats, error) {
 	if err := cfg.validate(); err != nil {
 		return TrainStats{}, err
@@ -328,6 +353,7 @@ func (m *Map) TrainBatch(data [][]float64, cfg TrainConfig) (TrainStats, error) 
 		numer[i] = make([]float64, m.dim)
 	}
 	denom := make([]float64, units)
+	bmus := make([]int, len(data))
 	stats := TrainStats{EpochMQE: make([]float64, 0, cfg.Epochs)}
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		frac := float64(epoch) / float64(cfg.Epochs)
@@ -338,8 +364,11 @@ func (m *Map) TrainBatch(data [][]float64, cfg TrainConfig) (TrainStats, error) 
 			}
 			denom[i] = 0
 		}
-		for _, x := range data {
-			bmu, _ := m.BMU(x)
+		parallel.ForEach(cfg.Parallelism, len(data), func(i int) {
+			bmus[i], _ = m.BMU(data[i])
+		})
+		for xi, x := range data {
+			bmu := bmus[xi]
 			for i := 0; i < units; i++ {
 				h := cfg.Kernel.Value(m.GridDistance2(bmu, i), radius)
 				if h <= 0 {
@@ -354,11 +383,12 @@ func (m *Map) TrainBatch(data [][]float64, cfg TrainConfig) (TrainStats, error) 
 				continue // keep previous weight for starved units
 			}
 			inv := 1 / denom[i]
-			for d := range m.weights[i] {
-				m.weights[i][d] = numer[i][d] * inv
+			w := m.Weight(i)
+			for d := range w {
+				w[d] = numer[i][d] * inv
 			}
 		}
-		stats.EpochMQE = append(stats.EpochMQE, m.MQE(data))
+		stats.EpochMQE = append(stats.EpochMQE, m.mqeAt(data, cfg.Parallelism))
 	}
 	return stats, nil
 }

@@ -1,0 +1,82 @@
+package vecmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSquaredDistanceFlatMatchesRowView(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dim, rows := 5, 8
+	flat := make([]float64, dim*rows)
+	for i := range flat {
+		flat[i] = rng.NormFloat64()
+	}
+	x := make([]float64, dim)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	for r := 0; r < rows; r++ {
+		want := SquaredDistance(x, flat[r*dim:(r+1)*dim])
+		got := SquaredDistanceFlat(x, flat, r*dim)
+		if got != want {
+			t.Errorf("row %d: flat = %v, rowwise = %v", r, got, want)
+		}
+	}
+}
+
+func TestArgMinDistance(t *testing.T) {
+	// Rows at known distances from the origin query.
+	flat := []float64{
+		3, 0, // d2 = 9
+		1, 1, // d2 = 2
+		0, 2, // d2 = 4
+		1, 1, // d2 = 2 (tie: must lose to index 1)
+	}
+	x := []float64{0, 0}
+	idx, d2 := ArgMinDistance(x, flat)
+	if idx != 1 || d2 != 2 {
+		t.Errorf("ArgMinDistance = (%d, %v), want (1, 2)", idx, d2)
+	}
+}
+
+func TestArgMinDistanceMatchesLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		dim := 1 + rng.Intn(10)
+		rows := 1 + rng.Intn(30)
+		flat := make([]float64, dim*rows)
+		for i := range flat {
+			flat[i] = rng.NormFloat64()
+		}
+		x := make([]float64, dim)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		wantIdx, wantD2 := -1, math.Inf(1)
+		for r := 0; r < rows; r++ {
+			if d := SquaredDistance(x, flat[r*dim:(r+1)*dim]); d < wantD2 {
+				wantIdx, wantD2 = r, d
+			}
+		}
+		gotIdx, gotD2 := ArgMinDistance(x, flat)
+		if gotIdx != wantIdx || gotD2 != wantD2 {
+			t.Fatalf("trial %d: ArgMinDistance = (%d, %v), want (%d, %v)",
+				trial, gotIdx, gotD2, wantIdx, wantD2)
+		}
+	}
+}
+
+func TestArgMinDistanceDegenerate(t *testing.T) {
+	if idx, d2 := ArgMinDistance(nil, []float64{1, 2}); idx != -1 || !math.IsInf(d2, 1) {
+		t.Errorf("empty query: (%d, %v)", idx, d2)
+	}
+	if idx, d2 := ArgMinDistance([]float64{1, 2, 3}, []float64{1, 2}); idx != -1 || !math.IsInf(d2, 1) {
+		t.Errorf("matrix shorter than one row: (%d, %v)", idx, d2)
+	}
+	// Trailing partial row is ignored.
+	if idx, _ := ArgMinDistance([]float64{0, 0}, []float64{5, 5, 0, 0, 9}); idx != 1 {
+		t.Errorf("partial trailing row: idx = %d, want 1", idx)
+	}
+}

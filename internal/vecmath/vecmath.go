@@ -43,6 +43,47 @@ func Distance(a, b []float64) float64 {
 	return math.Sqrt(SquaredDistance(a, b))
 }
 
+// SquaredDistanceFlat returns the squared Euclidean distance between x and
+// the row starting at offset off of the packed row-major matrix flat. It is
+// the strided-view counterpart of SquaredDistance for flat weight storage:
+// the caller must guarantee off >= 0 and off+len(x) <= len(flat); it panics
+// otherwise.
+func SquaredDistanceFlat(x, flat []float64, off int) float64 {
+	row := flat[off : off+len(x)]
+	var sum float64
+	for i, xv := range x {
+		d := xv - row[i]
+		sum += d * d
+	}
+	return sum
+}
+
+// ArgMinDistance returns the index of the row of the packed row-major
+// matrix flat (row length len(x), row count len(flat)/len(x)) nearest to x
+// in squared Euclidean distance, and that squared distance. Ties resolve to
+// the lowest index. A trailing partial row is ignored; an empty x or matrix
+// returns (-1, +Inf). This is the BMU-search kernel: one pass over a single
+// contiguous array, no per-row slice headers or pointer chasing.
+func ArgMinDistance(x, flat []float64) (int, float64) {
+	dim := len(x)
+	best, bestVal := -1, math.Inf(1)
+	if dim == 0 {
+		return best, bestVal
+	}
+	for i, off := 0, 0; off+dim <= len(flat); i, off = i+1, off+dim {
+		row := flat[off : off+dim]
+		var sum float64
+		for j, xv := range x {
+			d := xv - row[j]
+			sum += d * d
+		}
+		if sum < bestVal {
+			best, bestVal = i, sum
+		}
+	}
+	return best, bestVal
+}
+
 // ManhattanDistance returns the L1 distance between a and b. Same contract
 // as SquaredDistance.
 func ManhattanDistance(a, b []float64) float64 {

@@ -1,0 +1,79 @@
+package ghsom
+
+import (
+	"bytes"
+	"testing"
+)
+
+// benchParallelConfig (bench_test.go) sets every layer's Parallelism knob
+// to p; the determinism tests reuse it so tests and benchmarks can never
+// drift to different knob sets.
+
+// TestPipelineByteIdenticalAcrossParallelism is the end-to-end determinism
+// guarantee: training the full pipeline serially and with 8 workers must
+// produce byte-identical serialized pipelines (encoder vocabulary, scaler
+// state, GHSOM weights, and detector thresholds all included), and
+// DetectAll must return identical predictions.
+func TestPipelineByteIdenticalAcrossParallelism(t *testing.T) {
+	records, err := GenerateTraffic(SmallScenario(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	records = records[:1500]
+
+	build := func(p int) (*Pipeline, []byte) {
+		pipe, err := TrainPipeline(records, benchParallelConfig(p))
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", p, err)
+		}
+		var buf bytes.Buffer
+		if err := pipe.Save(&buf); err != nil {
+			t.Fatalf("parallelism %d: save: %v", p, err)
+		}
+		return pipe, buf.Bytes()
+	}
+	serialPipe, serialBytes := build(1)
+	parallelPipe, parallelBytes := build(8)
+	if !bytes.Equal(serialBytes, parallelBytes) {
+		t.Fatalf("serialized pipelines differ between Parallelism=1 and 8 (lens %d vs %d)",
+			len(serialBytes), len(parallelBytes))
+	}
+
+	want, err := serialPipe.DetectAll(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := parallelPipe.DetectAll(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("prediction %d differs: %+v vs %+v", i, want[i], got[i])
+		}
+	}
+}
+
+// TestDetectAllFirstErrorDeterministic pins DetectAll's error contract
+// under parallelism: the lowest-index bad record wins.
+func TestDetectAllFirstErrorDeterministic(t *testing.T) {
+	records, err := GenerateTraffic(SmallScenario(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	records = records[:800]
+	pipe, err := TrainPipeline(records, benchParallelConfig(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]Record(nil), records[:200]...)
+	bad[50].Protocol = "not-a-protocol"
+	bad[150].Protocol = "also-bad"
+	for trial := 0; trial < 3; trial++ {
+		if _, err := pipe.DetectAll(bad); err == nil {
+			t.Fatal("expected error from corrupted record")
+		} else if got := err.Error(); got[:len("record 50:")] != "record 50:" {
+			t.Fatalf("error does not name lowest-index record: %q", got)
+		}
+	}
+}

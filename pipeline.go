@@ -8,6 +8,7 @@ import (
 	"ghsom/internal/anomaly"
 	"ghsom/internal/core"
 	"ghsom/internal/kdd"
+	"ghsom/internal/parallel"
 	"ghsom/internal/preprocess"
 )
 
@@ -31,6 +32,13 @@ type PipelineConfig struct {
 	// Seed drives the label-capping subsample (the model has its own seed
 	// in Model.Seed).
 	Seed int64
+	// Parallelism bounds the workers used by the pipeline's own batch
+	// stages — training-set encoding/scaling and DetectAll — with 0
+	// meaning GOMAXPROCS and 1 forcing serial execution. Model training
+	// and detector fitting read their own knobs (Model.Parallelism,
+	// Detector.Parallelism), which default to GOMAXPROCS too. Results are
+	// bit-for-bit identical for every setting.
+	Parallelism int
 }
 
 // DefaultPipelineConfig returns the configuration used by the
@@ -61,12 +69,15 @@ func TrainPipeline(records []Record, cfg PipelineConfig) (*Pipeline, error) {
 		return nil, ErrEmptyTrainingSet
 	}
 	encoder := kdd.NewEncoder(records, kdd.EncoderConfig{LogTransform: cfg.LogTransform})
-	raw, err := encoder.EncodeAll(records)
+	raw, err := encodeAll(encoder, records, cfg.Parallelism)
 	if err != nil {
 		return nil, fmt.Errorf("ghsom: encode training set: %w", err)
 	}
 	scaler := &preprocess.MinMaxScaler{}
-	scaled, err := preprocess.FitTransform(scaler, raw)
+	if err := scaler.Fit(raw); err != nil {
+		return nil, fmt.Errorf("ghsom: scale training set: %w", err)
+	}
+	scaled, err := transformAll(scaler, raw, cfg.Parallelism)
 	if err != nil {
 		return nil, fmt.Errorf("ghsom: scale training set: %w", err)
 	}
@@ -117,15 +128,72 @@ func (p *Pipeline) Detect(rec *Record) (Prediction, error) {
 	return p.detector.Classify(x), nil
 }
 
-// DetectAll classifies a batch of records.
+// DetectAll classifies a batch of records. Records are encoded and
+// classified concurrently on the pipeline's configured Parallelism;
+// predictions are positionally stable and identical to calling Detect per
+// record. On failure the error of the lowest-index bad record is returned,
+// matching serial semantics.
 func (p *Pipeline) DetectAll(records []Record) ([]Prediction, error) {
 	out := make([]Prediction, len(records))
-	for i := range records {
+	err := forEachFirstErr(p.cfg.Parallelism, len(records), func(i int) error {
 		pr, err := p.Detect(&records[i])
 		if err != nil {
-			return nil, fmt.Errorf("record %d: %w", i, err)
+			return fmt.Errorf("record %d: %w", i, err)
 		}
 		out[i] = pr
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// forEachFirstErr runs fn over [0, n) on up to p workers and returns the
+// error of the lowest failing index, matching serial loop semantics.
+func forEachFirstErr(p, n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	parallel.ForEach(p, n, func(i int) { errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// encodeAll encodes every record on up to p workers, preserving record
+// order and first-error semantics.
+func encodeAll(enc *kdd.Encoder, records []Record, p int) ([][]float64, error) {
+	out := make([][]float64, len(records))
+	err := forEachFirstErr(p, len(records), func(i int) error {
+		v, err := enc.Encode(&records[i])
+		if err != nil {
+			return fmt.Errorf("record %d: %w", i, err)
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// transformAll scales every row on up to p workers, preserving row order
+// and first-error semantics.
+func transformAll(s preprocess.Scaler, rows [][]float64, p int) ([][]float64, error) {
+	out := make([][]float64, len(rows))
+	err := forEachFirstErr(p, len(rows), func(i int) error {
+		v, err := s.Transform(rows[i])
+		if err != nil {
+			return fmt.Errorf("row %d: %w", i, err)
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -189,6 +257,15 @@ func (p *Pipeline) Detector() *anomaly.Detector { return p.detector }
 
 // Config returns the pipeline's training configuration.
 func (p *Pipeline) Config() PipelineConfig { return p.cfg }
+
+// SetParallelism adjusts the worker bound used by the pipeline's batch
+// inference (DetectAll and the detector's ClassifyAll) on an already
+// trained or loaded pipeline: 0 means GOMAXPROCS, 1 forces serial
+// execution. Predictions are identical at every setting.
+func (p *Pipeline) SetParallelism(par int) {
+	p.cfg.Parallelism = par
+	p.detector.SetParallelism(par)
+}
 
 // Stream wraps the pipeline's detector for online use with the given
 // rolling-window alarm configuration.
