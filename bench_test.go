@@ -8,6 +8,7 @@ package ghsom
 // output via ReportMetric, so the bench log doubles as a results table.
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 
@@ -302,7 +303,9 @@ var benchParallelism = []struct {
 }
 
 // BenchmarkDetectAll measures batch classification throughput — the
-// inference hot path — at each Parallelism setting, reporting records/sec.
+// inference hot path — at each Parallelism setting, reporting records/sec
+// and allocations per record (DetectAll allocates the prediction slice
+// per call, so its floor is that one slice amortized over the batch).
 func BenchmarkDetectAll(b *testing.B) {
 	benchEncoded(b)
 	records := benchState.ds.Test
@@ -312,6 +315,7 @@ func BenchmarkDetectAll(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := pipe.DetectAll(records); err != nil {
@@ -321,6 +325,45 @@ func BenchmarkDetectAll(b *testing.B) {
 			b.StopTimer()
 			recPerSec := float64(len(records)) * float64(b.N) / b.Elapsed().Seconds()
 			b.ReportMetric(recPerSec, "records/sec")
+		})
+	}
+}
+
+// BenchmarkDetectBatch measures the zero-allocation batch dataplane at
+// each Parallelism setting: records/sec and allocs/record in steady
+// state, with the output slice reused across iterations. The allocs/op
+// figure (per ReportAllocs) is the PR's acceptance gate: after the first
+// warm-up iteration the whole batch must cost only a bounded handful of
+// allocations (worker goroutines + pool churn), i.e. ~0 per record.
+func BenchmarkDetectBatch(b *testing.B) {
+	benchEncoded(b)
+	records := benchState.ds.Test
+	for _, pc := range benchParallelism {
+		b.Run(pc.name, func(b *testing.B) {
+			pipe, err := TrainPipeline(benchState.ds.Train, benchParallelConfig(pc.p))
+			if err != nil {
+				b.Fatal(err)
+			}
+			out := make([]Prediction, len(records))
+			// Warm the arenas so the measured loop is steady state.
+			if _, err := pipe.DetectBatch(records, out); err != nil {
+				b.Fatal(err)
+			}
+			var before runtime.MemStats
+			runtime.ReadMemStats(&before)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pipe.DetectBatch(records, out); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			var after runtime.MemStats
+			runtime.ReadMemStats(&after)
+			recs := float64(len(records)) * float64(b.N)
+			b.ReportMetric(recs/b.Elapsed().Seconds(), "records/sec")
+			b.ReportMetric(float64(after.Mallocs-before.Mallocs)/recs, "allocs/record")
 		})
 	}
 }

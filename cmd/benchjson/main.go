@@ -1,0 +1,158 @@
+// Command benchjson measures inference throughput and allocation rates of
+// the detection pipeline and writes them as a machine-readable JSON
+// artifact, so CI can track the perf trajectory across commits.
+//
+// It trains a pipeline on the small synthetic scenario, then benchmarks
+// DetectAll and DetectBatch at Parallelism 1 and GOMAXPROCS via
+// testing.Benchmark, reporting records/sec and allocs/record for each
+// point.
+//
+// Usage:
+//
+//	benchjson -out BENCH_inference.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"ghsom"
+	"ghsom/internal/trafficgen"
+)
+
+// point is one measured benchmark configuration.
+type point struct {
+	// Name identifies the measured code path (DetectAll, DetectBatch).
+	Name string `json:"name"`
+	// Parallelism is the worker bound (0 reported as GOMAXPROCS).
+	Parallelism int `json:"parallelism"`
+	// BatchRecords is the number of records per benchmark op.
+	BatchRecords int `json:"batchRecords"`
+	// Iterations is the benchmark op count.
+	Iterations int `json:"iterations"`
+	// NsPerOp is wall time per batch op.
+	NsPerOp int64 `json:"nsPerOp"`
+	// RecordsPerSec is classification throughput.
+	RecordsPerSec float64 `json:"recordsPerSec"`
+	// AllocsPerRecord is heap allocations per classified record.
+	AllocsPerRecord float64 `json:"allocsPerRecord"`
+	// BytesPerRecord is heap bytes per classified record.
+	BytesPerRecord float64 `json:"bytesPerRecord"`
+}
+
+// artifact is the document written to -out.
+type artifact struct {
+	Schema     int       `json:"schema"`
+	Generated  time.Time `json:"generated"`
+	GoMaxProcs int       `json:"gomaxprocs"`
+	Records    int       `json:"records"`
+	Points     []point   `json:"points"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	out := fs.String("out", "BENCH_inference.json", "output JSON path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	records, err := trafficgen.Generate(trafficgen.Small(1))
+	if err != nil {
+		return err
+	}
+	doc := artifact{
+		Schema:     1,
+		Generated:  time.Now().UTC(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Records:    len(records),
+	}
+	for _, par := range []int{1, 0} {
+		cfg := ghsom.DefaultPipelineConfig()
+		cfg.Parallelism = par
+		cfg.Model.Parallelism = par
+		cfg.Detector.Parallelism = par
+		pipe, err := ghsom.TrainPipeline(records, cfg)
+		if err != nil {
+			return err
+		}
+		effective := par
+		if effective == 0 {
+			effective = runtime.GOMAXPROCS(0)
+		}
+
+		doc.Points = append(doc.Points,
+			measure("DetectAll", effective, len(records), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := pipe.DetectAll(records); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}),
+			measure("DetectBatch", effective, len(records), func(b *testing.B) {
+				out := make([]ghsom.Prediction, len(records))
+				var err error
+				if out, err = pipe.DetectBatch(records, out); err != nil {
+					b.Fatal(err) // warm-up outside the timer
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := pipe.DetectBatch(records, out); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}),
+		)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	for _, p := range doc.Points {
+		fmt.Printf("%-12s P=%-2d %12.0f records/sec %8.4f allocs/record\n",
+			p.Name, p.Parallelism, p.RecordsPerSec, p.AllocsPerRecord)
+	}
+	return nil
+}
+
+// measure runs one benchmark point via testing.Benchmark (which scales
+// b.N toward its default ~1s measuring window).
+func measure(name string, par, nRecords int, fn func(b *testing.B)) point {
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		fn(b)
+	})
+	recsPerOp := float64(nRecords)
+	perOp := res.T.Seconds() / float64(res.N)
+	return point{
+		Name:            name,
+		Parallelism:     par,
+		BatchRecords:    nRecords,
+		Iterations:      res.N,
+		NsPerOp:         res.NsPerOp(),
+		RecordsPerSec:   recsPerOp / perOp,
+		AllocsPerRecord: float64(res.AllocsPerOp()) / recsPerOp,
+		BytesPerRecord:  float64(res.AllocedBytesPerOp()) / recsPerOp,
+	}
+}

@@ -1,0 +1,434 @@
+// Command ghsom-serve serves a trained pipeline as a line-rate detection
+// service: NDJSON over HTTP, or NDJSON stdin→stdout. Concurrent requests
+// are accumulated into micro-batches — flushed when the batch reaches
+// -batch records or the -flush deadline expires, whichever comes first —
+// and each micro-batch runs through the pipeline's zero-allocation
+// DetectBatch dataplane on the parallel worker pool, so many small
+// requests cost close to what one large request does.
+//
+// HTTP endpoints:
+//
+//	POST /detect   body: one JSON kdd record per line (NDJSON); the
+//	               response is one JSON prediction per line, in order.
+//	GET  /stats    JSON batching/latency/throughput counters.
+//	GET  /healthz  200 once the model is loaded.
+//
+// Usage:
+//
+//	ghsom-serve -model model.json -addr :8741
+//	ghsom-serve -model model.json -stdin < records.ndjson > verdicts.ndjson
+//	ghsom-serve -example   # print a sample request record
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"ghsom"
+	"ghsom/internal/kdd"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ghsom-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("ghsom-serve", flag.ContinueOnError)
+	modelPath := fs.String("model", "model.json", "trained pipeline file")
+	addr := fs.String("addr", ":8741", "HTTP listen address")
+	maxBatch := fs.Int("batch", 256, "micro-batch flush size (records)")
+	flushEvery := fs.Duration("flush", 2*time.Millisecond, "micro-batch flush deadline")
+	par := fs.Int("parallelism", 0, "detection worker bound (0 = GOMAXPROCS)")
+	useStdin := fs.Bool("stdin", false, "serve NDJSON records from stdin to stdout instead of HTTP")
+	example := fs.Bool("example", false, "print one example request record as JSON and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *example {
+		return printExample(stdout)
+	}
+	if *maxBatch < 1 {
+		return fmt.Errorf("-batch must be >= 1, got %d", *maxBatch)
+	}
+	if *flushEvery <= 0 {
+		return fmt.Errorf("-flush must be positive, got %v", *flushEvery)
+	}
+
+	mf, err := os.Open(*modelPath)
+	if err != nil {
+		return err
+	}
+	pipe, err := ghsom.LoadPipeline(mf)
+	mf.Close()
+	if err != nil {
+		return err
+	}
+	pipe.SetParallelism(*par)
+
+	if *useStdin {
+		return serveStdin(pipe, *maxBatch, stdin, stdout)
+	}
+
+	b := newBatcher(pipe, *maxBatch, *flushEvery)
+	defer b.close()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /detect", b.handleDetect)
+	mux.HandleFunc("GET /stats", b.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Fprintf(os.Stderr, "ghsom-serve: listening on %s (batch=%d flush=%v)\n", *addr, *maxBatch, *flushEvery)
+	return srv.ListenAndServe()
+}
+
+// printExample emits a canonical normal connection record clients can
+// template their NDJSON requests on.
+func printExample(w io.Writer) error {
+	rec := kdd.Record{
+		Duration: 1, Protocol: "tcp", Service: "http", Flag: "SF",
+		SrcBytes: 230, DstBytes: 8150, LoggedIn: true,
+		Count: 8, SrvCount: 8, SameSrvRate: 1,
+		DstHostCount: 30, DstHostSrvCount: 30, DstHostSameSrvRate: 1,
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(rec)
+}
+
+// job is one client request moving through the batcher: its records, the
+// predictions written back by the flush, and a done signal.
+type job struct {
+	records []kdd.Record
+	preds   []ghsom.Prediction
+	err     error
+	done    chan struct{}
+}
+
+// serveStats is the monotonically growing counter set behind /stats.
+type serveStats struct {
+	mu         sync.Mutex
+	start      time.Time
+	batches    int64
+	records    int64
+	maxBatch   int
+	sumLatency time.Duration
+	maxLatency time.Duration
+}
+
+func (s *serveStats) record(records int, latency time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.batches++
+	s.records += int64(records)
+	if records > s.maxBatch {
+		s.maxBatch = records
+	}
+	s.sumLatency += latency
+	if latency > s.maxLatency {
+		s.maxLatency = latency
+	}
+}
+
+// statsView is the marshal-safe derived view served on /stats.
+type statsView struct {
+	Batches       int64   `json:"batches"`
+	Records       int64   `json:"records"`
+	MaxBatchSize  int     `json:"maxBatchSize"`
+	UptimeSec     float64 `json:"uptimeSec"`
+	RecordsPerSec float64 `json:"recordsPerSec"`
+	MeanBatchSize float64 `json:"meanBatchSize"`
+	MeanBatchMs   float64 `json:"meanBatchLatencyMs"`
+	MaxBatchMs    float64 `json:"maxBatchLatencyMs"`
+}
+
+// snapshot derives the rate/mean fields under the lock.
+func (s *serveStats) snapshot() statsView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := statsView{
+		Batches:      s.batches,
+		Records:      s.records,
+		MaxBatchSize: s.maxBatch,
+		MaxBatchMs:   s.maxLatency.Seconds() * 1e3,
+	}
+	up := time.Since(s.start)
+	out.UptimeSec = up.Seconds()
+	if up > 0 {
+		out.RecordsPerSec = float64(s.records) / up.Seconds()
+	}
+	if s.batches > 0 {
+		out.MeanBatchSize = float64(s.records) / float64(s.batches)
+		out.MeanBatchMs = (s.sumLatency / time.Duration(s.batches)).Seconds() * 1e3
+	}
+	return out
+}
+
+// batcher accumulates jobs into micro-batches and flushes them through
+// DetectBatch on size or deadline.
+type batcher struct {
+	pipe       *ghsom.Pipeline
+	maxBatch   int
+	flushEvery time.Duration
+	jobs       chan *job
+	quit       chan struct{}
+	wg         sync.WaitGroup
+	stats      serveStats
+}
+
+func newBatcher(pipe *ghsom.Pipeline, maxBatch int, flushEvery time.Duration) *batcher {
+	b := &batcher{
+		pipe:       pipe,
+		maxBatch:   maxBatch,
+		flushEvery: flushEvery,
+		jobs:       make(chan *job, 64),
+		quit:       make(chan struct{}),
+	}
+	b.stats.start = time.Now()
+	b.wg.Add(1)
+	go b.loop()
+	return b
+}
+
+func (b *batcher) close() {
+	close(b.quit)
+	b.wg.Wait()
+}
+
+// loop is the micro-batching core: it drains the job channel, flushing
+// the pending batch when it reaches maxBatch records or when the oldest
+// pending job has waited flushEvery.
+func (b *batcher) loop() {
+	defer b.wg.Done()
+	var (
+		pending []*job
+		size    int
+		timer   *time.Timer
+		timeout <-chan time.Time
+	)
+	flush := func() {
+		if timer != nil {
+			timer.Stop()
+			timer, timeout = nil, nil
+		}
+		if len(pending) == 0 {
+			return
+		}
+		b.flush(pending, size)
+		pending, size = nil, 0
+	}
+	for {
+		select {
+		case j := <-b.jobs:
+			pending = append(pending, j)
+			size += len(j.records)
+			if size >= b.maxBatch {
+				flush()
+				continue
+			}
+			if timer == nil {
+				timer = time.NewTimer(b.flushEvery)
+				timeout = timer.C
+			}
+		case <-timeout:
+			timer, timeout = nil, nil
+			flush()
+		case <-b.quit:
+			// Drain whatever arrived before shutdown so no job hangs.
+			for {
+				select {
+				case j := <-b.jobs:
+					pending = append(pending, j)
+					size += len(j.records)
+				default:
+					flush()
+					return
+				}
+			}
+		}
+	}
+}
+
+// flush concatenates the pending jobs into one record batch, runs
+// DetectBatch, and scatters the predictions back per job. A failed merged
+// batch must not fail co-batched clients' valid requests (and its record
+// index refers to the concatenated batch, not any one client's payload),
+// so on error every job is retried individually: valid jobs succeed and
+// the bad job gets an error with job-local record indices.
+func (b *batcher) flush(pending []*job, size int) {
+	batch := make([]kdd.Record, 0, size)
+	for _, j := range pending {
+		batch = append(batch, j.records...)
+	}
+	start := time.Now()
+	preds, err := b.pipe.DetectBatch(batch, nil)
+	if err != nil {
+		// Only the per-job retries actually serve records, so only they
+		// count toward /stats; the failed merged attempt is discarded.
+		for _, j := range pending {
+			start := time.Now()
+			j.preds, j.err = b.pipe.DetectBatch(j.records, nil)
+			if j.err == nil {
+				b.stats.record(len(j.records), time.Since(start))
+			}
+			close(j.done)
+		}
+		return
+	}
+	b.stats.record(len(batch), time.Since(start))
+	off := 0
+	for _, j := range pending {
+		j.preds = preds[off : off+len(j.records)]
+		off += len(j.records)
+		close(j.done)
+	}
+}
+
+// submit enqueues records and blocks until their batch is flushed or ctx
+// is canceled.
+func (b *batcher) submit(ctx context.Context, records []kdd.Record) ([]ghsom.Prediction, error) {
+	j := &job{records: records, done: make(chan struct{})}
+	select {
+	case b.jobs <- j:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	select {
+	case <-j.done:
+		return j.preds, j.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// readRecords parses NDJSON records, reporting the line of the first
+// malformed one.
+func readRecords(r io.Reader, maxRecords int) ([]kdd.Record, error) {
+	dec := json.NewDecoder(r)
+	var out []kdd.Record
+	for line := 1; ; line++ {
+		var rec kdd.Record
+		if err := dec.Decode(&rec); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("record %d: %w", line, err)
+		}
+		out = append(out, rec)
+		if maxRecords > 0 && len(out) > maxRecords {
+			return nil, fmt.Errorf("request exceeds %d records", maxRecords)
+		}
+	}
+	return out, nil
+}
+
+// maxRequestRecords and maxRequestBytes bound one HTTP request body (by
+// record count and by raw size — a single huge record must not exhaust
+// memory); bulk scoring belongs on the stdin path or multiple requests.
+const (
+	maxRequestRecords = 100_000
+	maxRequestBytes   = 64 << 20
+)
+
+func (b *batcher) handleDetect(w http.ResponseWriter, r *http.Request) {
+	records, err := readRecords(http.MaxBytesReader(w, r.Body, maxRequestBytes), maxRequestRecords)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(records) == 0 {
+		http.Error(w, "empty request: expected NDJSON records", http.StatusBadRequest)
+		return
+	}
+	preds, err := b.submit(r.Context(), records)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for i := range preds {
+		if err := enc.Encode(&preds[i]); err != nil {
+			return // client went away mid-response
+		}
+	}
+}
+
+func (b *batcher) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	snap := b.stats.snapshot()
+	json.NewEncoder(w).Encode(&snap)
+}
+
+// serveStdin is the single-producer dataplane: NDJSON records are read
+// from stdin in chunks of up to maxBatch, detected through DetectBatch
+// with reused output buffers (micro-batching with one client degenerates
+// to chunking, so no timer is involved), and written as NDJSON
+// predictions in input order. A per-batch summary lands on stderr.
+func serveStdin(pipe *ghsom.Pipeline, maxBatch int, stdin io.Reader, stdout io.Writer) error {
+	dec := json.NewDecoder(bufio.NewReader(stdin))
+	out := bufio.NewWriter(stdout)
+	defer out.Flush()
+	enc := json.NewEncoder(out)
+	batch := make([]kdd.Record, 0, maxBatch)
+	var preds []ghsom.Prediction
+	var stats serveStats
+	stats.start = time.Now()
+	line := 0
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		start := time.Now()
+		var err error
+		preds, err = pipe.DetectBatch(batch, preds)
+		if err != nil {
+			return fmt.Errorf("detect batch ending at record %d: %w", line, err)
+		}
+		stats.record(len(batch), time.Since(start))
+		for i := range preds {
+			if err := enc.Encode(&preds[i]); err != nil {
+				return err
+			}
+		}
+		batch = batch[:0]
+		return nil
+	}
+	for {
+		var rec kdd.Record
+		err := dec.Decode(&rec)
+		if err == io.EOF {
+			break
+		} else if err != nil {
+			return fmt.Errorf("record %d: %w", line+1, err)
+		}
+		line++
+		batch = append(batch, rec)
+		if len(batch) >= maxBatch {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	snap := stats.snapshot()
+	fmt.Fprintf(os.Stderr, "ghsom-serve: %d records in %d batches, %.0f records/sec, mean batch %.2fms\n",
+		snap.Records, snap.Batches, snap.RecordsPerSec, snap.MeanBatchMs)
+	return nil
+}

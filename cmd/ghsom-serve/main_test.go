@@ -1,0 +1,287 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ghsom"
+	"ghsom/internal/kdd"
+	"ghsom/internal/trafficgen"
+)
+
+// servePipe caches one trained pipeline and its generated records across
+// the tests of this package.
+var servePipe struct {
+	once sync.Once
+	pipe *ghsom.Pipeline
+	recs []kdd.Record
+	err  error
+}
+
+func testPipeline(t *testing.T) (*ghsom.Pipeline, []kdd.Record) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("serving integration test; skipped with -short")
+	}
+	servePipe.once.Do(func() {
+		recs, err := trafficgen.Generate(trafficgen.Small(71))
+		if err != nil {
+			servePipe.err = err
+			return
+		}
+		cfg := ghsom.DefaultPipelineConfig()
+		cfg.Model.EpochsPerGrowth = 3
+		cfg.Model.FineTuneEpochs = 3
+		cfg.Model.MaxGrowIters = 6
+		cfg.Model.MaxDepth = 3
+		cfg.TrainCapPerLabel = 800
+		servePipe.pipe, servePipe.err = ghsom.TrainPipeline(recs, cfg)
+		servePipe.recs = recs
+	})
+	if servePipe.err != nil {
+		t.Fatal(servePipe.err)
+	}
+	return servePipe.pipe, servePipe.recs
+}
+
+// ndjson renders records as one JSON document per line.
+func ndjson(t *testing.T, recs []kdd.Record) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for i := range recs {
+		if err := enc.Encode(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// decodePreds parses an NDJSON prediction stream.
+func decodePreds(t *testing.T, r io.Reader) []ghsom.Prediction {
+	t.Helper()
+	dec := json.NewDecoder(r)
+	var out []ghsom.Prediction
+	for {
+		var p ghsom.Prediction
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// TestBatcherCoalescesAndMatchesDetectAll submits many small concurrent
+// requests through the micro-batcher and verifies every client gets the
+// same predictions the direct batch path produces, and that coalescing
+// actually happened (fewer batches than jobs).
+func TestBatcherCoalescesAndMatchesDetectAll(t *testing.T) {
+	pipe, recs := testPipeline(t)
+	eval := recs[:600]
+	want, err := pipe.DetectAll(eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := newBatcher(pipe, 128, 5*time.Millisecond)
+	defer b.close()
+
+	const jobRecs = 5
+	nJobs := len(eval) / jobRecs
+	got := make([][]ghsom.Prediction, nJobs)
+	var wg sync.WaitGroup
+	errs := make([]error, nJobs)
+	for j := 0; j < nJobs; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			got[j], errs[j] = b.submit(context.Background(), eval[j*jobRecs:(j+1)*jobRecs])
+		}(j)
+	}
+	wg.Wait()
+	for j := 0; j < nJobs; j++ {
+		if errs[j] != nil {
+			t.Fatalf("job %d: %v", j, errs[j])
+		}
+		for i, p := range got[j] {
+			if p != want[j*jobRecs+i] {
+				t.Fatalf("job %d record %d: batched %+v, direct %+v", j, i, p, want[j*jobRecs+i])
+			}
+		}
+	}
+	snap := b.stats.snapshot()
+	if snap.Records != int64(nJobs*jobRecs) {
+		t.Errorf("stats.records = %d, want %d", snap.Records, nJobs*jobRecs)
+	}
+	if snap.Batches >= int64(nJobs) {
+		t.Errorf("micro-batching did not coalesce: %d batches for %d jobs", snap.Batches, nJobs)
+	}
+}
+
+// TestBatcherIsolatesBadJob verifies a bad record in one client's request
+// does not fail co-batched valid requests, and that the failing client's
+// error carries its own record index, not the merged batch's.
+func TestBatcherIsolatesBadJob(t *testing.T) {
+	pipe, recs := testPipeline(t)
+	// Large flush window + batch so both jobs coalesce into one flush.
+	b := newBatcher(pipe, 1024, 50*time.Millisecond)
+	defer b.close()
+
+	good := recs[:20]
+	bad := append([]kdd.Record(nil), recs[20:30]...)
+	bad[7].Flag = "BOGUS"
+
+	var wg sync.WaitGroup
+	var goodPreds, badPreds []ghsom.Prediction
+	var goodErr, badErr error
+	wg.Add(2)
+	go func() { defer wg.Done(); goodPreds, goodErr = b.submit(context.Background(), good) }()
+	go func() { defer wg.Done(); badPreds, badErr = b.submit(context.Background(), bad) }()
+	wg.Wait()
+
+	if goodErr != nil {
+		t.Fatalf("valid job failed alongside a bad co-batched job: %v", goodErr)
+	}
+	want, err := pipe.DetectAll(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if goodPreds[i] != want[i] {
+			t.Fatalf("record %d: isolated retry %+v, direct %+v", i, goodPreds[i], want[i])
+		}
+	}
+	if badErr == nil || !strings.Contains(badErr.Error(), "record 7") {
+		t.Errorf("bad job err = %v, want its own record 7", badErr)
+	}
+	if badPreds != nil {
+		t.Error("bad job received predictions despite error")
+	}
+}
+
+// TestHandleDetectHTTP exercises the HTTP surface end to end.
+func TestHandleDetectHTTP(t *testing.T) {
+	pipe, recs := testPipeline(t)
+	eval := recs[100:160]
+	b := newBatcher(pipe, 64, 2*time.Millisecond)
+	defer b.close()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /detect", b.handleDetect)
+	mux.HandleFunc("GET /stats", b.handleStats)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/detect", "application/x-ndjson", bytes.NewReader(ndjson(t, eval)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	preds := decodePreds(t, resp.Body)
+	want, err := pipe.DetectAll(eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != len(want) {
+		t.Fatalf("got %d predictions, want %d", len(preds), len(want))
+	}
+	for i := range preds {
+		if preds[i] != want[i] {
+			t.Fatalf("record %d: http %+v, direct %+v", i, preds[i], want[i])
+		}
+	}
+
+	// Malformed and empty bodies are client errors.
+	for _, body := range []string{"", "{not json}"} {
+		resp, err := http.Post(srv.URL+"/detect", "application/x-ndjson", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+
+	// Stats reflect the served traffic.
+	sresp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var snap statsView
+	if err := json.NewDecoder(sresp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Records < int64(len(eval)) || snap.Batches < 1 {
+		t.Errorf("stats = %+v, want >= %d records in >= 1 batch", snap, len(eval))
+	}
+}
+
+// TestServeStdin drives the stdin→stdout NDJSON dataplane and checks
+// output order and equivalence.
+func TestServeStdin(t *testing.T) {
+	pipe, recs := testPipeline(t)
+	eval := recs[200:500]
+	var out bytes.Buffer
+	if err := serveStdin(pipe, 64, bytes.NewReader(ndjson(t, eval)), &out); err != nil {
+		t.Fatal(err)
+	}
+	preds := decodePreds(t, &out)
+	want, err := pipe.DetectAll(eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != len(want) {
+		t.Fatalf("got %d predictions, want %d", len(preds), len(want))
+	}
+	for i := range preds {
+		if preds[i] != want[i] {
+			t.Fatalf("record %d: stdin %+v, direct %+v", i, preds[i], want[i])
+		}
+	}
+}
+
+func TestServeStdinRejectsGarbage(t *testing.T) {
+	pipe, _ := testPipeline(t)
+	err := serveStdin(pipe, 8, strings.NewReader("{\"Protocol\":\"tcp\"}\nnot-json\n"), io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "record 2") {
+		t.Errorf("err = %v, want record 2 parse failure", err)
+	}
+}
+
+func TestRunExampleAndFlagValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-example"}, nil, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var rec kdd.Record
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("example output not a record: %v", err)
+	}
+	if rec.Protocol != "tcp" || rec.Service == "" {
+		t.Errorf("example record = %+v", rec)
+	}
+	if err := run([]string{"-batch", "0", "-model", "nope.json"}, nil, io.Discard); err == nil {
+		t.Error("batch 0 accepted")
+	}
+	if err := run([]string{"-flush", "-1ms", "-model", "nope.json"}, nil, io.Discard); err == nil {
+		t.Error("negative flush accepted")
+	}
+	if err := run([]string{"-model", "/nonexistent/model.json"}, nil, io.Discard); err == nil {
+		t.Error("missing model accepted")
+	}
+}

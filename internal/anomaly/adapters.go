@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"strconv"
+	"sync"
 
 	"ghsom/internal/baseline"
 	"ghsom/internal/core"
@@ -14,20 +15,123 @@ import (
 // cell is the hierarchical leaf placement "nodeID/unit". Routing uses
 // RouteTrained so classification stays on the effective codebook (units
 // that won training data).
+//
+// Build it with NewGHSOMQuantizer on the inference hot path: the
+// constructor precomputes the "nodeID/unit" cell name of every unit in
+// the hierarchy, so Quantize and QuantizeBatch hand out shared immutable
+// strings instead of formatting one per record. The plain composite
+// literal GHSOMQuantizer{Model: m} remains valid and routes identically,
+// falling back to per-call formatting.
 type GHSOMQuantizer struct {
 	// Model is the trained hierarchy.
 	Model *core.GHSOM
+	// names caches the cell name of every (node, unit) pair, indexed by
+	// node ID then unit; nil when built without NewGHSOMQuantizer.
+	names [][]string
 }
 
 var (
 	_ Quantizer       = GHSOMQuantizer{}
+	_ BatchQuantizer  = GHSOMQuantizer{}
 	_ WeightQuantizer = GHSOMQuantizer{}
 )
+
+// NewGHSOMQuantizer builds the adapter with its cell-name cache — the
+// allocation-free form used by the batch inference dataplane.
+func NewGHSOMQuantizer(model *core.GHSOM) GHSOMQuantizer {
+	nodes := model.Nodes()
+	names := make([][]string, len(nodes))
+	for _, n := range nodes {
+		units := make([]string, n.Map.Units())
+		for u := range units {
+			units[u] = core.UnitKey{NodeID: n.ID, Unit: u}.String()
+		}
+		names[n.ID] = units
+	}
+	return GHSOMQuantizer{Model: model, names: names}
+}
 
 // Quantize routes x down the hierarchy.
 func (g GHSOMQuantizer) Quantize(x []float64) (string, float64) {
 	p := g.Model.RouteTrained(x)
-	return p.Key().String(), p.QE
+	return g.cellName(p), p.QE
+}
+
+// placeScratchPool recycles the Placement scratch QuantizeBatch hands to
+// the model's flat batch descent.
+var placeScratchPool = sync.Pool{
+	New: func() any { return &placeScratch{buf: make([]core.Placement, 256)} },
+}
+
+type placeScratch struct{ buf []core.Placement }
+
+// completeRows returns how many full d-wide rows flat actually holds, at
+// most n — the defensive clamp shared by the batch quantizers so a
+// truncated batch degrades to sentinels instead of panicking.
+func completeRows(flat []float64, n, d int) int {
+	if d <= 0 || n <= 0 {
+		return 0
+	}
+	if rows := len(flat) / d; rows < n {
+		return rows
+	}
+	return n
+}
+
+// padSentinel fills out[rows:n] — rows a truncated batch could not
+// provide — with the given degenerate-quantization sentinel.
+func padSentinel(out []CellQE, rows, n int, cell string) {
+	for i := rows; i < n; i++ {
+		out[i] = CellQE{Cell: cell, QE: math.NaN()}
+	}
+}
+
+// QuantizeBatch routes the flat batch down the hierarchy via the model's
+// batch descent (RouteTrainedFlat, serial within the batch —
+// ClassifyBatch parallelizes across chunks), writing cells and
+// quantization errors into out. With a cached name table the steady
+// state performs no per-row allocation; the Placement scratch is pooled.
+// Rows whose width d does not match the model keep Quantize's
+// dimension-mismatch sentinel, and a truncated flat (fewer than n
+// complete rows) yields sentinels for the missing tail instead of
+// panicking.
+func (g GHSOMQuantizer) QuantizeBatch(flat []float64, n, d int, out []CellQE) {
+	rows := completeRows(flat, n, d)
+	defer padSentinel(out, rows, n, "-1/-1")
+	if d != g.Model.Dim() {
+		for i := 0; i < rows; i++ {
+			p := g.Model.RouteTrained(flat[i*d : (i+1)*d])
+			out[i] = CellQE{Cell: g.cellName(p), QE: p.QE}
+		}
+		return
+	}
+	if rows == 0 {
+		return
+	}
+	scratch := placeScratchPool.Get().(*placeScratch)
+	if cap(scratch.buf) < rows {
+		scratch.buf = make([]core.Placement, rows)
+	}
+	places := scratch.buf[:rows]
+	// rows complete full-width rows are guaranteed above, so the descent
+	// cannot fail.
+	_ = g.Model.RouteTrainedFlat(flat, rows, places, 1)
+	for i := 0; i < rows; i++ {
+		out[i] = CellQE{Cell: g.cellName(places[i]), QE: places[i].QE}
+	}
+	placeScratchPool.Put(scratch)
+}
+
+// cellName resolves a placement to its cell string, preferring the cached
+// table and falling back to formatting for cache misses (foreign node
+// IDs, dimension-mismatch placements with NodeID -1).
+func (g GHSOMQuantizer) cellName(p core.Placement) string {
+	if p.NodeID >= 0 && p.NodeID < len(g.names) {
+		if units := g.names[p.NodeID]; p.Unit >= 0 && p.Unit < len(units) {
+			return units[p.Unit]
+		}
+	}
+	return p.Key().String()
 }
 
 // CellWeight returns the weight vector of a "nodeID/unit" cell, or nil
@@ -52,20 +156,62 @@ type SOMQuantizer struct {
 	UnitCounts []int
 }
 
-var _ Quantizer = SOMQuantizer{}
+var (
+	_ Quantizer      = SOMQuantizer{}
+	_ BatchQuantizer = SOMQuantizer{}
+)
 
 // Quantize finds the best-matching unit of x.
 func (s SOMQuantizer) Quantize(x []float64) (string, float64) {
 	if s.UnitCounts != nil {
-		bmu, d2, ok := s.Map.BMUWhere(x, func(u int) bool {
-			return u < len(s.UnitCounts) && s.UnitCounts[u] > 0
-		})
+		bmu, d2, ok := s.Map.BMUMasked(x, s.UnitCounts)
 		if ok {
 			return strconv.Itoa(bmu), math.Sqrt(d2)
 		}
 	}
 	bmu, d2 := s.Map.BMU(x)
 	return strconv.Itoa(bmu), math.Sqrt(d2)
+}
+
+// bmuScratchPool recycles the AssignFlat outputs of SOMQuantizer batches.
+var bmuScratchPool = sync.Pool{New: func() any { return &bmuScratch{} }}
+
+type bmuScratch struct {
+	bmus []int
+	d2s  []float64
+}
+
+// QuantizeBatch assigns the flat batch through the map's batch BMU
+// kernel (AssignFlat, pinned serial — ClassifyBatch already parallelizes
+// across chunks). Effective-codebook maps (UnitCounts set) and rows
+// whose width d does not match the map fall back to per-row Quantize; a
+// truncated flat yields sentinels for the missing tail. Cell names are
+// formatted per row (the flat-SOM baseline path does not cache them).
+func (s SOMQuantizer) QuantizeBatch(flat []float64, n, d int, out []CellQE) {
+	rows := completeRows(flat, n, d)
+	defer padSentinel(out, rows, n, "")
+	if d != s.Map.Dim() || s.UnitCounts != nil {
+		for i := 0; i < rows; i++ {
+			out[i].Cell, out[i].QE = s.Quantize(flat[i*d : (i+1)*d])
+		}
+		return
+	}
+	if rows == 0 {
+		return
+	}
+	scratch := bmuScratchPool.Get().(*bmuScratch)
+	if cap(scratch.bmus) < rows {
+		scratch.bmus = make([]int, rows)
+		scratch.d2s = make([]float64, rows)
+	}
+	bmus, d2s := scratch.bmus[:rows], scratch.d2s[:rows]
+	// rows complete full-width rows are guaranteed above, so the
+	// assignment cannot fail.
+	_ = s.Map.AssignFlat(flat[:rows*d], rows, bmus, d2s, 1)
+	for i := 0; i < rows; i++ {
+		out[i] = CellQE{Cell: strconv.Itoa(bmus[i]), QE: math.Sqrt(d2s[i])}
+	}
+	bmuScratchPool.Put(scratch)
 }
 
 // KMeansQuantizer adapts a k-means codebook: the cell is the centroid

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"ghsom/internal/parallel"
 	"ghsom/internal/vecmath"
@@ -37,6 +38,32 @@ var (
 // flat SOM, a centroid index for k-means.
 type Quantizer interface {
 	Quantize(x []float64) (cell string, qe float64)
+}
+
+// CellQE is the quantization result for one row of a flat batch.
+type CellQE struct {
+	// Cell is the quantizer cell the row landed in.
+	Cell string
+	// QE is the row's quantization error.
+	QE float64
+}
+
+// BatchQuantizer is a Quantizer with a flat-batch fast path. ClassifyBatch
+// uses it when available, so quantizers that can amortize work across a
+// batch (or avoid per-row allocation, like the GHSOM adapter's cached cell
+// names) should implement it.
+type BatchQuantizer interface {
+	Quantizer
+	// QuantizeBatch quantizes the n d-wide rows of the flat row-major
+	// matrix into out, which must have length at least n. Each complete
+	// row is quantized exactly like Quantize on the corresponding
+	// subslice (including degenerate-input behavior); a truncated flat
+	// degrades to sentinel cells for the missing tail rather than
+	// panicking. Implementations should keep steady-state allocation
+	// bounded per batch (not per row) and avoid spawning unbounded
+	// concurrency of their own — ClassifyBatch already parallelizes
+	// across row ranges.
+	QuantizeBatch(flat []float64, n, d int, out []CellQE)
 }
 
 // Config controls detector fitting.
@@ -234,6 +261,13 @@ func majorityLabel(counts map[string]int) string {
 // Classify returns the verdict for one encoded record.
 func (d *Detector) Classify(x []float64) Prediction {
 	cell, qe := d.q.Quantize(x)
+	return d.verdict(cell, qe)
+}
+
+// verdict turns a quantization result into a prediction — the single
+// decision kernel shared by Classify, ClassifyAll, and ClassifyBatch. It
+// performs no allocation.
+func (d *Detector) verdict(cell string, qe float64) Prediction {
 	info, seen := d.cells[cell]
 	p := Prediction{Cell: cell, QE: qe}
 	if !seen {
@@ -281,6 +315,78 @@ func (d *Detector) ClassifyAll(data [][]float64) []Prediction {
 		out[i] = d.Classify(data[i])
 	})
 	return out
+}
+
+// classifyChunk is the largest number of rows one ClassifyBatch worker
+// quantizes per pooled CellQE scratch buffer; the chunk size shrinks
+// below it so a batch always splits across the configured workers.
+const classifyChunk = 256
+
+// cellScratch is the pooled per-worker quantization scratch of
+// ClassifyBatch.
+var cellScratchPool = sync.Pool{
+	New: func() any { return &cellScratch{buf: make([]CellQE, classifyChunk)} },
+}
+
+type cellScratch struct{ buf []CellQE }
+
+// ClassifyBatch classifies the n d-wide rows of the flat row-major matrix
+// into out, which must have length at least n. Rows are processed in
+// chunks, concurrently on the detector's configured Parallelism, each
+// chunk quantized through the quantizer's batch path (BatchQuantizer)
+// when it has one and per row otherwise. Predictions are positionally
+// stable and byte-identical to calling Classify on each row. In steady
+// state the call performs no per-record heap allocation: quantization
+// scratch comes from an internal pool and verdicts are written straight
+// into out.
+func (d *Detector) ClassifyBatch(flat []float64, n, dim int, out []Prediction) error {
+	return d.ClassifyBatchAt(flat, n, dim, out, d.cfg.Parallelism)
+}
+
+// ClassifyBatchAt is ClassifyBatch with an explicit worker bound (0 =
+// GOMAXPROCS, 1 = serial) instead of the detector's knob. Callers that
+// already fan out across row ranges themselves (Pipeline.DetectBatch)
+// pin it to 1 so the layers do not multiply their worker counts — the
+// same convention the batch quantizers follow one layer down.
+func (d *Detector) ClassifyBatchAt(flat []float64, n, dim int, out []Prediction, parallelism int) error {
+	if d.q == nil {
+		return ErrNotFitted
+	}
+	if dim <= 0 {
+		return fmt.Errorf("anomaly: classify batch with dim %d", dim)
+	}
+	if len(flat) < n*dim {
+		return fmt.Errorf("anomaly: classify batch of %d rows from %d values, want >= %d", n, len(flat), n*dim)
+	}
+	if len(out) < n {
+		return fmt.Errorf("anomaly: classify batch of %d rows into %d predictions", n, len(out))
+	}
+	bq, batch := d.q.(BatchQuantizer)
+	w := parallel.Workers(parallelism, n)
+	chunk := min((n+w-1)/w, classifyChunk)
+	if chunk < 1 {
+		chunk = 1
+	}
+	chunks := (n + chunk - 1) / chunk
+	parallel.ForEach(parallelism, chunks, func(c int) {
+		lo := c * chunk
+		hi := min(lo+chunk, n)
+		if batch {
+			scratch := cellScratchPool.Get().(*cellScratch)
+			cells := scratch.buf[:hi-lo]
+			bq.QuantizeBatch(flat[lo*dim:hi*dim], hi-lo, dim, cells)
+			for i := lo; i < hi; i++ {
+				out[i] = d.verdict(cells[i-lo].Cell, cells[i-lo].QE)
+			}
+			cellScratchPool.Put(scratch)
+			return
+		}
+		for i := lo; i < hi; i++ {
+			cell, qe := d.q.Quantize(flat[i*dim : (i+1)*dim])
+			out[i] = d.verdict(cell, qe)
+		}
+	})
+	return nil
 }
 
 // SetParallelism adjusts the worker bound used by ClassifyAll after

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"ghsom/internal/parallel"
 	"ghsom/internal/vecmath"
 )
 
@@ -66,21 +67,47 @@ func (g *GHSOM) RouteTrained(x []float64) Placement {
 	if len(x) != g.dim {
 		return Placement{NodeID: -1, Unit: -1, QE: math.NaN()}
 	}
+	return g.routeTrainedRow(x)
+}
+
+// routeTrainedRow is the validated effective-codebook descent kernel:
+// len(x) == g.dim. It is allocation-free (BMUMasked instead of a
+// per-level predicate closure) and shared by RouteTrained and
+// RouteTrainedFlat so the per-record and batch paths cannot diverge.
+func (g *GHSOM) routeTrainedRow(x []float64) Placement {
 	node := g.root
 	for {
-		n := node
-		bmu, d2, ok := n.Map.BMUWhere(x, func(u int) bool {
-			return u < len(n.UnitCount) && n.UnitCount[u] > 0
-		})
+		bmu, d2, ok := node.Map.BMUMasked(x, node.UnitCount)
 		if !ok {
-			bmu, d2 = n.Map.BMU(x)
+			bmu, d2 = node.Map.BMU(x)
 		}
-		child, exists := n.Children[bmu]
+		child, exists := node.Children[bmu]
 		if !exists {
-			return Placement{NodeID: n.ID, Unit: bmu, Depth: n.Depth, QE: math.Sqrt(d2)}
+			return Placement{NodeID: node.ID, Unit: bmu, Depth: node.Depth, QE: math.Sqrt(d2)}
 		}
 		node = child
 	}
+}
+
+// RouteTrainedFlat routes every row of the flat row-major batch (n rows
+// of Dim() values) through the effective codebook, writing placements
+// into out, which must have length at least n. Rows are routed
+// concurrently on up to Workers(parallelism, n) goroutines (0 =
+// GOMAXPROCS, 1 = serial); placements are positionally stable and
+// identical to calling RouteTrained per row at every setting. This is the
+// batch BMU descent under anomaly batch quantization: beyond the worker
+// goroutines it performs no per-row allocation.
+func (g *GHSOM) RouteTrainedFlat(flat []float64, n int, out []Placement, parallelism int) error {
+	if len(flat) < n*g.dim {
+		return fmt.Errorf("core: route flat batch of %d rows from %d values, want >= %d", n, len(flat), n*g.dim)
+	}
+	if len(out) < n {
+		return fmt.Errorf("core: route flat batch of %d rows into %d placements", n, len(out))
+	}
+	parallel.ForEach(parallelism, n, func(i int) {
+		out[i] = g.routeTrainedRow(flat[i*g.dim : (i+1)*g.dim])
+	})
+	return nil
 }
 
 // RouteAll routes every row of data and returns the placements.

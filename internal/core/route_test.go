@@ -157,6 +157,44 @@ func TestRouteTrainedDimMismatch(t *testing.T) {
 	}
 }
 
+// TestRouteTrainedFlatMatchesPerRow verifies the flat batch descent is
+// bit-identical to RouteTrained per row at every worker count.
+func TestRouteTrainedFlatMatchesPerRow(t *testing.T) {
+	g := trainedModel(t)
+	rng := rand.New(rand.NewSource(44))
+	n := 400
+	flat := make([]float64, n*g.Dim())
+	for i := range flat {
+		flat[i] = rng.NormFloat64() * 15
+	}
+	want := make([]Placement, n)
+	for i := 0; i < n; i++ {
+		want[i] = g.RouteTrained(flat[i*g.Dim() : (i+1)*g.Dim()])
+	}
+	for _, p := range []int{1, 2, 8, 0} {
+		out := make([]Placement, n)
+		if err := g.RouteTrainedFlat(flat, n, out, p); err != nil {
+			t.Fatal(err)
+		}
+		for i := range out {
+			if out[i] != want[i] {
+				t.Fatalf("p=%d row %d: flat %+v, per-row %+v", p, i, out[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRouteTrainedFlatValidation(t *testing.T) {
+	g := trainedModel(t)
+	flat := make([]float64, 3*g.Dim())
+	if err := g.RouteTrainedFlat(flat, 4, make([]Placement, 4), 1); err == nil {
+		t.Error("short flat accepted")
+	}
+	if err := g.RouteTrainedFlat(flat, 3, make([]Placement, 2), 1); err == nil {
+		t.Error("short out accepted")
+	}
+}
+
 func TestLeafQEMatchesRoute(t *testing.T) {
 	g := trainedModel(t)
 	x := []float64{3, 7}

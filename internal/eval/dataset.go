@@ -61,24 +61,40 @@ type Encoded struct {
 	TrainLabels, TestLabels []string
 }
 
-// Encode builds the shared numeric view of ds.
+// Encode builds the shared numeric view of ds. Both splits are encoded
+// through the flat batch dataplane (EncodeBatch into one backing array
+// per split, scaled in place by TransformBatch); the exposed [][]float64
+// matrices are row views of that storage.
 func Encode(ds Dataset) (*Encoded, error) {
 	enc := kdd.NewEncoder(ds.Train, kdd.EncoderConfig{LogTransform: true})
-	trainRaw, err := enc.EncodeAll(ds.Train)
+	d := enc.Dim()
+	flatRows := func(records []kdd.Record) ([]float64, [][]float64, error) {
+		flat := make([]float64, len(records)*d)
+		if err := enc.EncodeBatch(records, flat); err != nil {
+			return nil, nil, err
+		}
+		rows := make([][]float64, len(records))
+		for i := range rows {
+			rows[i] = flat[i*d : (i+1)*d : (i+1)*d]
+		}
+		return flat, rows, nil
+	}
+	trainFlat, trainX, err := flatRows(ds.Train)
 	if err != nil {
 		return nil, fmt.Errorf("eval: encode train: %w", err)
 	}
 	scaler := &preprocess.MinMaxScaler{}
-	trainX, err := preprocess.FitTransform(scaler, trainRaw)
-	if err != nil {
+	if err := scaler.Fit(trainX); err != nil {
 		return nil, fmt.Errorf("eval: scale train: %w", err)
 	}
-	testRaw, err := enc.EncodeAll(ds.Test)
+	if err := scaler.TransformBatch(trainFlat, d); err != nil {
+		return nil, fmt.Errorf("eval: scale train: %w", err)
+	}
+	testFlat, testX, err := flatRows(ds.Test)
 	if err != nil {
 		return nil, fmt.Errorf("eval: encode test: %w", err)
 	}
-	testX, err := preprocess.TransformAll(scaler, testRaw)
-	if err != nil {
+	if err := scaler.TransformBatch(testFlat, d); err != nil {
 		return nil, fmt.Errorf("eval: scale test: %w", err)
 	}
 	return &Encoded{

@@ -19,16 +19,10 @@ type EncoderConfig struct {
 	OtherService string
 }
 
-// indices of the log-transformed features inside NumericFeatureNames.
-var logFeatureIndex = map[int]bool{
-	0:  true, // duration
-	1:  true, // src_bytes
-	2:  true, // dst_bytes
-	19: true, // count
-	20: true, // srv_count
-	28: true, // dst_host_count
-	29: true, // dst_host_srv_count
-}
+// logFeatureIdxs lists the indices of the log-transformed features inside
+// NumericFeatureNames: duration, src_bytes, dst_bytes, count, srv_count,
+// dst_host_count, dst_host_srv_count.
+var logFeatureIdxs = [...]int{0, 1, 2, 19, 20, 28, 29}
 
 // Encoder converts Records into dense numeric vectors: 38 numeric/boolean
 // features followed by one-hot blocks for protocol, service, and flag.
@@ -151,41 +145,73 @@ func (e *Encoder) FeatureNames() []string {
 // flags return an error (they indicate corrupted input); unknown services
 // fall into the other bucket.
 func (e *Encoder) Encode(r *Record) ([]float64, error) {
-	out := make([]float64, 0, e.Dim())
-	numeric := r.NumericFeatures()
+	out := make([]float64, e.Dim())
+	if err := e.EncodeInto(r, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// EncodeInto encodes one record into dst, which must have length exactly
+// Dim(). It is the allocation-free kernel under Encode and EncodeBatch:
+// every element of dst is overwritten (the one-hot blocks are zeroed
+// first), so dst may be reused across calls without clearing. Unknown
+// protocols or flags return an error and leave dst in an unspecified
+// state; unknown services fall into the other bucket.
+func (e *Encoder) EncodeInto(r *Record, dst []float64) error {
+	if len(dst) != e.Dim() {
+		return fmt.Errorf("kdd: encode into buffer of length %d, want %d", len(dst), e.Dim())
+	}
+	numeric := dst[:len(NumericFeatureNames)]
+	r.NumericFeaturesInto(numeric)
 	if e.cfg.LogTransform {
-		for i := range numeric {
-			if logFeatureIndex[i] {
-				numeric[i] = math.Log1p(numeric[i])
-			}
+		for _, i := range logFeatureIdxs {
+			numeric[i] = math.Log1p(numeric[i])
 		}
 	}
-	out = append(out, numeric...)
 
-	proto := make([]float64, len(Protocols))
+	oneHot := dst[len(NumericFeatureNames):]
+	for i := range oneHot {
+		oneHot[i] = 0
+	}
 	pi, ok := e.protoIdx[r.Protocol]
 	if !ok {
-		return nil, fmt.Errorf("kdd: encode: unknown protocol %q", r.Protocol)
+		return fmt.Errorf("kdd: encode: unknown protocol %q", r.Protocol)
 	}
-	proto[pi] = 1
-	out = append(out, proto...)
+	oneHot[pi] = 1
 
-	svc := make([]float64, len(e.services))
 	si, ok := e.svcIndex[r.Service]
 	if !ok {
 		si = e.svcIndex[e.cfg.OtherService]
 	}
-	svc[si] = 1
-	out = append(out, svc...)
+	oneHot[len(Protocols)+si] = 1
 
-	flag := make([]float64, len(Flags))
 	fi, ok := e.flagIdx[r.Flag]
 	if !ok {
-		return nil, fmt.Errorf("kdd: encode: unknown flag %q", r.Flag)
+		return fmt.Errorf("kdd: encode: unknown flag %q", r.Flag)
 	}
-	flag[fi] = 1
-	out = append(out, flag...)
-	return out, nil
+	oneHot[len(Protocols)+len(e.services)+fi] = 1
+	return nil
+}
+
+// EncodeBatch encodes records into the flat row-major matrix dst: record i
+// occupies dst[i*Dim() : (i+1)*Dim()]. dst must have length at least
+// len(records)*Dim(); the batch is written serially (parallelize across
+// row ranges at a higher layer when needed) and aborts on the first bad
+// record, reporting its index. On error the rows already written remain
+// but the batch must be considered invalid.
+func (e *Encoder) EncodeBatch(records []Record, dst []float64) error {
+	d := e.Dim()
+	if len(dst) < len(records)*d {
+		return fmt.Errorf("kdd: encode batch of %d records into buffer of length %d, want >= %d",
+			len(records), len(dst), len(records)*d)
+	}
+	for i := range records {
+		if err := e.EncodeInto(&records[i], dst[i*d:(i+1)*d]); err != nil {
+			return fmt.Errorf("record %d: %w", i, err)
+		}
+	}
+	return nil
 }
 
 // EncodeAll encodes all records, aborting on the first failure.

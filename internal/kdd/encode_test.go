@@ -173,6 +173,129 @@ func TestEncodeAll(t *testing.T) {
 	}
 }
 
+// batchTestRecords returns a varied set of encodable records: every
+// protocol and flag, known and unknown services, log-transformed volume
+// features at several magnitudes.
+func batchTestRecords() []Record {
+	var out []Record
+	services := []string{"http", "smtp", "nosuch_svc", "other", "telnet", "weird-9"}
+	for i, proto := range []string{"tcp", "udp", "icmp"} {
+		for j, flag := range Flags {
+			r := validRecord()
+			r.Protocol = proto
+			r.Flag = flag
+			r.Service = services[(i+j)%len(services)]
+			r.SrcBytes = float64(i * 1000)
+			r.DstBytes = float64(j * j)
+			r.Count = float64(i + j)
+			r.LoggedIn = j%2 == 0
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// TestEncodeIntoAndBatchMatchEncode verifies the allocation-free kernels
+// are byte-identical to Encode: EncodeInto on a dirty buffer, and
+// EncodeBatch rows of a shared flat matrix.
+func TestEncodeIntoAndBatchMatchEncode(t *testing.T) {
+	records := batchTestRecords()
+	for _, logT := range []bool{false, true} {
+		e := NewEncoder(records, EncoderConfig{LogTransform: logT})
+		d := e.Dim()
+		flat := make([]float64, len(records)*d)
+		for i := range flat {
+			flat[i] = math.NaN() // dirty buffer: every element must be overwritten
+		}
+		if err := e.EncodeBatch(records, flat); err != nil {
+			t.Fatal(err)
+		}
+		dst := make([]float64, d)
+		for i := range records {
+			want, err := e.Encode(&records[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range dst {
+				dst[j] = 7.5 // dirty single-row buffer too
+			}
+			if err := e.EncodeInto(&records[i], dst); err != nil {
+				t.Fatal(err)
+			}
+			row := flat[i*d : (i+1)*d]
+			for j := range want {
+				if dst[j] != want[j] {
+					t.Fatalf("logT=%v record %d dim %d: EncodeInto %v, Encode %v", logT, i, j, dst[j], want[j])
+				}
+				if row[j] != want[j] {
+					t.Fatalf("logT=%v record %d dim %d: EncodeBatch %v, Encode %v", logT, i, j, row[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+func TestEncodeIntoValidation(t *testing.T) {
+	e := NewEncoder(nil, EncoderConfig{})
+	r := validRecord()
+	if err := e.EncodeInto(&r, make([]float64, e.Dim()-1)); err == nil {
+		t.Error("short buffer accepted")
+	}
+	if err := e.EncodeBatch([]Record{r, r}, make([]float64, e.Dim())); err == nil {
+		t.Error("short batch buffer accepted")
+	}
+	bad := validRecord()
+	bad.Flag = "XX"
+	err := e.EncodeBatch([]Record{r, bad}, make([]float64, 2*e.Dim()))
+	if err == nil || !strings.Contains(err.Error(), "record 1") {
+		t.Errorf("bad record error = %v, want record index", err)
+	}
+}
+
+// TestNumericFeaturesIndexMapping pins the 38-field index mapping of
+// NumericFeaturesInto (and hence NumericFeatures, its wrapper) against an
+// independent literal with a distinct value per field, so a transposition
+// in the hand-written index assignments cannot slip through: the suite's
+// only other numeric-index anchors are spot checks of dims 1 and 25.
+func TestNumericFeaturesIndexMapping(t *testing.T) {
+	r := Record{
+		Duration: 1, SrcBytes: 2, DstBytes: 3, Land: true, WrongFragment: 5,
+		Urgent: 6, Hot: 7, NumFailedLogins: 8, LoggedIn: true,
+		NumCompromised: 10, RootShell: 11, SuAttempted: 12, NumRoot: 13,
+		NumFileCreations: 14, NumShells: 15, NumAccessFiles: 16,
+		NumOutboundCmds: 17, IsHostLogin: true, IsGuestLogin: true,
+		Count: 20, SrvCount: 21, SerrorRate: 22, SrvSerrorRate: 23,
+		RerrorRate: 24, SrvRerrorRate: 25, SameSrvRate: 26, DiffSrvRate: 27,
+		SrvDiffHostRate: 28, DstHostCount: 29, DstHostSrvCount: 30,
+		DstHostSameSrvRate: 31, DstHostDiffSrvRate: 32,
+		DstHostSameSrcPortRate: 33, DstHostSrvDiffHostRate: 34,
+		DstHostSerrorRate: 35, DstHostSrvSerrorRate: 36,
+		DstHostRerrorRate: 37, DstHostSrvRerrorRate: 38,
+	}
+	// Expected vector written out independently in NumericFeatureNames
+	// order: booleans (indices 3, 8, 17, 18) encode as 1.
+	want := []float64{
+		1, 2, 3, 1, 5, 6, 7, 8, 1, 10, 11, 12, 13, 14, 15, 16, 17, 1, 1,
+		20, 21, 22, 23, 24, 25, 26, 27, 28, 29, 30, 31, 32, 33, 34, 35, 36, 37, 38,
+	}
+	if len(want) != len(NumericFeatureNames) {
+		t.Fatalf("expected vector has %d entries, want %d", len(want), len(NumericFeatureNames))
+	}
+	got := make([]float64, len(NumericFeatureNames))
+	r.NumericFeaturesInto(got)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("feature %d (%s): got %v, want %v", i, NumericFeatureNames[i], got[i], want[i])
+		}
+	}
+	alloc := r.NumericFeatures()
+	for i := range want {
+		if alloc[i] != want[i] {
+			t.Errorf("NumericFeatures[%d] (%s): got %v, want %v", i, NumericFeatureNames[i], alloc[i], want[i])
+		}
+	}
+}
+
 func TestLabelsAndCategoryCounts(t *testing.T) {
 	recs := []Record{
 		{Label: "normal"}, {Label: "neptune"}, {Label: "neptune"}, {Label: "portsweep"},

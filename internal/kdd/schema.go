@@ -335,18 +335,34 @@ var NumericFeatureNames = []string{
 // NumericFeatures returns the record's 38 numeric/boolean features in the
 // order of NumericFeatureNames.
 func (r *Record) NumericFeatures() []float64 {
-	return []float64{
-		r.Duration, r.SrcBytes, r.DstBytes, b2f(r.Land), r.WrongFragment, r.Urgent,
-		r.Hot, r.NumFailedLogins, b2f(r.LoggedIn), r.NumCompromised, r.RootShell,
-		r.SuAttempted, r.NumRoot, r.NumFileCreations, r.NumShells,
-		r.NumAccessFiles, r.NumOutboundCmds, b2f(r.IsHostLogin), b2f(r.IsGuestLogin),
-		r.Count, r.SrvCount, r.SerrorRate, r.SrvSerrorRate, r.RerrorRate,
-		r.SrvRerrorRate, r.SameSrvRate, r.DiffSrvRate, r.SrvDiffHostRate,
-		r.DstHostCount, r.DstHostSrvCount, r.DstHostSameSrvRate,
-		r.DstHostDiffSrvRate, r.DstHostSameSrcPortRate,
-		r.DstHostSrvDiffHostRate, r.DstHostSerrorRate,
-		r.DstHostSrvSerrorRate, r.DstHostRerrorRate, r.DstHostSrvRerrorRate,
-	}
+	out := make([]float64, len(NumericFeatureNames))
+	r.NumericFeaturesInto(out)
+	return out
+}
+
+// NumericFeaturesInto writes the record's 38 numeric/boolean features into
+// dst in the order of NumericFeatureNames, without allocating. It is the
+// hot-path kernel under NumericFeatures and Encoder.EncodeInto: the caller
+// must guarantee len(dst) >= len(NumericFeatureNames); it panics otherwise.
+func (r *Record) NumericFeaturesInto(dst []float64) {
+	_ = dst[len(NumericFeatureNames)-1]
+	dst[0], dst[1], dst[2] = r.Duration, r.SrcBytes, r.DstBytes
+	dst[3], dst[4], dst[5] = b2f(r.Land), r.WrongFragment, r.Urgent
+	dst[6], dst[7], dst[8] = r.Hot, r.NumFailedLogins, b2f(r.LoggedIn)
+	dst[9], dst[10], dst[11] = r.NumCompromised, r.RootShell, r.SuAttempted
+	dst[12], dst[13], dst[14] = r.NumRoot, r.NumFileCreations, r.NumShells
+	dst[15], dst[16] = r.NumAccessFiles, r.NumOutboundCmds
+	dst[17], dst[18] = b2f(r.IsHostLogin), b2f(r.IsGuestLogin)
+	dst[19], dst[20] = r.Count, r.SrvCount
+	dst[21], dst[22] = r.SerrorRate, r.SrvSerrorRate
+	dst[23], dst[24] = r.RerrorRate, r.SrvRerrorRate
+	dst[25], dst[26] = r.SameSrvRate, r.DiffSrvRate
+	dst[27] = r.SrvDiffHostRate
+	dst[28], dst[29] = r.DstHostCount, r.DstHostSrvCount
+	dst[30], dst[31] = r.DstHostSameSrvRate, r.DstHostDiffSrvRate
+	dst[32], dst[33] = r.DstHostSameSrcPortRate, r.DstHostSrvDiffHostRate
+	dst[34], dst[35] = r.DstHostSerrorRate, r.DstHostSrvSerrorRate
+	dst[36], dst[37] = r.DstHostRerrorRate, r.DstHostSrvRerrorRate
 }
 
 func b2f(b bool) float64 {

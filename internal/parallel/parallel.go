@@ -1,6 +1,7 @@
 // Package parallel provides the bounded fork-join primitives shared by the
-// training and inference hot paths: a resolved worker count, a parallel
-// index loop, and a deterministic chunked map-reduce.
+// training and inference hot paths: a resolved worker count, parallel
+// index loops with and without first-error propagation, and a
+// deterministic chunked map-reduce.
 //
 // # The Parallelism knob
 //
@@ -96,6 +97,46 @@ func ForEach(p, n int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+}
+
+// ForEachErr invokes fn(i) for every i in [0, n) on up to Workers(p, n)
+// goroutines and returns the error of the lowest failing index, matching
+// the semantics of a serial loop that aborts on first error. The happy
+// path is allocation-free beyond the worker goroutines themselves: error
+// bookkeeping is engaged only when some fn actually fails. Once a failure
+// at index i is observed, calls for indices greater than i may be skipped
+// — callers must treat all outputs as invalid when an error is returned.
+// fn must be safe to call concurrently.
+func ForEachErr(p, n int, fn func(i int) error) error {
+	w := Workers(p, n)
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		mu       sync.Mutex
+		firstIdx atomic.Int64
+		firstErr error
+	)
+	firstIdx.Store(int64(n))
+	ForEach(p, n, func(i int) {
+		if int64(i) > firstIdx.Load() {
+			return // an earlier index already failed; this result is moot
+		}
+		if err := fn(i); err != nil {
+			mu.Lock()
+			if int64(i) < firstIdx.Load() {
+				firstIdx.Store(int64(i))
+				firstErr = err
+			}
+			mu.Unlock()
+		}
+	})
+	return firstErr
 }
 
 // MapReduce splits [0, n) into Workers(p, n) contiguous chunks, runs mapFn

@@ -55,6 +55,52 @@ func TestForEachDeterministicOutputAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+func TestForEachErrHappyPath(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 8, 0} {
+		n := 300
+		counts := make([]int32, n)
+		err := ForEachErr(p, n, func(i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: err = %v", p, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("p=%d: index %d visited %d times", p, i, c)
+			}
+		}
+	}
+}
+
+// TestForEachErrLowestIndexWins verifies the serial-loop error contract:
+// with several failing indices, the error of the lowest one is returned at
+// every worker count.
+func TestForEachErrLowestIndexWins(t *testing.T) {
+	fail := map[int]error{
+		17:  errTest(17),
+		200: errTest(200),
+		999: errTest(999),
+	}
+	for _, p := range []int{1, 2, 4, 8, 0} {
+		err := ForEachErr(p, 1000, func(i int) error { return fail[i] })
+		if err != errTest(17) {
+			t.Errorf("p=%d: err = %v, want %v", p, err, errTest(17))
+		}
+	}
+}
+
+func TestForEachErrEmpty(t *testing.T) {
+	if err := ForEachErr(4, 0, func(i int) error { return errTest(i) }); err != nil {
+		t.Errorf("empty range err = %v", err)
+	}
+}
+
+type errTest int
+
+func (e errTest) Error() string { return "test error" }
+
 func TestMapReduceSum(t *testing.T) {
 	n := 1000
 	want := n * (n - 1) / 2

@@ -187,6 +187,82 @@ func TestTransformAllErrorPropagation(t *testing.T) {
 	}
 }
 
+// TestInPlaceAndBatchMatchTransform verifies TransformInPlace and
+// TransformBatch are byte-identical to Transform for both scalers.
+func TestInPlaceAndBatchMatchTransform(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	train := make([][]float64, 80)
+	for i := range train {
+		train[i] = []float64{rng.NormFloat64() * 5, rng.Float64() * 100, 3} // last dim constant
+	}
+	for name, s := range map[string]Scaler{
+		"minmax": &MinMaxScaler{},
+		"zscore": &ZScoreScaler{},
+	} {
+		if err := s.Fit(train); err != nil {
+			t.Fatal(err)
+		}
+		n, d := 50, 3
+		flat := make([]float64, n*d)
+		want := make([][]float64, n)
+		for i := 0; i < n; i++ {
+			row := []float64{rng.NormFloat64() * 20, rng.Float64() * 300, float64(i)}
+			copy(flat[i*d:(i+1)*d], row)
+			w, err := s.Transform(row)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[i] = w
+
+			inPlace := append([]float64(nil), row...)
+			if err := s.TransformInPlace(inPlace); err != nil {
+				t.Fatal(err)
+			}
+			for j := range w {
+				if inPlace[j] != w[j] {
+					t.Fatalf("%s row %d dim %d: in-place %v, copy %v", name, i, j, inPlace[j], w[j])
+				}
+			}
+		}
+		if err := s.TransformBatch(flat, d); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < d; j++ {
+				if flat[i*d+j] != want[i][j] {
+					t.Fatalf("%s row %d dim %d: batch %v, copy %v", name, i, j, flat[i*d+j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestInPlaceAndBatchValidation(t *testing.T) {
+	for name, s := range map[string]Scaler{
+		"minmax": &MinMaxScaler{},
+		"zscore": &ZScoreScaler{},
+	} {
+		if err := s.TransformInPlace([]float64{1}); !errors.Is(err, ErrNotFitted) {
+			t.Errorf("%s unfitted in-place err = %v", name, err)
+		}
+		if err := s.TransformBatch([]float64{1}, 1); !errors.Is(err, ErrNotFitted) {
+			t.Errorf("%s unfitted batch err = %v", name, err)
+		}
+		if err := s.Fit([][]float64{{1, 2}, {3, 4}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.TransformInPlace([]float64{1}); !errors.Is(err, ErrDimMismatch) {
+			t.Errorf("%s dim mismatch in-place err = %v", name, err)
+		}
+		if err := s.TransformBatch(make([]float64, 4), 3); !errors.Is(err, ErrDimMismatch) {
+			t.Errorf("%s wrong batch dim err = %v", name, err)
+		}
+		if err := s.TransformBatch(make([]float64, 5), 2); !errors.Is(err, ErrDimMismatch) {
+			t.Errorf("%s ragged batch err = %v", name, err)
+		}
+	}
+}
+
 func TestStratifiedSplit(t *testing.T) {
 	keys := make([]string, 100)
 	for i := range keys {

@@ -28,6 +28,13 @@ type Scaler interface {
 	Fit(data [][]float64) error
 	// Transform returns a scaled copy of x.
 	Transform(x []float64) ([]float64, error)
+	// TransformInPlace scales x in place without allocating. On error
+	// (not fitted, dimension mismatch) x is left unmodified.
+	TransformInPlace(x []float64) error
+	// TransformBatch scales every d-wide row of the flat row-major matrix
+	// in place. len(flat) must be a multiple of d and d must equal the
+	// fitted dimension.
+	TransformBatch(flat []float64, d int) error
 	// Dim returns the fitted dimension, or 0 if not fitted.
 	Dim() int
 }
@@ -87,9 +94,29 @@ func (s *MinMaxScaler) Transform(x []float64) ([]float64, error) {
 		return nil, fmt.Errorf("vector dim %d, fitted %d: %w", len(x), len(s.min), ErrDimMismatch)
 	}
 	out := make([]float64, len(x))
+	copy(out, x)
+	s.transformRow(out)
+	return out, nil
+}
+
+// TransformInPlace scales x into [0, 1] per dimension in place, clamping
+// outliers, without allocating.
+func (s *MinMaxScaler) TransformInPlace(x []float64) error {
+	if s.min == nil {
+		return ErrNotFitted
+	}
+	if len(x) != len(s.min) {
+		return fmt.Errorf("vector dim %d, fitted %d: %w", len(x), len(s.min), ErrDimMismatch)
+	}
+	s.transformRow(x)
+	return nil
+}
+
+// transformRow is the validated min-max kernel: len(x) == len(s.min).
+func (s *MinMaxScaler) transformRow(x []float64) {
 	for d, v := range x {
 		if s.span[d] <= 0 {
-			out[d] = 0
+			x[d] = 0
 			continue
 		}
 		u := (v - s.min[d]) / s.span[d]
@@ -98,9 +125,36 @@ func (s *MinMaxScaler) Transform(x []float64) ([]float64, error) {
 		} else if u > 1 {
 			u = 1
 		}
-		out[d] = u
+		x[d] = u
 	}
-	return out, nil
+}
+
+// TransformBatch scales every d-wide row of the flat row-major matrix in
+// place. The batch is processed serially; parallelize across row ranges at
+// a higher layer when needed.
+func (s *MinMaxScaler) TransformBatch(flat []float64, d int) error {
+	if err := checkFlatBatch(len(s.min), flat, d); err != nil {
+		return err
+	}
+	for off := 0; off < len(flat); off += d {
+		s.transformRow(flat[off : off+d])
+	}
+	return nil
+}
+
+// checkFlatBatch validates a flat row-major batch of d-wide rows against
+// the fitted dimension dim.
+func checkFlatBatch(dim int, flat []float64, d int) error {
+	if dim == 0 {
+		return ErrNotFitted
+	}
+	if d != dim {
+		return fmt.Errorf("batch dim %d, fitted %d: %w", d, dim, ErrDimMismatch)
+	}
+	if len(flat)%d != 0 {
+		return fmt.Errorf("flat batch length %d not a multiple of dim %d: %w", len(flat), d, ErrDimMismatch)
+	}
+	return nil
 }
 
 // Dim returns the fitted dimension.
@@ -179,10 +233,40 @@ func (s *ZScoreScaler) Transform(x []float64) ([]float64, error) {
 		return nil, fmt.Errorf("vector dim %d, fitted %d: %w", len(x), len(s.mean), ErrDimMismatch)
 	}
 	out := make([]float64, len(x))
-	for d, v := range x {
-		out[d] = (v - s.mean[d]) * s.invStd[d]
-	}
+	copy(out, x)
+	s.transformRow(out)
 	return out, nil
+}
+
+// TransformInPlace standardizes x in place without allocating.
+func (s *ZScoreScaler) TransformInPlace(x []float64) error {
+	if s.mean == nil {
+		return ErrNotFitted
+	}
+	if len(x) != len(s.mean) {
+		return fmt.Errorf("vector dim %d, fitted %d: %w", len(x), len(s.mean), ErrDimMismatch)
+	}
+	s.transformRow(x)
+	return nil
+}
+
+// transformRow is the validated z-score kernel: len(x) == len(s.mean).
+func (s *ZScoreScaler) transformRow(x []float64) {
+	for d, v := range x {
+		x[d] = (v - s.mean[d]) * s.invStd[d]
+	}
+}
+
+// TransformBatch standardizes every d-wide row of the flat row-major
+// matrix in place.
+func (s *ZScoreScaler) TransformBatch(flat []float64, d int) error {
+	if err := checkFlatBatch(len(s.mean), flat, d); err != nil {
+		return err
+	}
+	for off := 0; off < len(flat); off += d {
+		s.transformRow(flat[off : off+d])
+	}
+	return nil
 }
 
 // Dim returns the fitted dimension.

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"ghsom/internal/anomaly"
 	"ghsom/internal/core"
@@ -61,23 +62,113 @@ type Pipeline struct {
 	model    *core.GHSOM
 	detector *anomaly.Detector
 	cfg      PipelineConfig
+	// bufPool recycles per-worker inference arenas across Detect and
+	// DetectBatch calls, so steady-state inference performs no per-record
+	// heap allocation.
+	bufPool sync.Pool
 }
 
-// TrainPipeline builds the full detection chain from labeled records.
+// detectChunk is the largest number of records one DetectBatch worker
+// processes per pooled arena; batchChunks shrinks it so a batch always
+// splits across the available workers.
+const detectChunk = 256
+
+// batchChunks returns the chunk size and chunk count for an n-record
+// batch at the given Parallelism knob: at most detectChunk records per
+// chunk, and at least one chunk per worker so a modest batch (e.g. one
+// micro-batch of a few hundred records) still spreads across cores.
+// Chunking never affects results — rows are independent — only the
+// worker fan-out.
+func batchChunks(par, n int) (size, count int) {
+	w := parallel.Workers(par, n)
+	size = (n + w - 1) / w
+	if size > detectChunk {
+		size = detectChunk
+	}
+	if size < 1 {
+		size = 1
+	}
+	return size, (n + size - 1) / size
+}
+
+// inferenceBuffer is the reusable flat encode/scale arena of the
+// inference dataplane.
+type inferenceBuffer struct {
+	flat []float64
+}
+
+// getBuf returns an arena whose flat slice has capacity at least size.
+func (p *Pipeline) getBuf(size int) *inferenceBuffer {
+	b, _ := p.bufPool.Get().(*inferenceBuffer)
+	if b == nil {
+		b = &inferenceBuffer{}
+	}
+	if cap(b.flat) < size {
+		b.flat = make([]float64, size)
+	}
+	return b
+}
+
+func (p *Pipeline) putBuf(b *inferenceBuffer) { p.bufPool.Put(b) }
+
+// encodeScaleRows is the single encode+scale kernel under TrainPipeline
+// and DetectBatch: it writes records[r] to flat[r*d : (r+1)*d], scaled in
+// place when scaler is non-nil (nil during training, before the scaler is
+// fitted). base offsets record indices in error messages so a chunk
+// reports positions in the caller's full batch.
+func encodeScaleRows(enc *kdd.Encoder, scaler *preprocess.MinMaxScaler, records []Record, base int, flat []float64) error {
+	d := enc.Dim()
+	for r := range records {
+		row := flat[r*d : (r+1)*d]
+		if err := enc.EncodeInto(&records[r], row); err != nil {
+			return fmt.Errorf("record %d: %w", base+r, err)
+		}
+		if scaler != nil {
+			if err := scaler.TransformInPlace(row); err != nil {
+				return fmt.Errorf("record %d: %w", base+r, err)
+			}
+		}
+	}
+	return nil
+}
+
+// TrainPipeline builds the full detection chain from labeled records. The
+// training set is encoded into one flat row-major matrix and scaled in
+// place — the same batch dataplane DetectBatch runs on — before the GHSOM
+// is grown and the detector fitted.
 func TrainPipeline(records []Record, cfg PipelineConfig) (*Pipeline, error) {
 	if len(records) == 0 {
 		return nil, ErrEmptyTrainingSet
 	}
 	encoder := kdd.NewEncoder(records, kdd.EncoderConfig{LogTransform: cfg.LogTransform})
-	raw, err := encodeAll(encoder, records, cfg.Parallelism)
+	d := encoder.Dim()
+	n := len(records)
+	flat := make([]float64, n*d)
+	chunk, chunks := batchChunks(cfg.Parallelism, n)
+	err := parallel.ForEachErr(cfg.Parallelism, chunks, func(c int) error {
+		lo := c * chunk
+		hi := min(lo+chunk, n)
+		return encodeScaleRows(encoder, nil, records[lo:hi], lo, flat[lo*d:hi*d])
+	})
 	if err != nil {
 		return nil, fmt.Errorf("ghsom: encode training set: %w", err)
 	}
+	// Row views share the flat backing array: fitting reads them, the
+	// in-place batch transform below rescales them, and the model and
+	// detector train on the same storage without another copy.
+	scaled := make([][]float64, n)
+	for i := range scaled {
+		scaled[i] = flat[i*d : (i+1)*d : (i+1)*d]
+	}
 	scaler := &preprocess.MinMaxScaler{}
-	if err := scaler.Fit(raw); err != nil {
+	if err := scaler.Fit(scaled); err != nil {
 		return nil, fmt.Errorf("ghsom: scale training set: %w", err)
 	}
-	scaled, err := transformAll(scaler, raw, cfg.Parallelism)
+	err = parallel.ForEachErr(cfg.Parallelism, chunks, func(c int) error {
+		lo := c * chunk
+		hi := min(lo+chunk, n)
+		return scaler.TransformBatch(flat[lo*d:hi*d], d)
+	})
 	if err != nil {
 		return nil, fmt.Errorf("ghsom: scale training set: %w", err)
 	}
@@ -93,7 +184,7 @@ func TrainPipeline(records []Record, cfg PipelineConfig) (*Pipeline, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ghsom: train model: %w", err)
 	}
-	det, err := anomaly.Fit(anomaly.GHSOMQuantizer{Model: model}, scaled, labels, cfg.Detector)
+	det, err := anomaly.Fit(anomaly.NewGHSOMQuantizer(model), scaled, labels, cfg.Detector)
 	if err != nil {
 		return nil, fmt.Errorf("ghsom: fit detector: %w", err)
 	}
@@ -107,90 +198,75 @@ func TrainPipeline(records []Record, cfg PipelineConfig) (*Pipeline, error) {
 }
 
 // Encode converts a record into the scaled feature vector the model sees.
+// The returned slice is freshly allocated and owned by the caller.
 func (p *Pipeline) Encode(rec *Record) ([]float64, error) {
-	raw, err := p.encoder.Encode(rec)
-	if err != nil {
+	out := make([]float64, p.encoder.Dim())
+	if err := p.encoder.EncodeInto(rec, out); err != nil {
 		return nil, fmt.Errorf("ghsom: encode: %w", err)
 	}
-	scaled, err := p.scaler.Transform(raw)
-	if err != nil {
+	if err := p.scaler.TransformInPlace(out); err != nil {
 		return nil, fmt.Errorf("ghsom: scale: %w", err)
 	}
-	return scaled, nil
-}
-
-// Detect classifies one record.
-func (p *Pipeline) Detect(rec *Record) (Prediction, error) {
-	x, err := p.Encode(rec)
-	if err != nil {
-		return Prediction{}, err
-	}
-	return p.detector.Classify(x), nil
-}
-
-// DetectAll classifies a batch of records. Records are encoded and
-// classified concurrently on the pipeline's configured Parallelism;
-// predictions are positionally stable and identical to calling Detect per
-// record. On failure the error of the lowest-index bad record is returned,
-// matching serial semantics.
-func (p *Pipeline) DetectAll(records []Record) ([]Prediction, error) {
-	out := make([]Prediction, len(records))
-	err := forEachFirstErr(p.cfg.Parallelism, len(records), func(i int) error {
-		pr, err := p.Detect(&records[i])
-		if err != nil {
-			return fmt.Errorf("record %d: %w", i, err)
-		}
-		out[i] = pr
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
 	return out, nil
 }
 
-// forEachFirstErr runs fn over [0, n) on up to p workers and returns the
-// error of the lowest failing index, matching serial loop semantics.
-func forEachFirstErr(p, n int, fn func(i int) error) error {
-	errs := make([]error, n)
-	parallel.ForEach(p, n, func(i int) { errs[i] = fn(i) })
-	for _, err := range errs {
-		if err != nil {
+// Detect classifies one record. It runs on the same flat dataplane as
+// DetectBatch — a pooled single-row arena, in-place scaling, and the
+// shared verdict kernel — so a lone record costs no steady-state heap
+// allocation either.
+func (p *Pipeline) Detect(rec *Record) (Prediction, error) {
+	d := p.encoder.Dim()
+	buf := p.getBuf(d)
+	defer p.putBuf(buf)
+	row := buf.flat[:d]
+	if err := p.encoder.EncodeInto(rec, row); err != nil {
+		return Prediction{}, fmt.Errorf("ghsom: encode: %w", err)
+	}
+	if err := p.scaler.TransformInPlace(row); err != nil {
+		return Prediction{}, fmt.Errorf("ghsom: scale: %w", err)
+	}
+	return p.detector.Classify(row), nil
+}
+
+// DetectAll classifies a batch of records, allocating the prediction
+// slice. It is DetectBatch without buffer reuse on the output; see
+// DetectBatch for the batch dataplane contract. On failure the error of
+// the lowest-index bad record is returned, matching serial semantics.
+func (p *Pipeline) DetectAll(records []Record) ([]Prediction, error) {
+	return p.DetectBatch(records, nil)
+}
+
+// DetectBatch classifies a batch of records into out, returning
+// out[:len(records)]. When out is nil or under capacity a fresh slice is
+// allocated, so steady-state callers should pass the slice returned by
+// the previous call to reuse it. Records are processed in chunks of a few
+// hundred rows, concurrently on the pipeline's configured Parallelism;
+// each worker encodes and scales its chunk inside a pooled flat arena and
+// classifies it through the detector's batch path, so in steady state the
+// call performs no per-record heap allocation. Predictions are
+// positionally stable and byte-identical to calling Detect per record at
+// every Parallelism setting. On failure the error of the lowest-index bad
+// record is returned and out's contents are unspecified.
+func (p *Pipeline) DetectBatch(records []Record, out []Prediction) ([]Prediction, error) {
+	n := len(records)
+	if cap(out) < n {
+		out = make([]Prediction, n)
+	}
+	out = out[:n]
+	d := p.encoder.Dim()
+	chunk, chunks := batchChunks(p.cfg.Parallelism, n)
+	err := parallel.ForEachErr(p.cfg.Parallelism, chunks, func(c int) error {
+		lo := c * chunk
+		hi := min(lo+chunk, n)
+		buf := p.getBuf((hi - lo) * d)
+		defer p.putBuf(buf)
+		flat := buf.flat[:(hi-lo)*d]
+		if err := encodeScaleRows(p.encoder, p.scaler, records[lo:hi], lo, flat); err != nil {
 			return err
 		}
-	}
-	return nil
-}
-
-// encodeAll encodes every record on up to p workers, preserving record
-// order and first-error semantics.
-func encodeAll(enc *kdd.Encoder, records []Record, p int) ([][]float64, error) {
-	out := make([][]float64, len(records))
-	err := forEachFirstErr(p, len(records), func(i int) error {
-		v, err := enc.Encode(&records[i])
-		if err != nil {
-			return fmt.Errorf("record %d: %w", i, err)
-		}
-		out[i] = v
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
-}
-
-// transformAll scales every row on up to p workers, preserving row order
-// and first-error semantics.
-func transformAll(s preprocess.Scaler, rows [][]float64, p int) ([][]float64, error) {
-	out := make([][]float64, len(rows))
-	err := forEachFirstErr(p, len(rows), func(i int) error {
-		v, err := s.Transform(rows[i])
-		if err != nil {
-			return fmt.Errorf("row %d: %w", i, err)
-		}
-		out[i] = v
-		return nil
+		// Serial within the chunk: this loop is already one worker of the
+		// outer fan-out, so the detector must not multiply it.
+		return p.detector.ClassifyBatchAt(flat, hi-lo, d, out[lo:hi], 1)
 	})
 	if err != nil {
 		return nil, err

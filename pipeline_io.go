@@ -13,20 +13,34 @@ import (
 )
 
 // pipelineJSON is the on-disk envelope for a trained pipeline.
+//
+// Version history:
+//
+//	1 — encoder vocabulary, scaler state, model, detector.
+//	2 — adds the pipeline-level training configuration
+//	    (trainCapPerLabel, seed, parallelism), which version 1 silently
+//	    dropped: a loaded pipeline reverted to zero values, so a retrain
+//	    from the same config file would not reproduce the original model.
 type pipelineJSON struct {
-	Version      int             `json:"version"`
-	LogTransform bool            `json:"logTransform"`
-	Services     []string        `json:"services"`
-	ScalerMin    []float64       `json:"scalerMin"`
-	ScalerSpan   []float64       `json:"scalerSpan"`
-	Model        json.RawMessage `json:"model"`
-	Detector     anomaly.State   `json:"detector"`
+	Version      int       `json:"version"`
+	LogTransform bool      `json:"logTransform"`
+	Services     []string  `json:"services"`
+	ScalerMin    []float64 `json:"scalerMin"`
+	ScalerSpan   []float64 `json:"scalerSpan"`
+	// TrainCapPerLabel, Seed, and Parallelism mirror the PipelineConfig
+	// fields of the same names (version >= 2; absent in version 1).
+	TrainCapPerLabel int             `json:"trainCapPerLabel,omitempty"`
+	Seed             int64           `json:"seed,omitempty"`
+	Parallelism      int             `json:"parallelism,omitempty"`
+	Model            json.RawMessage `json:"model"`
+	Detector         anomaly.State   `json:"detector"`
 }
 
-const pipelineVersion = 1
+const pipelineVersion = 2
 
 // Save writes the trained pipeline — encoder vocabulary, scaler state,
-// GHSOM model, and detector cell table — as a single JSON document.
+// pipeline configuration, GHSOM model, and detector cell table — as a
+// single JSON document (envelope version 2).
 func (p *Pipeline) Save(w io.Writer) error {
 	var modelBuf bytes.Buffer
 	if err := p.model.Save(&modelBuf); err != nil {
@@ -34,13 +48,16 @@ func (p *Pipeline) Save(w io.Writer) error {
 	}
 	min, span := p.scaler.State()
 	env := pipelineJSON{
-		Version:      pipelineVersion,
-		LogTransform: p.encoder.Config().LogTransform,
-		Services:     p.encoder.Services(),
-		ScalerMin:    min,
-		ScalerSpan:   span,
-		Model:        bytes.TrimSpace(modelBuf.Bytes()),
-		Detector:     p.detector.State(),
+		Version:          pipelineVersion,
+		LogTransform:     p.encoder.Config().LogTransform,
+		Services:         p.encoder.Services(),
+		ScalerMin:        min,
+		ScalerSpan:       span,
+		TrainCapPerLabel: p.cfg.TrainCapPerLabel,
+		Seed:             p.cfg.Seed,
+		Parallelism:      p.cfg.Parallelism,
+		Model:            bytes.TrimSpace(modelBuf.Bytes()),
+		Detector:         p.detector.State(),
 	}
 	if err := json.NewEncoder(w).Encode(env); err != nil {
 		return fmt.Errorf("ghsom: encode pipeline: %w", err)
@@ -48,14 +65,24 @@ func (p *Pipeline) Save(w io.Writer) error {
 	return nil
 }
 
-// LoadPipeline reads a pipeline previously written by Save.
+// LoadPipeline reads a pipeline previously written by Save. Envelope
+// versions 1 and 2 are accepted; version 1 predates config persistence,
+// so TrainCapPerLabel, Seed, and Parallelism load as zero values there.
+// The loaded pipeline's Config is reassembled from the envelope, the
+// model's own serialized configuration, and the detector state, so
+// training and inference settings survive the round trip.
+//
+// Note the persisted Parallelism is the knob the pipeline was trained
+// with on the training machine — a model trained serially will serve
+// serially after loading. Call SetParallelism (0 = GOMAXPROCS) to retune
+// batch inference for the serving machine, as the CLIs do.
 func LoadPipeline(r io.Reader) (*Pipeline, error) {
 	var env pipelineJSON
 	if err := json.NewDecoder(r).Decode(&env); err != nil {
 		return nil, fmt.Errorf("ghsom: decode pipeline: %w", err)
 	}
-	if env.Version != pipelineVersion {
-		return nil, fmt.Errorf("ghsom: unsupported pipeline version %d, want %d", env.Version, pipelineVersion)
+	if env.Version < 1 || env.Version > pipelineVersion {
+		return nil, fmt.Errorf("ghsom: unsupported pipeline version %d, want 1..%d", env.Version, pipelineVersion)
 	}
 	model, err := core.Load(bytes.NewReader(env.Model))
 	if err != nil {
@@ -72,7 +99,7 @@ func LoadPipeline(r io.Reader) (*Pipeline, error) {
 	if scaler.Dim() != model.Dim() {
 		return nil, fmt.Errorf("ghsom: scaler dim %d does not match model dim %d", scaler.Dim(), model.Dim())
 	}
-	det, err := anomaly.FromState(anomaly.GHSOMQuantizer{Model: model}, env.Detector)
+	det, err := anomaly.FromState(anomaly.NewGHSOMQuantizer(model), env.Detector)
 	if err != nil {
 		return nil, fmt.Errorf("ghsom: load detector: %w", err)
 	}
@@ -81,5 +108,13 @@ func LoadPipeline(r io.Reader) (*Pipeline, error) {
 		scaler:   scaler,
 		model:    model,
 		detector: det,
+		cfg: PipelineConfig{
+			Model:            model.Config(),
+			Detector:         env.Detector.Config,
+			LogTransform:     env.LogTransform,
+			TrainCapPerLabel: env.TrainCapPerLabel,
+			Seed:             env.Seed,
+			Parallelism:      env.Parallelism,
+		},
 	}, nil
 }
