@@ -1,15 +1,15 @@
-// Command benchjson measures inference throughput and allocation rates of
-// the detection pipeline and writes them as a machine-readable JSON
-// artifact, so CI can track the perf trajectory across commits.
+// Command benchjson measures inference and training throughput of the
+// detection pipeline and writes them as machine-readable JSON artifacts,
+// so CI can track the perf trajectory across commits.
 //
 // It trains a pipeline on the small synthetic scenario, then benchmarks
-// DetectAll and DetectBatch at Parallelism 1 and GOMAXPROCS via
-// testing.Benchmark, reporting records/sec and allocs/record for each
-// point.
+// DetectAll and DetectBatch (inference) plus som-level TrainBatchView and
+// end-to-end TrainPipeline (training) at Parallelism 1 and GOMAXPROCS via
+// testing.Benchmark.
 //
 // Usage:
 //
-//	benchjson -out BENCH_inference.json
+//	benchjson -out BENCH_inference.json -train-out BENCH_training.json
 package main
 
 import (
@@ -22,30 +22,42 @@ import (
 	"time"
 
 	"ghsom"
+	"ghsom/internal/eval"
+	"ghsom/internal/som"
 	"ghsom/internal/trafficgen"
 )
 
 // point is one measured benchmark configuration.
 type point struct {
-	// Name identifies the measured code path (DetectAll, DetectBatch).
+	// Name identifies the measured code path (DetectAll, DetectBatch,
+	// TrainBatch, TrainPipeline).
 	Name string `json:"name"`
 	// Parallelism is the worker bound (0 reported as GOMAXPROCS).
 	Parallelism int `json:"parallelism"`
 	// BatchRecords is the number of records per benchmark op.
 	BatchRecords int `json:"batchRecords"`
+	// Epochs is the training epochs per op (training points only).
+	Epochs int `json:"epochs,omitempty"`
 	// Iterations is the benchmark op count.
 	Iterations int `json:"iterations"`
-	// NsPerOp is wall time per batch op.
+	// NsPerOp is wall time per op.
 	NsPerOp int64 `json:"nsPerOp"`
-	// RecordsPerSec is classification throughput.
+	// RecordsPerSec is per-record throughput (records classified or
+	// trained per second of wall time).
 	RecordsPerSec float64 `json:"recordsPerSec"`
-	// AllocsPerRecord is heap allocations per classified record.
+	// RecordEpochsPerSec is records x epochs per second — the
+	// training-kernel throughput measure (training points only).
+	RecordEpochsPerSec float64 `json:"recordEpochsPerSec,omitempty"`
+	// AllocsPerRecord is heap allocations per record.
 	AllocsPerRecord float64 `json:"allocsPerRecord"`
-	// BytesPerRecord is heap bytes per classified record.
+	// AllocsPerEpoch is heap allocations per training epoch (training
+	// points only).
+	AllocsPerEpoch float64 `json:"allocsPerEpoch,omitempty"`
+	// BytesPerRecord is heap bytes per record.
 	BytesPerRecord float64 `json:"bytesPerRecord"`
 }
 
-// artifact is the document written to -out.
+// artifact is the document written for each benchmark family.
 type artifact struct {
 	Schema     int       `json:"schema"`
 	Generated  time.Time `json:"generated"`
@@ -63,7 +75,8 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
-	out := fs.String("out", "BENCH_inference.json", "output JSON path")
+	out := fs.String("out", "BENCH_inference.json", "inference JSON path (empty = skip)")
+	trainOut := fs.String("train-out", "BENCH_training.json", "training JSON path (empty = skip)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -72,35 +85,66 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	doc := artifact{
-		Schema:     1,
-		Generated:  time.Now().UTC(),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		Records:    len(records),
-	}
-	for _, par := range []int{1, 0} {
-		cfg := ghsom.DefaultPipelineConfig()
-		cfg.Parallelism = par
-		cfg.Model.Parallelism = par
-		cfg.Detector.Parallelism = par
-		pipe, err := ghsom.TrainPipeline(records, cfg)
+	if *out != "" {
+		doc, err := inferencePoints(records)
 		if err != nil {
 			return err
 		}
-		effective := par
-		if effective == 0 {
-			effective = runtime.GOMAXPROCS(0)
+		if err := writeArtifact(*out, doc); err != nil {
+			return err
 		}
+	}
+	if *trainOut != "" {
+		doc, err := trainingPoints(records)
+		if err != nil {
+			return err
+		}
+		if err := writeArtifact(*trainOut, doc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
+// parSweep is the measured worker-bound sweep: serial and GOMAXPROCS.
+var parSweep = []int{1, 0}
+
+// pipelineConfig returns the default pipeline config with every layer's
+// Parallelism knob at par.
+func pipelineConfig(par int) ghsom.PipelineConfig {
+	cfg := ghsom.DefaultPipelineConfig()
+	cfg.Parallelism = par
+	cfg.Model.Parallelism = par
+	cfg.Detector.Parallelism = par
+	return cfg
+}
+
+// effectivePar resolves the knob for reporting.
+func effectivePar(par int) int {
+	if par == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return par
+}
+
+// inferencePoints measures DetectAll and DetectBatch.
+func inferencePoints(records []ghsom.Record) (artifact, error) {
+	doc := newArtifact(len(records))
+	for _, par := range parSweep {
+		pipe, err := ghsom.TrainPipeline(records, pipelineConfig(par))
+		if err != nil {
+			return artifact{}, err
+		}
+		effective := effectivePar(par)
 		doc.Points = append(doc.Points,
-			measure("DetectAll", effective, len(records), func(b *testing.B) {
+			measure("DetectAll", effective, len(records), 0, func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					if _, err := pipe.DetectAll(records); err != nil {
 						b.Fatal(err)
 					}
 				}
 			}),
-			measure("DetectBatch", effective, len(records), func(b *testing.B) {
+			measure("DetectBatch", effective, len(records), 0, func(b *testing.B) {
 				out := make([]ghsom.Prediction, len(records))
 				var err error
 				if out, err = pipe.DetectBatch(records, out); err != nil {
@@ -115,8 +159,69 @@ func run(args []string) error {
 			}),
 		)
 	}
+	return doc, nil
+}
 
-	f, err := os.Create(*out)
+// trainingPoints measures the som-level flat batch kernel and end-to-end
+// pipeline training on the same encoded data set.
+func trainingPoints(records []ghsom.Record) (artifact, error) {
+	doc := newArtifact(len(records))
+	// Encode once through the eval dataplane so TrainBatch sees the real
+	// KDD feature matrix, not a synthetic stand-in.
+	enc, err := eval.Encode(eval.Dataset{Train: records, Test: records[:1]})
+	if err != nil {
+		return artifact{}, err
+	}
+	const somEpochs = 10
+	for _, par := range parSweep {
+		effective := effectivePar(par)
+		doc.Points = append(doc.Points,
+			measure("TrainBatch", effective, enc.TrainMat.Rows(), somEpochs, func(b *testing.B) {
+				m, err := som.New(5, 5, enc.TrainMat.Cols())
+				if err != nil {
+					b.Fatal(err)
+				}
+				for i := 0; i < m.Units(); i++ {
+					if err := m.SetWeight(i, enc.TrainMat.Row(i%enc.TrainMat.Rows())); err != nil {
+						b.Fatal(err)
+					}
+				}
+				cfg := som.TrainConfig{
+					Epochs: somEpochs, Alpha0: 0.5, AlphaEnd: 0.01,
+					RadiusEnd: 0.5, Kernel: som.KernelGaussian,
+					Decay: som.DecayExponential, Parallelism: par,
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := m.TrainBatchView(enc.TrainMat.View(), cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}),
+			measure("TrainPipeline", effective, len(records), 0, func(b *testing.B) {
+				cfg := pipelineConfig(par)
+				for i := 0; i < b.N; i++ {
+					if _, err := ghsom.TrainPipeline(records, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}),
+		)
+	}
+	return doc, nil
+}
+
+func newArtifact(records int) artifact {
+	return artifact{
+		Schema:     1,
+		Generated:  time.Now().UTC(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Records:    records,
+	}
+}
+
+func writeArtifact(path string, doc artifact) error {
+	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
@@ -130,29 +235,41 @@ func run(args []string) error {
 		return err
 	}
 	for _, p := range doc.Points {
-		fmt.Printf("%-12s P=%-2d %12.0f records/sec %8.4f allocs/record\n",
-			p.Name, p.Parallelism, p.RecordsPerSec, p.AllocsPerRecord)
+		if p.Epochs > 0 {
+			fmt.Printf("%-14s P=%-2d %12.0f rec·epochs/sec %10.1f allocs/epoch\n",
+				p.Name, p.Parallelism, p.RecordEpochsPerSec, p.AllocsPerEpoch)
+		} else {
+			fmt.Printf("%-14s P=%-2d %12.0f records/sec %10.4f allocs/record\n",
+				p.Name, p.Parallelism, p.RecordsPerSec, p.AllocsPerRecord)
+		}
 	}
 	return nil
 }
 
 // measure runs one benchmark point via testing.Benchmark (which scales
-// b.N toward its default ~1s measuring window).
-func measure(name string, par, nRecords int, fn func(b *testing.B)) point {
+// b.N toward its default ~1s measuring window). epochs > 0 marks a
+// training point and fills the per-epoch measures.
+func measure(name string, par, nRecords, epochs int, fn func(b *testing.B)) point {
 	res := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		fn(b)
 	})
 	recsPerOp := float64(nRecords)
 	perOp := res.T.Seconds() / float64(res.N)
-	return point{
+	p := point{
 		Name:            name,
 		Parallelism:     par,
 		BatchRecords:    nRecords,
+		Epochs:          epochs,
 		Iterations:      res.N,
 		NsPerOp:         res.NsPerOp(),
 		RecordsPerSec:   recsPerOp / perOp,
 		AllocsPerRecord: float64(res.AllocsPerOp()) / recsPerOp,
 		BytesPerRecord:  float64(res.AllocedBytesPerOp()) / recsPerOp,
 	}
+	if epochs > 0 {
+		p.RecordEpochsPerSec = recsPerOp * float64(epochs) / perOp
+		p.AllocsPerEpoch = float64(res.AllocsPerOp()) / float64(epochs)
+	}
+	return p
 }

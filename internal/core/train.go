@@ -46,13 +46,15 @@ func (t *GrowthTrace) ForNode(id int) []GrowthEvent {
 }
 
 // nodeJob describes one map to train: the root, or the expansion of one
-// parent unit. Jobs within a breadth-first level are independent (sibling
-// subtrees see disjoint data), which is what makes them safe to train
-// concurrently.
+// parent unit. The job's data is a zero-copy index view into the one
+// shared training matrix — hierarchical expansion never rebuilds
+// [][]float64 subsets. Jobs within a breadth-first level are independent
+// (sibling subtrees see disjoint rows), which is what makes them safe to
+// train concurrently.
 type nodeJob struct {
 	parent     *Node // nil for the root
 	parentUnit int   // -1 for the root
-	data       [][]float64
+	view       vecmath.View
 	mean       []float64
 	parentQE   float64
 	depth      int
@@ -61,6 +63,8 @@ type nodeJob struct {
 }
 
 // Train builds a GHSOM from data. Every row must have the same dimension.
+// It is a thin adapter over TrainMatrix: the rows are copied once into a
+// contiguous matrix and the hierarchy trains on zero-copy views of it.
 // Training is deterministic for a fixed Config (including Seed) and data:
 // every node trains on a private RNG stream derived from Seed and the
 // node's position in the tree, node IDs are assigned in breadth-first
@@ -68,31 +72,53 @@ type nodeJob struct {
 // in data order — so the model is bit-for-bit identical at every
 // Parallelism setting.
 func Train(data [][]float64, cfg Config) (*GHSOM, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
 	if len(data) == 0 {
 		return nil, ErrNoData
 	}
-	dim := len(data[0])
-	for i, x := range data {
-		if len(x) != dim {
-			return nil, fmt.Errorf("core: data row %d has dim %d, want %d", i, len(x), dim)
-		}
-		if !vecmath.IsFinite(x) {
-			return nil, fmt.Errorf("core: data row %d contains NaN or Inf", i)
+	mat, err := vecmath.MatrixFromRows(data)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return TrainMatrix(mat, nil, cfg)
+}
+
+// TrainMatrix builds a GHSOM from the rows of a flat row-major matrix —
+// the zero-copy entry point of the training dataplane. When idx is
+// non-nil only the rows it names are trained on, in idx order (the
+// label-cap subsample passes its index selection here instead of
+// gathering rows). The matrix is read-only during training and must not
+// be mutated concurrently; the determinism guarantees of Train apply.
+func TrainMatrix(mat vecmath.Matrix, idx []int, cfg Config) (*GHSOM, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := mat.CheckIndex(idx); err != nil {
+		return nil, fmt.Errorf("core: training subset: %w", err)
+	}
+	view := mat.View()
+	if idx != nil {
+		view = mat.Subset(idx)
+	}
+	n := view.Rows()
+	if n == 0 {
+		return nil, ErrNoData
+	}
+	dim := view.Dim()
+	for i := 0; i < n; i++ {
+		if !vecmath.IsFinite(view.Row(i)) {
+			return nil, fmt.Errorf("core: data row %d contains NaN or Inf", view.Index(i))
 		}
 	}
 
-	mean, err := vecmath.Mean(data)
+	mean, err := view.Mean()
 	if err != nil {
 		return nil, fmt.Errorf("core: layer-0 mean: %w", err)
 	}
 	var qeSum float64
-	for _, x := range data {
-		qeSum += vecmath.Distance(x, mean)
+	for i := 0; i < n; i++ {
+		qeSum += vecmath.Distance(view.Row(i), mean)
 	}
-	mqe0 := qeSum / float64(len(data))
+	mqe0 := qeSum / float64(n)
 
 	g := &GHSOM{cfg: cfg, dim: dim, mean: mean, mqe0: mqe0}
 	if cfg.CollectTrace {
@@ -110,7 +136,7 @@ func Train(data [][]float64, cfg Config) (*GHSOM, error) {
 	}
 	jobs := []nodeJob{{
 		parentUnit: -1,
-		data:       data,
+		view:       view,
 		mean:       mean,
 		parentQE:   mqe0, // layer 1 grows against the layer-0 unit's error
 		depth:      1,
@@ -186,7 +212,7 @@ func (g *GHSOM) expandJobs(n *Node, jb nodeJob) ([]nodeJob, error) {
 	if g.mqe0 <= 1e-12 {
 		return nil, nil
 	}
-	assignments := n.Map.Assign(jb.data)
+	assignments := n.Map.AssignView(jb.view)
 	var out []nodeJob
 	for u := 0; u < n.Map.Units(); u++ {
 		if n.UnitCount[u] < cfg.MinMapData {
@@ -195,16 +221,19 @@ func (g *GHSOM) expandJobs(n *Node, jb nodeJob) ([]nodeJob, error) {
 		if n.UnitQE[u] <= cfg.Tau2*g.mqe0 {
 			continue
 		}
-		sub := make([][]float64, 0, n.UnitCount[u])
+		// The child trains on an index view of the shared matrix: only the
+		// row indices are materialized, never the rows themselves.
+		sub := make([]int, 0, n.UnitCount[u])
 		for i, a := range assignments {
 			if a == u {
-				sub = append(sub, jb.data[i])
+				sub = append(sub, i)
 			}
 		}
 		if len(sub) < cfg.MinMapData {
 			continue
 		}
-		childMean, err := vecmath.Mean(sub)
+		childView := jb.view.Subview(sub)
+		childMean, err := childView.Mean()
 		if err != nil {
 			return nil, fmt.Errorf("core: child mean for node %d unit %d: %w", n.ID, u, err)
 		}
@@ -215,7 +244,7 @@ func (g *GHSOM) expandJobs(n *Node, jb nodeJob) ([]nodeJob, error) {
 		out = append(out, nodeJob{
 			parent:     n,
 			parentUnit: u,
-			data:       sub,
+			view:       childView,
 			mean:       childMean,
 			parentQE:   n.UnitQE[u],
 			depth:      n.Depth + 1,
@@ -238,7 +267,7 @@ func (g *GHSOM) expandJobs(n *Node, jb nodeJob) ([]nodeJob, error) {
 func (g *GHSOM) trainNodeMap(jb nodeJob, innerP int) (*Node, []GrowthEvent, error) {
 	cfg := g.cfg
 	rng := newRNG(jb.seed)
-	data := jb.data
+	data := jb.view
 	m, err := som.New(2, 2, g.dim)
 	if err != nil {
 		return nil, nil, err
@@ -278,17 +307,36 @@ func (g *GHSOM) trainNodeMap(jb nodeJob, innerP int) (*Node, []GrowthEvent, erro
 			Shuffle:     !cfg.Batch,
 			Rng:         rng,
 			Parallelism: innerP,
+			// The growth loop measures MeanUnitMQE after every call; the
+			// per-epoch MQE series would be recomputed work it never reads.
+			SkipEpochMQE: true,
 		}
 		if cfg.Batch {
-			_, err := m.TrainBatch(data, tc)
+			_, err := m.TrainBatchView(data, tc)
 			return err
 		}
-		_, err := m.TrainOnline(data, tc)
+		_, err := m.TrainOnlineView(data, tc)
 		return err
 	}
 
 	record := func(iter int) float64 {
-		muMQE := m.MeanUnitMQE(data)
+		// One BMU pass serves both quality measures: the growth criterion
+		// (mean of per-unit mean errors) and, under tracing, the plain MQE
+		// (total error over all rows).
+		sumQE, counts := m.UnitErrorsView(data)
+		var perUnit, total float64
+		var won int
+		for i, c := range counts {
+			total += sumQE[i]
+			if c > 0 {
+				perUnit += sumQE[i] / float64(c)
+				won++
+			}
+		}
+		muMQE := math.NaN()
+		if won > 0 {
+			muMQE = perUnit / float64(won)
+		}
 		if g.trace != nil {
 			events = append(events, GrowthEvent{
 				NodeID:      -1, // assigned at registration
@@ -297,7 +345,7 @@ func (g *GHSOM) trainNodeMap(jb nodeJob, innerP int) (*Node, []GrowthEvent, erro
 				Rows:        m.Rows(),
 				Cols:        m.Cols(),
 				MeanUnitMQE: muMQE,
-				MQE:         m.MQE(data),
+				MQE:         total / float64(data.Rows()),
 			})
 		}
 		return muMQE
@@ -321,7 +369,7 @@ func (g *GHSOM) trainNodeMap(jb nodeJob, innerP int) (*Node, []GrowthEvent, erro
 		}
 		// A map larger than its data set cannot quantize it any better;
 		// growth past that point only manufactures dead units.
-		if m.Units() >= len(data) {
+		if m.Units() >= data.Rows() {
 			break
 		}
 		e, d, ok := errorUnitAndNeighbor(m, data)
@@ -342,7 +390,7 @@ func (g *GHSOM) trainNodeMap(jb nodeJob, innerP int) (*Node, []GrowthEvent, erro
 			return nil, nil, err
 		}
 	}
-	node.UnitQE, node.UnitCount = m.UnitMeanErrors(data)
+	node.UnitQE, node.UnitCount = m.UnitMeanErrorsView(data)
 	return node, events, nil
 }
 
@@ -405,8 +453,8 @@ func orientationCorners(m *som.Map, u int) [][]float64 {
 // errorUnitAndNeighbor finds the unit with the largest mean quantization
 // error (among units that won data) and its most dissimilar direct grid
 // neighbor in weight space. It returns ok=false when no unit won any data.
-func errorUnitAndNeighbor(m *som.Map, data [][]float64) (e, d int, ok bool) {
-	meanQE, counts := m.UnitMeanErrors(data)
+func errorUnitAndNeighbor(m *som.Map, data vecmath.View) (e, d int, ok bool) {
+	meanQE, counts := m.UnitMeanErrorsView(data)
 	e = -1
 	best := math.Inf(-1)
 	for i, qe := range meanQE {

@@ -27,8 +27,7 @@ func (q fullRouteQuantizer) Quantize(x []float64) (string, float64) {
 // the failure mode RouteTrained exists to prevent.
 func RoutingAblation(enc *Encoded, seed int64) ([]DetectorResult, error) {
 	mcfg := DefaultModelConfig(seed)
-	modelData := capForModel(enc, seed)
-	model, err := core.Train(modelData, mcfg)
+	model, err := core.TrainMatrix(enc.TrainMat, capIdxForModel(enc, seed), mcfg)
 	if err != nil {
 		return nil, fmt.Errorf("eval: routing ablation train: %w", err)
 	}
@@ -68,8 +67,7 @@ type MarginRow struct {
 // false alarms under distribution shift.
 func MarginSweep(enc *Encoded, margins []float64, seed int64) ([]MarginRow, error) {
 	mcfg := DefaultModelConfig(seed)
-	modelData := capForModel(enc, seed)
-	model, err := core.Train(modelData, mcfg)
+	model, err := core.TrainMatrix(enc.TrainMat, capIdxForModel(enc, seed), mcfg)
 	if err != nil {
 		return nil, fmt.Errorf("eval: margin sweep train: %w", err)
 	}

@@ -13,6 +13,7 @@ import (
 	"ghsom/internal/kdd"
 	"ghsom/internal/preprocess"
 	"ghsom/internal/trafficgen"
+	"ghsom/internal/vecmath"
 )
 
 // Dataset is a labeled train/test split of generated traffic.
@@ -55,6 +56,9 @@ type Encoded struct {
 	Encoder *kdd.Encoder
 	// Scaler is the min-max scaler fit on the training vectors.
 	Scaler *preprocess.MinMaxScaler
+	// TrainMat is the scaled training split as one flat row-major matrix —
+	// the storage GHSOM training runs on. TrainX aliases its rows.
+	TrainMat vecmath.Matrix
 	// TrainX and TestX are the scaled feature matrices.
 	TrainX, TestX [][]float64
 	// TrainLabels and TestLabels are the ground-truth labels.
@@ -97,9 +101,14 @@ func Encode(ds Dataset) (*Encoded, error) {
 	if err := scaler.TransformBatch(testFlat, d); err != nil {
 		return nil, fmt.Errorf("eval: scale test: %w", err)
 	}
+	trainMat, err := vecmath.MatrixOver(trainFlat, len(ds.Train), d)
+	if err != nil {
+		return nil, fmt.Errorf("eval: train matrix: %w", err)
+	}
 	return &Encoded{
 		Encoder:     enc,
 		Scaler:      scaler,
+		TrainMat:    trainMat,
 		TrainX:      trainX,
 		TestX:       testX,
 		TrainLabels: kdd.Labels(ds.Train),

@@ -36,12 +36,18 @@ type DetectorResult struct {
 // standard KDD rebalancing step (detector fitting still sees everything).
 const trainCap = 3000
 
-// capForModel returns the rebalanced training subset for codebook
-// training.
-func capForModel(enc *Encoded, seed int64) [][]float64 {
+// capIdxForModel returns the rebalanced training subset for codebook
+// training as row indices into the encoded training matrix — the form
+// the GHSOM's zero-copy TrainMatrix path consumes directly.
+func capIdxForModel(enc *Encoded, seed int64) []int {
 	rng := rand.New(rand.NewSource(seed))
-	idx := preprocess.CapPerKey(enc.TrainLabels, trainCap, rng)
-	return preprocess.Gather(enc.TrainX, idx)
+	return preprocess.CapPerKey(enc.TrainLabels, trainCap, rng)
+}
+
+// capForModel returns the rebalanced training subset as gathered rows,
+// for the baseline trainers that still take [][]float64.
+func capForModel(enc *Encoded, seed int64) [][]float64 {
+	return preprocess.Gather(enc.TrainX, capIdxForModel(enc, seed))
 }
 
 // evaluate runs the fitted detector over the test split and fills the
@@ -79,11 +85,13 @@ func evaluate(name string, det *anomaly.Detector, enc *Encoded, trainSeconds flo
 	return res, nil
 }
 
-// RunGHSOM trains a GHSOM detector and evaluates it.
+// RunGHSOM trains a GHSOM detector and evaluates it. The model trains on
+// the encoded flat matrix through the zero-copy subset view of the
+// label-capped rows.
 func RunGHSOM(enc *Encoded, mcfg core.Config, dcfg anomaly.Config) (DetectorResult, *core.GHSOM, *anomaly.Detector, error) {
-	modelData := capForModel(enc, mcfg.Seed)
+	modelIdx := capIdxForModel(enc, mcfg.Seed)
 	start := time.Now()
-	model, err := core.Train(modelData, mcfg)
+	model, err := core.TrainMatrix(enc.TrainMat, modelIdx, mcfg)
 	if err != nil {
 		return DetectorResult{}, nil, nil, fmt.Errorf("eval: train ghsom: %w", err)
 	}

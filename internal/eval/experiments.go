@@ -152,8 +152,7 @@ func TauSweep(enc *Encoded, tau1s, tau2s []float64, seed int64) ([]TauSweepRow, 
 func ConvergenceTrace(enc *Encoded, seed int64) (*core.GrowthTrace, *core.GHSOM, error) {
 	mcfg := DefaultModelConfig(seed)
 	mcfg.CollectTrace = true
-	modelData := capForModel(enc, seed)
-	model, err := core.Train(modelData, mcfg)
+	model, err := core.TrainMatrix(enc.TrainMat, capIdxForModel(enc, seed), mcfg)
 	if err != nil {
 		return nil, nil, fmt.Errorf("eval: convergence trace: %w", err)
 	}
@@ -239,19 +238,14 @@ func Scalability(enc *Encoded, sizes []int, seed int64) ([]ScaleRow, error) {
 	rand.New(rand.NewSource(seed)).Shuffle(len(order), func(i, j int) {
 		order[i], order[j] = order[j], order[i]
 	})
-	shuffled := make([][]float64, len(order))
-	for i, j := range order {
-		shuffled[i] = enc.TrainX[j]
-	}
 	var rows []ScaleRow
 	for _, n := range sizes {
-		if n > len(shuffled) {
-			n = len(shuffled)
+		if n > len(order) {
+			n = len(order)
 		}
-		sub := shuffled[:n]
 		mcfg := DefaultModelConfig(seed)
 		start := time.Now()
-		model, err := core.Train(sub, mcfg)
+		model, err := core.TrainMatrix(enc.TrainMat, order[:n], mcfg)
 		if err != nil {
 			return nil, fmt.Errorf("eval: scalability n=%d: %w", n, err)
 		}

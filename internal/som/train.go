@@ -5,7 +5,6 @@ import (
 	"math"
 	"math/rand"
 
-	"ghsom/internal/parallel"
 	"ghsom/internal/vecmath"
 )
 
@@ -30,6 +29,11 @@ type TrainConfig struct {
 	// Rng drives initialization sampling and shuffling. Required when
 	// Shuffle is set.
 	Rng *rand.Rand
+	// SkipEpochMQE disables the per-epoch MQE measurement (TrainStats is
+	// returned with an empty EpochMQE). Callers that track map quality
+	// themselves — the GHSOM growth loop measures MeanUnitMQE after every
+	// training call — set it to drop the extra per-epoch data scan.
+	SkipEpochMQE bool
 	// Parallelism bounds the workers used inside a training call — batch
 	// training's BMU pass and the per-epoch MQE measurement of both rules:
 	// 0 means GOMAXPROCS, 1 forces strictly serial execution on the
@@ -279,7 +283,9 @@ func (m *Map) BMU2(x []float64) (first, second int) {
 
 // TrainOnline trains the map with stochastic (per-record) updates and
 // returns per-epoch statistics. The data slice itself is never modified;
-// presentation order is shuffled on a private index slice.
+// presentation order is shuffled on a private index slice. It is a thin
+// adapter over TrainOnlineView: the data is copied once into a contiguous
+// matrix and trained on the flat kernel.
 func (m *Map) TrainOnline(data [][]float64, cfg TrainConfig) (TrainStats, error) {
 	if err := cfg.validate(); err != nil {
 		return TrainStats{}, err
@@ -287,58 +293,19 @@ func (m *Map) TrainOnline(data [][]float64, cfg TrainConfig) (TrainStats, error)
 	if err := m.checkData(data); err != nil {
 		return TrainStats{}, err
 	}
-	radius0 := cfg.effectiveRadius0(m)
-	order := make([]int, len(data))
-	for i := range order {
-		order[i] = i
+	mat, err := vecmath.MatrixFromRows(data)
+	if err != nil {
+		return TrainStats{}, fmt.Errorf("som: %w", err)
 	}
-	stats := TrainStats{EpochMQE: make([]float64, 0, cfg.Epochs)}
-	totalSteps := cfg.Epochs * len(data)
-	step := 0
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		if cfg.Shuffle {
-			cfg.Rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-		}
-		for _, idx := range order {
-			frac := float64(step) / float64(totalSteps)
-			alpha := cfg.Decay.Interp(cfg.Alpha0, cfg.AlphaEnd, frac)
-			radius := cfg.Decay.Interp(radius0, cfg.RadiusEnd, frac)
-			m.updateOnline(data[idx], alpha, radius, cfg.Kernel)
-			step++
-		}
-		stats.EpochMQE = append(stats.EpochMQE, m.mqeAt(data, cfg.Parallelism))
-	}
-	return stats, nil
-}
-
-// updateOnline applies one stochastic update for sample x.
-func (m *Map) updateOnline(x []float64, alpha, radius float64, kernel Kernel) {
-	bmu, _ := m.BMU(x)
-	// Cut off the neighborhood at 3σ for the gaussian (coefficient < 1.2e-4
-	// beyond that), at σ for bubble, and 4σ for the hat's tail.
-	cut := radius * 3
-	if kernel == KernelBubble {
-		cut = radius
-	}
-	cut2 := cut * cut
-	for i, units := 0, m.Units(); i < units; i++ {
-		d2 := m.GridDistance2(bmu, i)
-		if d2 > cut2 && i != bmu {
-			continue
-		}
-		h := kernel.Value(d2, radius)
-		if h == 0 {
-			continue
-		}
-		vecmath.MoveToward(m.Weight(i), alpha*h, x)
-	}
+	return m.TrainOnlineView(mat.View(), cfg)
 }
 
 // TrainBatch trains the map with the deterministic batch rule: each epoch
 // every unit moves to the neighborhood-weighted mean of all data. Batch
-// training ignores Alpha and Shuffle. The per-epoch BMU search runs on
-// cfg.Parallelism workers; the weighted-mean accumulation stays in data
-// order, so results are bit-for-bit identical for every worker count.
+// training ignores Alpha and Shuffle, and is bit-for-bit identical at
+// every cfg.Parallelism setting. It is a thin adapter over
+// TrainBatchView: the data is copied once into a contiguous matrix and
+// trained on the flat BMU-class accumulation kernel.
 func (m *Map) TrainBatch(data [][]float64, cfg TrainConfig) (TrainStats, error) {
 	if err := cfg.validate(); err != nil {
 		return TrainStats{}, err
@@ -346,49 +313,9 @@ func (m *Map) TrainBatch(data [][]float64, cfg TrainConfig) (TrainStats, error) 
 	if err := m.checkData(data); err != nil {
 		return TrainStats{}, err
 	}
-	radius0 := cfg.effectiveRadius0(m)
-	units := m.Units()
-	numer := make([][]float64, units)
-	for i := range numer {
-		numer[i] = make([]float64, m.dim)
+	mat, err := vecmath.MatrixFromRows(data)
+	if err != nil {
+		return TrainStats{}, fmt.Errorf("som: %w", err)
 	}
-	denom := make([]float64, units)
-	bmus := make([]int, len(data))
-	stats := TrainStats{EpochMQE: make([]float64, 0, cfg.Epochs)}
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		frac := float64(epoch) / float64(cfg.Epochs)
-		radius := cfg.Decay.Interp(radius0, cfg.RadiusEnd, frac)
-		for i := range numer {
-			for d := range numer[i] {
-				numer[i][d] = 0
-			}
-			denom[i] = 0
-		}
-		parallel.ForEach(cfg.Parallelism, len(data), func(i int) {
-			bmus[i], _ = m.BMU(data[i])
-		})
-		for xi, x := range data {
-			bmu := bmus[xi]
-			for i := 0; i < units; i++ {
-				h := cfg.Kernel.Value(m.GridDistance2(bmu, i), radius)
-				if h <= 0 {
-					continue
-				}
-				denom[i] += h
-				vecmath.AXPYInPlace(numer[i], h, x)
-			}
-		}
-		for i := 0; i < units; i++ {
-			if denom[i] <= 0 {
-				continue // keep previous weight for starved units
-			}
-			inv := 1 / denom[i]
-			w := m.Weight(i)
-			for d := range w {
-				w[d] = numer[i][d] * inv
-			}
-		}
-		stats.EpochMQE = append(stats.EpochMQE, m.mqeAt(data, cfg.Parallelism))
-	}
-	return stats, nil
+	return m.TrainBatchView(mat.View(), cfg)
 }

@@ -1,0 +1,336 @@
+package som
+
+import (
+	"fmt"
+	"math"
+
+	"ghsom/internal/parallel"
+	"ghsom/internal/vecmath"
+)
+
+// This file holds the flat training dataplane: batch and online training
+// kernels over a vecmath.View (a row-major matrix plus an optional row
+// subset), mirroring the inference dataplane in batch.go. The slice-based
+// TrainBatch/TrainOnline in train.go are thin adapters that copy their
+// data into a Matrix once and delegate here.
+//
+// Both kernels hoist the neighborhood kernel out of the per-record loop:
+// the training parameters are per-epoch constants (see scheduleFrac), so
+// the full coefficient table H[bmu][unit] — units² entries, tiny for
+// GHSOM child maps — is computed once per epoch and the inner loops
+// reduce to table lookups. Batch training additionally replaces the
+// per-(record, unit) weighted accumulation with BMU-class accumulation:
+// per-class sums and counts in one O(N·dim) pass, then one rank-1 update
+// per (class, unit) pair — O(N·dim + units²·dim) per epoch instead of
+// O(N·units·dim).
+//
+// Determinism: the per-record BMU searches write only their own output
+// slots and every floating-point reduction (class sums, MQE) runs as a
+// serial fold in view-row order, so training results are bit-for-bit
+// identical at every Parallelism setting.
+
+// scheduleFrac returns the training fraction of an epoch for parameter
+// decay: epochs interpolate over Epochs-1 so the final epoch trains
+// exactly at the schedule's end values (AlphaEnd, RadiusEnd). Before this
+// fix the fraction was epoch/Epochs, which never reached the endpoints. A
+// single-epoch run has no schedule to traverse and trains at the start
+// values.
+func (c *TrainConfig) scheduleFrac(epoch int) float64 {
+	if c.Epochs <= 1 {
+		return 0
+	}
+	return float64(epoch) / float64(c.Epochs-1)
+}
+
+// checkView validates a data view against the map dimension.
+func (m *Map) checkView(v vecmath.View) error {
+	if v.Rows() == 0 {
+		return ErrNoData
+	}
+	if v.Dim() != m.dim {
+		return fmt.Errorf("data view of dim %d, map dim %d: %w", v.Dim(), m.dim, ErrDimMismatch)
+	}
+	return nil
+}
+
+// neighborhoodTable fills dst (length units*units) with the neighborhood
+// coefficient of every (bmu, unit) pair at the given radius, scaled by
+// scale: dst[bmu*units+u] = scale * kernel(gridDist²(bmu, u), radius).
+// When cutoff is set, coefficients outside the kernel's reach (3σ for
+// gaussian and mexican-hat, σ for bubble) are zeroed except at the BMU
+// itself — the online rule's update window; the batch rule keeps every
+// coefficient, matching its historical all-units accumulation. Grid
+// coordinates are enumerated directly, so building the table performs no
+// division and exactly units² kernel evaluations.
+func (m *Map) neighborhoodTable(dst []float64, radius, scale float64, kernel Kernel, cutoff bool) {
+	units := m.Units()
+	cut2 := math.Inf(1)
+	if cutoff {
+		cut := radius * 3
+		if kernel == KernelBubble {
+			cut = radius
+		}
+		cut2 = cut * cut
+	}
+	b := 0
+	for br := 0; br < m.rows; br++ {
+		for bc := 0; bc < m.cols; bc++ {
+			row := dst[b*units : (b+1)*units]
+			u := 0
+			for ur := 0; ur < m.rows; ur++ {
+				dr := float64(br - ur)
+				for uc := 0; uc < m.cols; uc++ {
+					dc := float64(bc - uc)
+					d2 := dr*dr + dc*dc
+					if d2 > cut2 && u != b {
+						row[u] = 0
+					} else {
+						row[u] = scale * kernel.Value(d2, radius)
+					}
+					u++
+				}
+			}
+			b++
+		}
+	}
+}
+
+// bmuView computes the BMU index and squared distance of every view row
+// into bmus and d2s (either may be nil) on p workers. Each index writes
+// only its own slots, so results are identical at every worker count.
+func (m *Map) bmuView(v vecmath.View, bmus []int, d2s []float64, p int) {
+	parallel.ForEach(p, v.Rows(), func(i int) {
+		best, d2 := vecmath.ArgMinDistance(v.Row(i), m.flat)
+		if best < 0 {
+			best = 0 // degenerate query: keep the BMU contract of unit 0
+		}
+		if bmus != nil {
+			bmus[i] = best
+		}
+		if d2s != nil {
+			d2s[i] = d2
+		}
+	})
+}
+
+// TrainBatchView trains the map with the deterministic batch rule over a
+// flat data view. Each epoch runs one parallel BMU pass, accumulates
+// per-BMU-class sums and counts in a serial view-order fold, and moves
+// every unit to its neighborhood-weighted class mean via one rank-1
+// update per (class, unit) pair. The BMU-pass distances double as the
+// previous epoch's MQE measurement, so no separate quality scan runs
+// inside the epoch loop; unless cfg.SkipEpochMQE is set, one extra
+// distance-only pass after the final epoch completes the stats. Batch
+// training ignores Alpha and Shuffle. Results are bit-for-bit identical
+// at every cfg.Parallelism setting.
+func (m *Map) TrainBatchView(v vecmath.View, cfg TrainConfig) (TrainStats, error) {
+	if err := cfg.validate(); err != nil {
+		return TrainStats{}, err
+	}
+	if err := m.checkView(v); err != nil {
+		return TrainStats{}, err
+	}
+	radius0 := cfg.effectiveRadius0(m)
+	units, dim, n := m.Units(), m.dim, v.Rows()
+	var (
+		h        = make([]float64, units*units)
+		classSum = make([]float64, units*dim)
+		classCnt = make([]int, units)
+		numer    = make([]float64, dim)
+		bmus     = make([]int, n)
+		d2s      []float64
+	)
+	stats := TrainStats{}
+	if !cfg.SkipEpochMQE {
+		stats.EpochMQE = make([]float64, 0, cfg.Epochs)
+		d2s = make([]float64, n)
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		radius := cfg.Decay.Interp(radius0, cfg.RadiusEnd, cfg.scheduleFrac(epoch))
+		m.neighborhoodTable(h, radius, 1, cfg.Kernel, false)
+
+		m.bmuView(v, bmus, d2s, cfg.Parallelism)
+		for i := range classSum {
+			classSum[i] = 0
+		}
+		for i := range classCnt {
+			classCnt[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			c := bmus[i]
+			classCnt[c]++
+			vecmath.AXPYInPlace(classSum[c*dim:(c+1)*dim], 1, v.Row(i))
+		}
+		if epoch > 0 && !cfg.SkipEpochMQE {
+			// This epoch's BMU pass ran against the weights produced by the
+			// previous epoch's update: its distances are exactly the
+			// previous epoch's post-update MQE.
+			var qeSum float64
+			for i := 0; i < n; i++ {
+				qeSum += math.Sqrt(d2s[i])
+			}
+			stats.EpochMQE = append(stats.EpochMQE, qeSum/float64(n))
+		}
+
+		for u := 0; u < units; u++ {
+			var denom float64
+			for d := range numer {
+				numer[d] = 0
+			}
+			for c := 0; c < units; c++ {
+				if classCnt[c] == 0 {
+					continue
+				}
+				hc := h[c*units+u]
+				if hc <= 0 {
+					continue
+				}
+				denom += hc * float64(classCnt[c])
+				vecmath.AXPYInPlace(numer, hc, classSum[c*dim:(c+1)*dim])
+			}
+			if denom <= 0 {
+				continue // keep previous weight for starved units
+			}
+			inv := 1 / denom
+			w := m.Weight(u)
+			for d := range w {
+				w[d] = numer[d] * inv
+			}
+		}
+	}
+	if !cfg.SkipEpochMQE {
+		stats.EpochMQE = append(stats.EpochMQE, m.mqeView(v, cfg.Parallelism, d2s))
+	}
+	return stats, nil
+}
+
+// TrainOnlineView trains the map with stochastic per-record updates over
+// a flat data view. The learning rate and radius are per-epoch constants
+// (see scheduleFrac), which lets each epoch precompute the α-scaled
+// neighborhood table once; the per-record update is then a BMU search
+// plus one table-gated MoveToward per in-cutoff unit, with no kernel or
+// grid-distance evaluation in the loop. Presentation order is shuffled on
+// a private index slice; the view is never modified.
+func (m *Map) TrainOnlineView(v vecmath.View, cfg TrainConfig) (TrainStats, error) {
+	if err := cfg.validate(); err != nil {
+		return TrainStats{}, err
+	}
+	if err := m.checkView(v); err != nil {
+		return TrainStats{}, err
+	}
+	radius0 := cfg.effectiveRadius0(m)
+	units, n := m.Units(), v.Rows()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	ah := make([]float64, units*units)
+	var d2scratch []float64
+	stats := TrainStats{}
+	if !cfg.SkipEpochMQE {
+		stats.EpochMQE = make([]float64, 0, cfg.Epochs)
+		d2scratch = make([]float64, n)
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		frac := cfg.scheduleFrac(epoch)
+		alpha := cfg.Decay.Interp(cfg.Alpha0, cfg.AlphaEnd, frac)
+		radius := cfg.Decay.Interp(radius0, cfg.RadiusEnd, frac)
+		m.neighborhoodTable(ah, radius, alpha, cfg.Kernel, true)
+		if cfg.Shuffle {
+			cfg.Rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		}
+		for _, idx := range order {
+			x := v.Row(idx)
+			bmu, _ := m.BMU(x)
+			row := ah[bmu*units : (bmu+1)*units]
+			for u, coef := range row {
+				if coef == 0 {
+					continue
+				}
+				vecmath.MoveToward(m.Weight(u), coef, x)
+			}
+		}
+		if !cfg.SkipEpochMQE {
+			stats.EpochMQE = append(stats.EpochMQE, m.mqeView(v, cfg.Parallelism, d2scratch))
+		}
+	}
+	return stats, nil
+}
+
+// mqeView returns the mean quantization error of the view on p workers,
+// reusing d2s (length >= v.Rows(), or nil to allocate) as distance
+// scratch. The sum folds serially in view-row order.
+func (m *Map) mqeView(v vecmath.View, p int, d2s []float64) float64 {
+	n := v.Rows()
+	if n == 0 {
+		return math.NaN()
+	}
+	if len(d2s) < n {
+		d2s = make([]float64, n)
+	}
+	m.bmuView(v, nil, d2s, p)
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += math.Sqrt(d2s[i])
+	}
+	return sum / float64(n)
+}
+
+// MQEView returns the map's mean quantization error over the view, on the
+// map's configured Parallelism.
+func (m *Map) MQEView(v vecmath.View) float64 { return m.mqeView(v, m.parallelism, nil) }
+
+// AssignView returns the BMU index of every view row, on the map's
+// configured Parallelism.
+func (m *Map) AssignView(v vecmath.View) []int {
+	out := make([]int, v.Rows())
+	m.bmuView(v, out, nil, m.parallelism)
+	return out
+}
+
+// UnitErrorsView returns, per unit, the summed quantization error of the
+// view rows mapped to it and the number of rows mapped.
+func (m *Map) UnitErrorsView(v vecmath.View) (sumQE []float64, counts []int) {
+	sumQE = make([]float64, m.Units())
+	counts = make([]int, m.Units())
+	n := v.Rows()
+	bmus := make([]int, n)
+	d2s := make([]float64, n)
+	m.bmuView(v, bmus, d2s, m.parallelism)
+	for i := 0; i < n; i++ {
+		sumQE[bmus[i]] += math.Sqrt(d2s[i])
+		counts[bmus[i]]++
+	}
+	return sumQE, counts
+}
+
+// UnitMeanErrorsView returns the per-unit mean quantization error over
+// the view (zero for empty units), plus the counts.
+func (m *Map) UnitMeanErrorsView(v vecmath.View) (meanQE []float64, counts []int) {
+	meanQE, counts = m.UnitErrorsView(v)
+	for i := range meanQE {
+		if counts[i] > 0 {
+			meanQE[i] /= float64(counts[i])
+		}
+	}
+	return meanQE, counts
+}
+
+// MeanUnitMQEView returns the GHSOM growth criterion over the view: the
+// mean of the per-unit mean quantization errors, over units with at least
+// one mapped row. Returns NaN when no unit has data.
+func (m *Map) MeanUnitMQEView(v vecmath.View) float64 {
+	meanQE, counts := m.UnitMeanErrorsView(v)
+	var sum float64
+	var cnt int
+	for i, c := range counts {
+		if c > 0 {
+			sum += meanQE[i]
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return math.NaN()
+	}
+	return sum / float64(cnt)
+}

@@ -22,6 +22,9 @@ var ErrLengthMismatch = errors.New("vecmath: vector length mismatch")
 // ErrEmpty is returned when an operation requires a non-empty vector.
 var ErrEmpty = errors.New("vecmath: empty vector")
 
+// ErrBadShape is returned when a matrix shape or row index is invalid.
+var ErrBadShape = errors.New("vecmath: invalid shape")
+
 // SquaredDistance returns the squared Euclidean distance between a and b.
 // It is the hot-path kernel for BMU search: no bounds errors are returned;
 // the caller must guarantee len(a) == len(b). It panics otherwise, matching

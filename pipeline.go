@@ -11,6 +11,7 @@ import (
 	"ghsom/internal/kdd"
 	"ghsom/internal/parallel"
 	"ghsom/internal/preprocess"
+	"ghsom/internal/vecmath"
 )
 
 // ErrEmptyTrainingSet is returned when TrainPipeline receives no records.
@@ -42,16 +43,24 @@ type PipelineConfig struct {
 	Parallelism int
 }
 
-// DefaultPipelineConfig returns the configuration used by the
-// reproduction experiments.
+// DefaultPipelineConfig returns the production pipeline configuration.
+// Unlike the paper-reproduction eval suite (which keeps the paper's
+// online operating point), the pipeline trains its maps with the
+// deterministic batch rule: on the flat training dataplane the batch
+// kernel's BMU-class accumulation is several times faster than online
+// updates, and its results are bit-for-bit reproducible at every
+// Parallelism setting. Set Model.Batch = false to restore the online
+// rule.
 func DefaultPipelineConfig() PipelineConfig {
-	return PipelineConfig{
+	cfg := PipelineConfig{
 		Model:            DefaultModelConfig(),
 		Detector:         DetectorConfig{},
 		LogTransform:     true,
 		TrainCapPerLabel: 3000,
 		Seed:             1,
 	}
+	cfg.Model.Batch = true
+	return cfg
 }
 
 // Pipeline is a trained end-to-end detector: encoder, scaler, GHSOM, and
@@ -174,13 +183,19 @@ func TrainPipeline(records []Record, cfg PipelineConfig) (*Pipeline, error) {
 	}
 	labels := kdd.Labels(records)
 
-	modelData := scaled
+	// The model trains directly on the encoded flat matrix; the label cap
+	// passes its subsample as an index selection, so no rows are copied
+	// between encoding and GHSOM growth.
+	mat, err := vecmath.MatrixOver(flat, n, d)
+	if err != nil {
+		return nil, fmt.Errorf("ghsom: training matrix: %w", err)
+	}
+	var modelIdx []int
 	if cfg.TrainCapPerLabel > 0 {
 		rng := rand.New(rand.NewSource(cfg.Seed))
-		idx := preprocess.CapPerKey(labels, cfg.TrainCapPerLabel, rng)
-		modelData = preprocess.Gather(scaled, idx)
+		modelIdx = preprocess.CapPerKey(labels, cfg.TrainCapPerLabel, rng)
 	}
-	model, err := core.Train(modelData, cfg.Model)
+	model, err := core.TrainMatrix(mat, modelIdx, cfg.Model)
 	if err != nil {
 		return nil, fmt.Errorf("ghsom: train model: %w", err)
 	}
