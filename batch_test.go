@@ -158,7 +158,7 @@ func TestLoadPipelineVersion1Compat(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := pipe.Save(&buf); err != nil {
+	if err := pipe.SaveJSON(&buf); err != nil {
 		t.Fatal(err)
 	}
 	// Rewrite the envelope as version 1 without the v2 config fields.

@@ -1,15 +1,17 @@
-// Command benchjson measures inference and training throughput of the
-// detection pipeline and writes them as machine-readable JSON artifacts,
-// so CI can track the perf trajectory across commits.
+// Command benchjson measures inference, training, and routing throughput
+// of the detection pipeline and writes them as machine-readable JSON
+// artifacts, so CI can track the perf trajectory across commits.
 //
 // It trains a pipeline on the small synthetic scenario, then benchmarks
-// DetectAll and DetectBatch (inference) plus som-level TrainBatchView and
-// end-to-end TrainPipeline (training) at Parallelism 1 and GOMAXPROCS via
-// testing.Benchmark.
+// DetectAll and DetectBatch (inference), som-level TrainBatchView and
+// end-to-end TrainPipeline (training), and tree-walk vs compiled model
+// routing (RouteTree / RouteCompiled) at Parallelism 1 and GOMAXPROCS
+// via testing.Benchmark.
 //
 // Usage:
 //
-//	benchjson -out BENCH_inference.json -train-out BENCH_training.json
+//	benchjson -out BENCH_inference.json -train-out BENCH_training.json \
+//	          -routing-out BENCH_routing.json
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"time"
 
 	"ghsom"
+	"ghsom/internal/core"
 	"ghsom/internal/eval"
 	"ghsom/internal/som"
 	"ghsom/internal/trafficgen"
@@ -77,6 +80,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	out := fs.String("out", "BENCH_inference.json", "inference JSON path (empty = skip)")
 	trainOut := fs.String("train-out", "BENCH_training.json", "training JSON path (empty = skip)")
+	routingOut := fs.String("routing-out", "BENCH_routing.json", "routing JSON path (empty = skip)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -100,6 +104,15 @@ func run(args []string) error {
 			return err
 		}
 		if err := writeArtifact(*trainOut, doc); err != nil {
+			return err
+		}
+	}
+	if *routingOut != "" {
+		doc, err := routingPoints(records)
+		if err != nil {
+			return err
+		}
+		if err := writeArtifact(*routingOut, doc); err != nil {
 			return err
 		}
 	}
@@ -202,6 +215,52 @@ func trainingPoints(records []ghsom.Record) (artifact, error) {
 				cfg := pipelineConfig(par)
 				for i := 0; i < b.N; i++ {
 					if _, err := ghsom.TrainPipeline(records, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}),
+		)
+	}
+	return doc, nil
+}
+
+// routingPoints measures the hierarchy descent itself — the tree-walk
+// RouteTrainedFlat against the compiled model's table-driven
+// RouteTrainedFlat — at P=1 and GOMAXPROCS, on the model a production
+// pipeline actually serves (TrainPipeline with the default label cap and
+// batch rule) and the records it encounters. The compiled path is the
+// serving dataplane; the tree walk is the pre-compilation baseline.
+func routingPoints(records []ghsom.Record) (artifact, error) {
+	doc := newArtifact(len(records))
+	pipe, err := ghsom.TrainPipeline(records, pipelineConfig(1))
+	if err != nil {
+		return artifact{}, err
+	}
+	model, compiled := pipe.Model(), pipe.Compiled()
+	n := len(records)
+	flat := make([]float64, 0, n*compiled.Dim())
+	for i := range records {
+		x, err := pipe.Encode(&records[i])
+		if err != nil {
+			return artifact{}, err
+		}
+		flat = append(flat, x...)
+	}
+	outPlaces := make([]core.Placement, n)
+	for _, par := range parSweep {
+		par := par
+		effective := effectivePar(par)
+		doc.Points = append(doc.Points,
+			measure("RouteTree", effective, n, 0, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if err := model.RouteTrainedFlat(flat, n, outPlaces, par); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}),
+			measure("RouteCompiled", effective, n, 0, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if err := compiled.RouteTrainedFlat(flat, n, outPlaces, par); err != nil {
 						b.Fatal(err)
 					}
 				}

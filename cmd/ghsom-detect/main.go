@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	ghsom-detect -model model.json -in test.csv
-//	ghsom-detect -model model.json -in test.csv -verdicts verdicts.csv
+//	ghsom-detect -model model.bin -in test.csv
+//	ghsom-detect -model model.bin -in test.csv -verdicts verdicts.csv
 package main
 
 import (
@@ -30,7 +30,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("ghsom-detect", flag.ContinueOnError)
-	modelPath := fs.String("model", "model.json", "trained pipeline file")
+	modelPath := fs.String("model", "model.bin", "trained pipeline file")
 	in := fs.String("in", "", "input CSV in kddcup.data format (required)")
 	verdicts := fs.String("verdicts", "", "optional per-record verdict CSV output")
 	par := fs.Int("parallelism", 0, "classification worker bound (0 = GOMAXPROCS, 1 = serial; results identical)")

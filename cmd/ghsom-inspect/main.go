@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	ghsom-inspect -model model.json
-//	ghsom-inspect -model model.json -node 3    # U-matrix of one node
+//	ghsom-inspect -model model.bin
+//	ghsom-inspect -model model.bin -node 3    # U-matrix of one node
 package main
 
 import (
@@ -27,7 +27,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("ghsom-inspect", flag.ContinueOnError)
-	modelPath := fs.String("model", "model.json", "trained pipeline file")
+	modelPath := fs.String("model", "model.bin", "trained pipeline file")
 	nodeID := fs.Int("node", 0, "node whose U-matrix to render")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -44,21 +44,37 @@ func run(args []string) error {
 	}
 	model := pipe.Model()
 	st := model.Stats()
+	compiled := pipe.Compiled()
+	cst := compiled.Stats()
 
 	fmt.Printf("model: %s\n", st)
-	fmt.Printf("tau1=%.3f tau2=%.3f maxDepth=%d seed=%d\n\n",
+	fmt.Printf("tau1=%.3f tau2=%.3f maxDepth=%d seed=%d\n",
 		model.Config().Tau1, model.Config().Tau2, model.Config().MaxDepth, model.Config().Seed)
+	format := "binary"
+	if pipe.EnvelopeVersion() < 3 {
+		format = "json, compiled on load"
+	}
+	fmt.Printf("envelope: v%d (%s)\n", pipe.EnvelopeVersion(), format)
+	fmt.Printf("compiled: nodes=%d units=%d leaf-units=%d arena=%s tables=%s\n\n",
+		cst.Maps, cst.Units, cst.LeafUnits,
+		humanBytes(compiled.ArenaBytes()), humanBytes(compiled.TableBytes()))
 
-	fmt.Println("per-depth structure:")
+	fmt.Println("per-depth structure (tree | compiled):")
 	rows := make([][]string, 0, len(st.MapsPerDepth))
 	for d := range st.MapsPerDepth {
+		cMaps, cUnits := 0, 0
+		if d < len(cst.MapsPerDepth) {
+			cMaps, cUnits = cst.MapsPerDepth[d], cst.UnitsPerDepth[d]
+		}
 		rows = append(rows, []string{
 			fmt.Sprint(d + 1),
 			fmt.Sprint(st.MapsPerDepth[d]),
 			fmt.Sprint(st.UnitsPerDepth[d]),
+			fmt.Sprint(cMaps),
+			fmt.Sprint(cUnits),
 		})
 	}
-	fmt.Print(viz.Table([]string{"depth", "maps", "units"}, rows))
+	fmt.Print(viz.Table([]string{"depth", "maps", "units", "c-maps", "c-units"}, rows))
 
 	fmt.Println("\nhierarchy:")
 	fmt.Print(model.TreeString())
@@ -83,4 +99,16 @@ func run(args []string) error {
 	}
 	fmt.Print(viz.Table([]string{"label", "cells"}, lrows))
 	return nil
+}
+
+// humanBytes renders a byte count with a binary unit prefix.
+func humanBytes(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
 }

@@ -1,4 +1,4 @@
-// Command ghsom-serve serves a trained pipeline as a line-rate detection
+// Command ghsom-serve serves trained pipelines as a line-rate detection
 // service: NDJSON over HTTP, or NDJSON stdin→stdout. Concurrent requests
 // are accumulated into micro-batches — flushed when the batch reaches
 // -batch records or the -flush deadline expires, whichever comes first —
@@ -6,17 +6,31 @@
 // DetectBatch dataplane on the parallel worker pool, so many small
 // requests cost close to what one large request does.
 //
+// The server hosts a registry of named models with atomic hot-swap:
+// POST /model loads a new envelope (binary v3 or legacy JSON) under a
+// name without interrupting traffic — in-flight batches finish on the
+// pipeline they started with, and the next batch picks up the new one.
+// Requests select a model with ?model=NAME (default "default").
+//
 // HTTP endpoints:
 //
 //	POST /detect   body: one JSON kdd record per line (NDJSON); the
 //	               response is one JSON prediction per line, in order.
-//	GET  /stats    JSON batching/latency/throughput counters.
-//	GET  /healthz  200 once the model is loaded.
+//	               ?model=NAME selects a registry entry.
+//	POST /model    body: a pipeline envelope; loads (or hot-swaps)
+//	               ?name=NAME (default "default") atomically.
+//	DELETE /model  unloads ?name=NAME (the default model cannot be
+//	               unloaded, only replaced).
+//	GET  /models   JSON listing of the registry: name, envelope version,
+//	               model shape, arena footprint, per-model serve stats.
+//	GET  /stats    JSON batching/latency/throughput counters of the
+//	               model selected by ?model=NAME.
+//	GET  /healthz  200 once the initial model is loaded.
 //
 // Usage:
 //
-//	ghsom-serve -model model.json -addr :8741
-//	ghsom-serve -model model.json -stdin < records.ndjson > verdicts.ndjson
+//	ghsom-serve -model model.bin -addr :8741
+//	ghsom-serve -model model.bin -stdin < records.ndjson > verdicts.ndjson
 //	ghsom-serve -example   # print a sample request record
 package main
 
@@ -29,7 +43,9 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ghsom"
@@ -45,7 +61,7 @@ func main() {
 
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("ghsom-serve", flag.ContinueOnError)
-	modelPath := fs.String("model", "model.json", "trained pipeline file")
+	modelPath := fs.String("model", "model.bin", "trained pipeline file")
 	addr := fs.String("addr", ":8741", "HTTP listen address")
 	maxBatch := fs.Int("batch", 256, "micro-batch flush size (records)")
 	flushEvery := fs.Duration("flush", 2*time.Millisecond, "micro-batch flush deadline")
@@ -80,22 +96,264 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return serveStdin(pipe, *maxBatch, stdin, stdout)
 	}
 
-	b := newBatcher(pipe, *maxBatch, *flushEvery)
-	defer b.close()
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /detect", b.handleDetect)
-	mux.HandleFunc("GET /stats", b.handleStats)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
+	reg := newRegistry(*maxBatch, *flushEvery, *par)
+	defer reg.close()
+	if _, _, err := reg.swap(defaultModelName, pipe); err != nil {
+		return err
+	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           mux,
+		Handler:           reg.mux(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	fmt.Fprintf(os.Stderr, "ghsom-serve: listening on %s (batch=%d flush=%v)\n", *addr, *maxBatch, *flushEvery)
 	return srv.ListenAndServe()
+}
+
+// defaultModelName is the registry entry served when a request names no
+// model.
+const defaultModelName = "default"
+
+// modelEntry is one hosted model: its micro-batcher (whose pipeline
+// pointer hot-swaps atomically) plus registry metadata.
+type modelEntry struct {
+	name     string
+	batcher  *batcher
+	loadedAt time.Time
+	swaps    int
+}
+
+// registry hosts the named models behind the HTTP surface. Lookups take
+// a read lock; loading or swapping a model takes the write lock only to
+// update the map and metadata — the swap itself is one atomic pointer
+// store on the entry's batcher, so detection traffic never blocks on a
+// model upload.
+type registry struct {
+	mu         sync.RWMutex
+	entries    map[string]*modelEntry
+	maxBatch   int
+	flushEvery time.Duration
+	par        int
+}
+
+func newRegistry(maxBatch int, flushEvery time.Duration, par int) *registry {
+	return &registry{
+		entries:    make(map[string]*modelEntry),
+		maxBatch:   maxBatch,
+		flushEvery: flushEvery,
+		par:        par,
+	}
+}
+
+func (reg *registry) close() {
+	// Take the entries out of the map before closing them, so a DELETE
+	// handler racing shutdown cannot find an entry whose batcher is
+	// already closed and close it a second time.
+	reg.mu.Lock()
+	entries := reg.entries
+	reg.entries = make(map[string]*modelEntry)
+	reg.mu.Unlock()
+	for _, e := range entries {
+		e.batcher.close()
+	}
+}
+
+// get returns the named entry, or nil when absent.
+func (reg *registry) get(name string) *modelEntry {
+	reg.mu.RLock()
+	defer reg.mu.RUnlock()
+	return reg.entries[name]
+}
+
+// maxRegistryModels caps the number of hosted models: each entry pins a
+// pipeline and a batcher goroutine, so an unbounded registry would let a
+// deploy loop with unique names exhaust memory. Stale entries are
+// removed with DELETE /model.
+const maxRegistryModels = 32
+
+// swap installs pipe under name: an existing entry's pipeline pointer is
+// replaced atomically (in-flight batches finish on the old pipeline, the
+// next flush uses the new one — no request is dropped or torn); a new
+// name gets a fresh batcher, unless the registry is at capacity. The
+// returned view is snapshotted under the lock; swapped reports whether
+// the entry already existed.
+func (reg *registry) swap(name string, pipe *ghsom.Pipeline) (view modelView, swapped bool, err error) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if e, ok := reg.entries[name]; ok {
+		e.batcher.pipe.Store(pipe)
+		e.loadedAt = time.Now()
+		e.swaps++
+		return e.view(), true, nil
+	}
+	if len(reg.entries) >= maxRegistryModels {
+		return modelView{}, false, fmt.Errorf("registry full (%d models); DELETE unused entries first", maxRegistryModels)
+	}
+	e := &modelEntry{
+		name:     name,
+		batcher:  newBatcher(pipe, reg.maxBatch, reg.flushEvery),
+		loadedAt: time.Now(),
+	}
+	reg.entries[name] = e
+	return e.view(), false, nil
+}
+
+// remove unloads the named entry, shutting its batcher down after
+// in-flight jobs drain. Returns false when the name is unknown.
+func (reg *registry) remove(name string) bool {
+	reg.mu.Lock()
+	e, ok := reg.entries[name]
+	delete(reg.entries, name)
+	reg.mu.Unlock()
+	if ok {
+		// Outside the lock: close drains pending jobs through one last
+		// flush, which must not block other registry traffic.
+		e.batcher.close()
+	}
+	return ok
+}
+
+// mux builds the HTTP surface over the registry.
+func (reg *registry) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /detect", reg.handleDetect)
+	mux.HandleFunc("POST /model", reg.handleLoadModel)
+	mux.HandleFunc("DELETE /model", reg.handleUnloadModel)
+	mux.HandleFunc("GET /models", reg.handleModels)
+	mux.HandleFunc("GET /stats", reg.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// requestModel resolves the ?model= selector (default "default"),
+// writing a 404 when the name is unknown.
+func (reg *registry) requestModel(w http.ResponseWriter, r *http.Request) *modelEntry {
+	name := r.URL.Query().Get("model")
+	if name == "" {
+		name = defaultModelName
+	}
+	e := reg.get(name)
+	if e == nil {
+		http.Error(w, fmt.Sprintf("unknown model %q", name), http.StatusNotFound)
+		return nil
+	}
+	return e
+}
+
+func (reg *registry) handleDetect(w http.ResponseWriter, r *http.Request) {
+	if e := reg.requestModel(w, r); e != nil {
+		e.batcher.handleDetect(w, r)
+	}
+}
+
+func (reg *registry) handleStats(w http.ResponseWriter, r *http.Request) {
+	if e := reg.requestModel(w, r); e != nil {
+		e.batcher.handleStats(w, r)
+	}
+}
+
+// maxModelBytes bounds one uploaded envelope.
+const maxModelBytes = 1 << 30
+
+// modelView is the JSON shape of one registry entry on /models and
+// POST /model responses.
+type modelView struct {
+	Name            string    `json:"name"`
+	EnvelopeVersion int       `json:"envelopeVersion"`
+	LoadedAt        time.Time `json:"loadedAt"`
+	Swaps           int       `json:"swaps"`
+	Nodes           int       `json:"nodes"`
+	Units           int       `json:"units"`
+	MaxDepth        int       `json:"maxDepth"`
+	ArenaBytes      int       `json:"arenaBytes"`
+	TableBytes      int       `json:"tableBytes"`
+	Stats           statsView `json:"stats"`
+}
+
+func (e *modelEntry) view() modelView {
+	pipe := e.batcher.pipe.Load()
+	c := pipe.Compiled()
+	st := c.Stats()
+	return modelView{
+		Name:            e.name,
+		EnvelopeVersion: pipe.EnvelopeVersion(),
+		LoadedAt:        e.loadedAt,
+		Swaps:           e.swaps,
+		Nodes:           st.Maps,
+		Units:           st.Units,
+		MaxDepth:        st.MaxDepth,
+		ArenaBytes:      c.ArenaBytes(),
+		TableBytes:      c.TableBytes(),
+		Stats:           e.batcher.stats.snapshot(),
+	}
+}
+
+// handleLoadModel reads a pipeline envelope from the request body and
+// installs it under ?name= (default "default"), hot-swapping any
+// existing entry without interrupting in-flight traffic.
+func (reg *registry) handleLoadModel(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		name = defaultModelName
+	}
+	// Cheap pre-check before parsing a potentially huge envelope; the
+	// authoritative capacity check in swap still guards the race.
+	reg.mu.RLock()
+	_, exists := reg.entries[name]
+	full := len(reg.entries) >= maxRegistryModels
+	reg.mu.RUnlock()
+	if !exists && full {
+		http.Error(w, fmt.Sprintf("registry full (%d models); DELETE unused entries first", maxRegistryModels), http.StatusConflict)
+		return
+	}
+	pipe, err := ghsom.LoadPipeline(http.MaxBytesReader(w, r.Body, maxModelBytes))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("load model: %v", err), http.StatusBadRequest)
+		return
+	}
+	pipe.SetParallelism(reg.par)
+	view, swapped, err := reg.swap(name, pipe)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if !swapped {
+		w.WriteHeader(http.StatusCreated)
+	}
+	json.NewEncoder(w).Encode(view)
+}
+
+// handleUnloadModel removes the ?name= entry from the registry, draining
+// its batcher. The default model cannot be unloaded (swap it instead),
+// so the server always has a model to serve.
+func (reg *registry) handleUnloadModel(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" || name == defaultModelName {
+		http.Error(w, "cannot unload the default model; POST /model to replace it", http.StatusBadRequest)
+		return
+	}
+	if !reg.remove(name) {
+		http.Error(w, fmt.Sprintf("unknown model %q", name), http.StatusNotFound)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleModels lists the registry, sorted by name for stable output.
+func (reg *registry) handleModels(w http.ResponseWriter, r *http.Request) {
+	reg.mu.RLock()
+	views := make([]modelView, 0, len(reg.entries))
+	for _, e := range reg.entries {
+		views = append(views, e.view())
+	}
+	reg.mu.RUnlock()
+	sort.Slice(views, func(i, j int) bool { return views[i].Name < views[j].Name })
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(views)
 }
 
 // printExample emits a canonical normal connection record clients can
@@ -180,9 +438,12 @@ func (s *serveStats) snapshot() statsView {
 }
 
 // batcher accumulates jobs into micro-batches and flushes them through
-// DetectBatch on size or deadline.
+// DetectBatch on size or deadline. The pipeline pointer is atomic: a
+// model hot-swap stores a new pipeline, each flush loads the pointer
+// exactly once, so every batch runs whole against one model — requests
+// are never split or torn across a swap.
 type batcher struct {
-	pipe       *ghsom.Pipeline
+	pipe       atomic.Pointer[ghsom.Pipeline]
 	maxBatch   int
 	flushEvery time.Duration
 	jobs       chan *job
@@ -193,12 +454,12 @@ type batcher struct {
 
 func newBatcher(pipe *ghsom.Pipeline, maxBatch int, flushEvery time.Duration) *batcher {
 	b := &batcher{
-		pipe:       pipe,
 		maxBatch:   maxBatch,
 		flushEvery: flushEvery,
 		jobs:       make(chan *job, 64),
 		quit:       make(chan struct{}),
 	}
+	b.pipe.Store(pipe)
 	b.stats.start = time.Now()
 	b.wg.Add(1)
 	go b.loop()
@@ -208,7 +469,21 @@ func newBatcher(pipe *ghsom.Pipeline, maxBatch int, flushEvery time.Duration) *b
 func (b *batcher) close() {
 	close(b.quit)
 	b.wg.Wait()
+	// Fail any job that raced past the loop's final drain, so no client
+	// hangs on a batcher that will never flush again.
+	for {
+		select {
+		case j := <-b.jobs:
+			j.err = errUnloaded
+			close(j.done)
+		default:
+			return
+		}
+	}
 }
+
+// errUnloaded is returned to requests that race a model unload.
+var errUnloaded = fmt.Errorf("model unloaded")
 
 // loop is the micro-batching core: it drains the job channel, flushing
 // the pending batch when it reaches maxBatch records or when the oldest
@@ -271,18 +546,22 @@ func (b *batcher) loop() {
 // so on error every job is retried individually: valid jobs succeed and
 // the bad job gets an error with job-local record indices.
 func (b *batcher) flush(pending []*job, size int) {
+	// One pointer load per flush: the whole merged batch (and its per-job
+	// retries) runs against a single pipeline even if a hot-swap lands
+	// mid-flush.
+	pipe := b.pipe.Load()
 	batch := make([]kdd.Record, 0, size)
 	for _, j := range pending {
 		batch = append(batch, j.records...)
 	}
 	start := time.Now()
-	preds, err := b.pipe.DetectBatch(batch, nil)
+	preds, err := pipe.DetectBatch(batch, nil)
 	if err != nil {
 		// Only the per-job retries actually serve records, so only they
 		// count toward /stats; the failed merged attempt is discarded.
 		for _, j := range pending {
 			start := time.Now()
-			j.preds, j.err = b.pipe.DetectBatch(j.records, nil)
+			j.preds, j.err = pipe.DetectBatch(j.records, nil)
 			if j.err == nil {
 				b.stats.record(len(j.records), time.Since(start))
 			}
@@ -307,12 +586,24 @@ func (b *batcher) submit(ctx context.Context, records []kdd.Record) ([]ghsom.Pre
 	case b.jobs <- j:
 	case <-ctx.Done():
 		return nil, ctx.Err()
+	case <-b.quit:
+		return nil, errUnloaded
 	}
 	select {
 	case <-j.done:
 		return j.preds, j.err
 	case <-ctx.Done():
 		return nil, ctx.Err()
+	case <-b.quit:
+		// The batcher is shutting down. The job may still have been
+		// served by the final drain — report that result if it is
+		// already in; otherwise tell the client the model went away.
+		select {
+		case <-j.done:
+			return j.preds, j.err
+		default:
+			return nil, errUnloaded
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -284,4 +285,289 @@ func TestRunExampleAndFlagValidation(t *testing.T) {
 	if err := run([]string{"-model", "/nonexistent/model.json"}, nil, io.Discard); err == nil {
 		t.Error("missing model accepted")
 	}
+}
+
+// altPipeline trains a second, distinguishable pipeline for swap tests.
+func altPipeline(t *testing.T, recs []kdd.Record) *ghsom.Pipeline {
+	t.Helper()
+	cfg := ghsom.DefaultPipelineConfig()
+	cfg.Model.EpochsPerGrowth = 3
+	cfg.Model.FineTuneEpochs = 3
+	cfg.Model.MaxGrowIters = 4
+	cfg.Model.MaxDepth = 2
+	cfg.Model.Seed = 99
+	cfg.TrainCapPerLabel = 400
+	pipe, err := ghsom.TrainPipeline(recs[:2000], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pipe
+}
+
+// TestRegistryHotSwapUnderLoad hammers /detect from concurrent clients
+// while a new model is hot-swapped in via POST /model: no request may
+// fail, be dropped, or be torn (every response must match one model's
+// predictions wholesale), and traffic after the swap must be served by
+// the new model.
+func TestRegistryHotSwapUnderLoad(t *testing.T) {
+	pipeA, recs := testPipeline(t)
+	pipeB := altPipeline(t, recs)
+	eval := recs[:40]
+	wantA, err := pipeA.DetectAll(eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB, err := pipeB.DetectAll(eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := newRegistry(64, time.Millisecond, 0)
+	defer reg.close()
+	reg.swap(defaultModelName, pipeA)
+	srv := httptest.NewServer(reg.mux())
+	defer srv.Close()
+
+	body := ndjson(t, eval)
+	matches := func(preds []ghsom.Prediction) string {
+		if len(preds) != len(eval) {
+			return "wrong count"
+		}
+		a, b := true, true
+		for i := range preds {
+			if preds[i] != wantA[i] {
+				a = false
+			}
+			if preds[i] != wantB[i] {
+				b = false
+			}
+		}
+		switch {
+		case a:
+			return "A"
+		case b:
+			return "B"
+		default:
+			return "torn"
+		}
+	}
+
+	const workers = 4
+	const reqsPerWorker = 25
+	results := make([][]string, workers)
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < reqsPerWorker; r++ {
+				resp, err := http.Post(srv.URL+"/detect", "application/x-ndjson", bytes.NewReader(body))
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					raw, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					errs[w] = fmt.Errorf("status %d: %s", resp.StatusCode, raw)
+					return
+				}
+				preds := decodePreds(t, resp.Body)
+				resp.Body.Close()
+				results[w] = append(results[w], matches(preds))
+			}
+		}(w)
+	}
+
+	// Swap to model B mid-load.
+	var envB bytes.Buffer
+	if err := pipeB.Save(&envB); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	resp, err := http.Post(srv.URL+"/model", "application/octet-stream", bytes.NewReader(envB.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var swapped modelView
+	if err := json.NewDecoder(resp.Body).Decode(&swapped); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("swap status = %d", resp.StatusCode)
+	}
+	if swapped.Swaps != 1 || swapped.EnvelopeVersion != 3 {
+		t.Errorf("swap view = %+v, want swaps=1 envelopeVersion=3", swapped)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	sawA, sawB := false, false
+	for w := range results {
+		if len(results[w]) != reqsPerWorker {
+			t.Fatalf("worker %d served %d of %d requests", w, len(results[w]), reqsPerWorker)
+		}
+		for r, m := range results[w] {
+			switch m {
+			case "A":
+				sawA = true
+			case "B":
+				sawB = true
+			default:
+				t.Fatalf("worker %d request %d: %s response", w, r, m)
+			}
+		}
+	}
+	if !sawA {
+		t.Error("no request was served by the original model")
+	}
+	_ = sawB // timing-dependent: the swap may land after most workers finish
+
+	// After the swap, traffic must come from model B.
+	resp, err = http.Post(srv.URL+"/detect", "application/x-ndjson", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := decodePreds(t, resp.Body)
+	resp.Body.Close()
+	if m := matches(preds); m != "B" {
+		t.Fatalf("post-swap response served by %s, want B", m)
+	}
+}
+
+// TestRegistryNamedModels exercises per-request model selection and the
+// /models listing.
+func TestRegistryNamedModels(t *testing.T) {
+	pipeA, recs := testPipeline(t)
+	pipeB := altPipeline(t, recs)
+	eval := recs[50:70]
+	wantA, err := pipeA.DetectAll(eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB, err := pipeB.DetectAll(eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := newRegistry(64, time.Millisecond, 0)
+	defer reg.close()
+	reg.swap(defaultModelName, pipeA)
+	srv := httptest.NewServer(reg.mux())
+	defer srv.Close()
+
+	// Unknown model name is a 404.
+	resp, err := http.Post(srv.URL+"/detect?model=nope", "application/x-ndjson", bytes.NewReader(ndjson(t, eval)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown model status = %d, want 404", resp.StatusCode)
+	}
+
+	// Create a named entry via POST /model?name=canary (201 Created).
+	var envB bytes.Buffer
+	if err := pipeB.Save(&envB); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(srv.URL+"/model?name=canary", "application/octet-stream", bytes.NewReader(envB.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status = %d, want 201", resp.StatusCode)
+	}
+
+	// Per-request selection routes to the right model.
+	check := func(query string, want []ghsom.Prediction) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/detect"+query, "application/x-ndjson", bytes.NewReader(ndjson(t, eval)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		preds := decodePreds(t, resp.Body)
+		if len(preds) != len(want) {
+			t.Fatalf("%s: got %d predictions, want %d", query, len(preds), len(want))
+		}
+		for i := range preds {
+			if preds[i] != want[i] {
+				t.Fatalf("%s record %d: got %+v, want %+v", query, i, preds[i], want[i])
+			}
+		}
+	}
+	check("", wantA)
+	check("?model=default", wantA)
+	check("?model=canary", wantB)
+
+	// Listing shows both entries with their envelope versions and shapes.
+	lresp, err := http.Get(srv.URL + "/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lresp.Body.Close()
+	var views []modelView
+	if err := json.NewDecoder(lresp.Body).Decode(&views); err != nil {
+		t.Fatal(err)
+	}
+	if len(views) != 2 || views[0].Name != "canary" || views[1].Name != "default" {
+		t.Fatalf("listing = %+v", views)
+	}
+	for _, v := range views {
+		if v.EnvelopeVersion != 3 || v.Nodes < 1 || v.Units < 1 || v.ArenaBytes < 1 {
+			t.Errorf("listing entry %+v missing model metadata", v)
+		}
+	}
+
+	// A malformed envelope upload is rejected without disturbing the
+	// registry.
+	resp, err = http.Post(srv.URL+"/model?name=canary", "application/octet-stream", strings.NewReader("not an envelope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad envelope status = %d, want 400", resp.StatusCode)
+	}
+	check("?model=canary", wantB)
+
+	// DELETE unloads the canary; the default model is protected.
+	del := func(query string) int {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodDelete, srv.URL+"/model"+query, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := del("?name=default"); code != http.StatusBadRequest {
+		t.Fatalf("deleting default = %d, want 400", code)
+	}
+	if code := del("?name=canary"); code != http.StatusNoContent {
+		t.Fatalf("deleting canary = %d, want 204", code)
+	}
+	if code := del("?name=canary"); code != http.StatusNotFound {
+		t.Fatalf("re-deleting canary = %d, want 404", code)
+	}
+	resp, err = http.Post(srv.URL+"/detect?model=canary", "application/x-ndjson", bytes.NewReader(ndjson(t, eval)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("detect on unloaded model = %d, want 404", resp.StatusCode)
+	}
+	check("", wantA) // default still serves
 }

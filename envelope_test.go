@@ -1,0 +1,129 @@
+package ghsom
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestEnvelopeV3RoundTripBitIdentical pins the binary envelope contract:
+// Save → LoadPipeline → Save produces identical bytes, and the loaded
+// pipeline classifies identically.
+func TestEnvelopeV3RoundTripBitIdentical(t *testing.T) {
+	recs := testRecords(t)
+	pipe, err := TrainPipeline(recs, quickPipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pipe.EnvelopeVersion() != 3 {
+		t.Fatalf("fresh pipeline envelope version = %d, want 3", pipe.EnvelopeVersion())
+	}
+	var first bytes.Buffer
+	if err := pipe.Save(&first); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadPipeline(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.EnvelopeVersion() != 3 {
+		t.Fatalf("loaded envelope version = %d, want 3", loaded.EnvelopeVersion())
+	}
+	var second bytes.Buffer
+	if err := loaded.Save(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("binary envelope round trip not bit-identical (%d vs %d bytes)",
+			first.Len(), second.Len())
+	}
+	for i := 0; i < len(recs); i += 131 {
+		p1, err := pipe.Detect(&recs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := loaded.Detect(&recs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p1 != p2 {
+			t.Fatalf("record %d verdict differs after v3 round trip: %+v vs %+v", i, p1, p2)
+		}
+	}
+	// The rebuilt tree must also match the original structurally.
+	if got, want := loaded.Model().Stats(), pipe.Model().Stats(); got.Maps != want.Maps ||
+		got.Units != want.Units || got.MaxDepth != want.MaxDepth {
+		t.Fatalf("rebuilt tree stats %+v, want %+v", got, want)
+	}
+}
+
+// TestLoadPipelineVersion2JSONCompat verifies the legacy JSON envelope
+// still loads (compile-on-load) and classifies identically to the binary
+// form.
+func TestLoadPipelineVersion2JSONCompat(t *testing.T) {
+	recs := testRecords(t)
+	pipe, err := TrainPipeline(recs, quickPipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := pipe.SaveJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadPipeline(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.EnvelopeVersion() != 2 {
+		t.Fatalf("JSON envelope version = %d, want 2", loaded.EnvelopeVersion())
+	}
+	if loaded.Compiled() == nil {
+		t.Fatal("JSON-loaded pipeline has no compiled model")
+	}
+	for i := 0; i < len(recs); i += 173 {
+		p1, err := pipe.Detect(&recs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := loaded.Detect(&recs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p1 != p2 {
+			t.Fatalf("record %d verdict differs after JSON load: %+v vs %+v", i, p1, p2)
+		}
+	}
+}
+
+// TestLoadPipelineRejectsCorruptBinary walks truncations and byte
+// mutations of a valid v3 envelope: every outcome must be an error or a
+// loadable, classifiable pipeline — never a panic.
+func TestLoadPipelineRejectsCorruptBinary(t *testing.T) {
+	recs := testRecords(t)
+	pipe, err := TrainPipeline(recs, quickPipelineConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := pipe.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for cut := 0; cut < len(raw); cut += 997 {
+		if _, err := LoadPipeline(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	for pos := 0; pos < len(raw); pos += 1499 {
+		mut := append([]byte(nil), raw...)
+		mut[pos] ^= 0x5a
+		loaded, err := LoadPipeline(bytes.NewReader(mut))
+		if err != nil {
+			continue
+		}
+		if _, err := loaded.Detect(&recs[0]); err != nil {
+			// A mutated envelope that loads may legitimately reject
+			// records (e.g. a flipped service name); it must not panic.
+			continue
+		}
+	}
+}

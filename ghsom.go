@@ -59,6 +59,14 @@ const (
 // Model is a trained growing hierarchical self-organizing map.
 type Model = core.GHSOM
 
+// CompiledModel is a trained GHSOM compiled for serving: all weights in
+// one shared row-major arena with flat routing tables, producing
+// placements byte-identical to the tree walk (see core.Compile).
+type CompiledModel = core.Compiled
+
+// CompileModel packs a trained model into its compiled serving form.
+func CompileModel(m *Model) *CompiledModel { return core.Compile(m) }
+
 // ModelConfig controls GHSOM training (tau1, tau2, depth caps, ...).
 type ModelConfig = core.Config
 

@@ -16,15 +16,21 @@ import (
 // RouteTrained so classification stays on the effective codebook (units
 // that won training data).
 //
-// Build it with NewGHSOMQuantizer on the inference hot path: the
+// Build it with NewGHSOMQuantizer over a compiled model (core.Compile)
+// on the inference hot path: routing then runs on the flat-arena
+// table-driven descent — no pointer chasing, no map lookups — and the
 // constructor precomputes the "nodeID/unit" cell name of every unit in
 // the hierarchy, so Quantize and QuantizeBatch hand out shared immutable
 // strings instead of formatting one per record. The plain composite
-// literal GHSOMQuantizer{Model: m} remains valid and routes identically,
-// falling back to per-call formatting.
+// literal GHSOMQuantizer{Model: m} remains valid and routes identically
+// through the pointer tree, falling back to per-call formatting.
 type GHSOMQuantizer struct {
-	// Model is the trained hierarchy.
+	// Model is the trained pointer-tree hierarchy, used when no compiled
+	// model is present.
 	Model *core.GHSOM
+	// compiled is the flat-arena model the hot path routes on; nil when
+	// built from the composite literal.
+	compiled *core.Compiled
 	// names caches the cell name of every (node, unit) pair, indexed by
 	// node ID then unit; nil when built without NewGHSOMQuantizer.
 	names [][]string
@@ -36,24 +42,39 @@ var (
 	_ WeightQuantizer = GHSOMQuantizer{}
 )
 
-// NewGHSOMQuantizer builds the adapter with its cell-name cache — the
-// allocation-free form used by the batch inference dataplane.
-func NewGHSOMQuantizer(model *core.GHSOM) GHSOMQuantizer {
-	nodes := model.Nodes()
-	names := make([][]string, len(nodes))
-	for _, n := range nodes {
-		units := make([]string, n.Map.Units())
+// NewGHSOMQuantizer builds the adapter over a compiled model, with its
+// cell-name cache — the allocation-free form used by the batch inference
+// dataplane. Placements (and therefore cells and verdicts) are
+// byte-identical to routing through the pointer tree the model was
+// compiled from.
+func NewGHSOMQuantizer(compiled *core.Compiled) GHSOMQuantizer {
+	names := make([][]string, compiled.NumNodes())
+	for id := range names {
+		units := make([]string, compiled.NodeUnits(id))
 		for u := range units {
-			units[u] = core.UnitKey{NodeID: n.ID, Unit: u}.String()
+			units[u] = core.UnitKey{NodeID: id, Unit: u}.String()
 		}
-		names[n.ID] = units
+		names[id] = units
 	}
-	return GHSOMQuantizer{Model: model, names: names}
+	return GHSOMQuantizer{compiled: compiled, names: names}
+}
+
+// Compiled returns the compiled model the adapter routes on, or nil for
+// a tree-backed adapter.
+func (g GHSOMQuantizer) Compiled() *core.Compiled { return g.compiled }
+
+// routeTrained routes through the compiled model when present, else the
+// pointer tree.
+func (g GHSOMQuantizer) routeTrained(x []float64) core.Placement {
+	if g.compiled != nil {
+		return g.compiled.RouteTrained(x)
+	}
+	return g.Model.RouteTrained(x)
 }
 
 // Quantize routes x down the hierarchy.
 func (g GHSOMQuantizer) Quantize(x []float64) (string, float64) {
-	p := g.Model.RouteTrained(x)
+	p := g.routeTrained(x)
 	return g.cellName(p), p.QE
 }
 
@@ -86,8 +107,9 @@ func padSentinel(out []CellQE, rows, n int, cell string) {
 	}
 }
 
-// QuantizeBatch routes the flat batch down the hierarchy via the model's
-// batch descent (RouteTrainedFlat, serial within the batch —
+// QuantizeBatch routes the flat batch down the hierarchy via the batch
+// descent (the compiled RouteTrainedFlat when the adapter was built with
+// NewGHSOMQuantizer, the tree's otherwise; serial within the batch —
 // ClassifyBatch parallelizes across chunks), writing cells and
 // quantization errors into out. With a cached name table the steady
 // state performs no per-row allocation; the Placement scratch is pooled.
@@ -98,9 +120,15 @@ func padSentinel(out []CellQE, rows, n int, cell string) {
 func (g GHSOMQuantizer) QuantizeBatch(flat []float64, n, d int, out []CellQE) {
 	rows := completeRows(flat, n, d)
 	defer padSentinel(out, rows, n, "-1/-1")
-	if d != g.Model.Dim() {
+	dim := 0
+	if g.compiled != nil {
+		dim = g.compiled.Dim()
+	} else {
+		dim = g.Model.Dim()
+	}
+	if d != dim {
 		for i := 0; i < rows; i++ {
-			p := g.Model.RouteTrained(flat[i*d : (i+1)*d])
+			p := g.routeTrained(flat[i*d : (i+1)*d])
 			out[i] = CellQE{Cell: g.cellName(p), QE: p.QE}
 		}
 		return
@@ -115,7 +143,11 @@ func (g GHSOMQuantizer) QuantizeBatch(flat []float64, n, d int, out []CellQE) {
 	places := scratch.buf[:rows]
 	// rows complete full-width rows are guaranteed above, so the descent
 	// cannot fail.
-	_ = g.Model.RouteTrainedFlat(flat, rows, places, 1)
+	if g.compiled != nil {
+		_ = g.compiled.RouteTrainedFlat(flat, rows, places, 1)
+	} else {
+		_ = g.Model.RouteTrainedFlat(flat, rows, places, 1)
+	}
 	for i := 0; i < rows; i++ {
 		out[i] = CellQE{Cell: g.cellName(places[i]), QE: places[i].QE}
 	}
@@ -140,6 +172,9 @@ func (g GHSOMQuantizer) CellWeight(cell string) []float64 {
 	var nodeID, unit int
 	if _, err := fmt.Sscanf(cell, "%d/%d", &nodeID, &unit); err != nil {
 		return nil
+	}
+	if g.compiled != nil {
+		return g.compiled.UnitWeight(nodeID, unit)
 	}
 	return g.Model.NearestUnitWeight(core.UnitKey{NodeID: nodeID, Unit: unit})
 }

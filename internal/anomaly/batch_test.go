@@ -117,7 +117,7 @@ func TestGHSOMQuantizeBatchMatchesQuantize(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cached := NewGHSOMQuantizer(model)
+	cached := NewGHSOMQuantizer(core.Compile(model))
 	plain := GHSOMQuantizer{Model: model}
 	rng := rand.New(rand.NewSource(6))
 	n := 150

@@ -428,12 +428,19 @@ func (d *Detector) LabelDistribution() map[string]int {
 // streaming paths that must not crash on malformed input.
 func NaNGuard(x []float64) []float64 {
 	out := make([]float64, len(x))
+	NaNGuardInto(out, x)
+	return out
+}
+
+// NaNGuardInto writes the NaN/Inf-guarded copy of x into dst, which must
+// have length len(x) — the allocation-free form used by the batch
+// streaming path.
+func NaNGuardInto(dst, x []float64) {
 	for i, v := range x {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
-			out[i] = 0
+			dst[i] = 0
 			continue
 		}
-		out[i] = v
+		dst[i] = v
 	}
-	return out
 }

@@ -46,3 +46,44 @@ func FuzzLoad(f *testing.F) {
 		_ = m.Stats()
 	})
 }
+
+// FuzzReadCompiledBinary asserts that arbitrary bytes never panic the
+// compiled-model loader, and that a successfully loaded compiled model
+// routes and decompiles without panicking.
+func FuzzReadCompiledBinary(f *testing.F) {
+	data := fourBlobs(42, 30)
+	g, err := Train(data, quickConfig())
+	if err != nil {
+		f.Fatal(err)
+	}
+	var blob bytes.Buffer
+	if err := Compile(g).WriteBinary(&blob); err != nil {
+		f.Fatal(err)
+	}
+	valid := blob.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:9])
+	f.Add([]byte("GHSOMCB1"))
+	f.Add([]byte(""))
+	mut := append([]byte(nil), valid...)
+	if len(mut) > 32 {
+		mut[12] ^= 0xff
+		mut[28] ^= 0x01
+	}
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		c, err := ReadCompiledBinary(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		x := make([]float64, c.Dim())
+		_ = c.Route(x)
+		_ = c.RouteTrained(x)
+		_ = c.Stats()
+		if back, err := c.Decompile(); err == nil {
+			_ = back.Stats()
+		}
+	})
+}

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"bufio"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"ghsom/internal/som"
 )
@@ -32,6 +35,18 @@ type nodeJSON struct {
 }
 
 const modelVersion = 1
+
+// Structural caps shared by the JSON and binary loaders. They reject
+// absurd shapes before any proportional allocation happens, so corrupt or
+// hostile envelopes fail with an error instead of an out-of-memory panic.
+const (
+	maxModelDim    = 1 << 20 // feature dimensions
+	maxModelNodes  = 1 << 20 // maps per hierarchy
+	maxMapSide     = 1 << 16 // rows or cols of one map
+	maxUnitsPerMap = 1 << 20 // rows*cols of one map
+	maxTotalUnits  = 1 << 24 // units across the hierarchy
+	maxArenaFloats = 1 << 27 // total weight float64s (1 GiB)
+)
 
 // Save writes the model as JSON to w.
 func (g *GHSOM) Save(w io.Writer) error {
@@ -78,7 +93,12 @@ func (g *GHSOM) Save(w io.Writer) error {
 	return nil
 }
 
-// Load reads a model previously written by Save.
+// Load reads a model previously written by Save. Input is validated
+// structurally — dimensions and shapes within the package caps, weights
+// arrays of exactly the declared size, child references forming a proper
+// tree (in range, acyclic, each node expanded by exactly one parent unit)
+// — so corrupt or truncated envelopes return errors rather than building
+// a model that panics later.
 func Load(r io.Reader) (*GHSOM, error) {
 	var mj modelJSON
 	if err := json.NewDecoder(r).Decode(&mj); err != nil {
@@ -87,14 +107,21 @@ func Load(r io.Reader) (*GHSOM, error) {
 	if mj.Version != modelVersion {
 		return nil, fmt.Errorf("core: unsupported model version %d, want %d", mj.Version, modelVersion)
 	}
-	if mj.Dim < 1 {
-		return nil, fmt.Errorf("core: model dim %d invalid", mj.Dim)
+	if mj.Dim < 1 || mj.Dim > maxModelDim {
+		return nil, fmt.Errorf("core: model dim %d outside [1, %d]", mj.Dim, maxModelDim)
 	}
 	if len(mj.Nodes) == 0 {
 		return nil, fmt.Errorf("core: model has no nodes")
 	}
+	if len(mj.Nodes) > maxModelNodes {
+		return nil, fmt.Errorf("core: model has %d nodes, cap %d", len(mj.Nodes), maxModelNodes)
+	}
+	if len(mj.Mean) != mj.Dim {
+		return nil, fmt.Errorf("core: model mean has %d values, want dim %d", len(mj.Mean), mj.Dim)
+	}
 	g := &GHSOM{cfg: mj.Config, dim: mj.Dim, mean: mj.Mean, mqe0: mj.MQE0}
 	g.nodes = make([]*Node, len(mj.Nodes))
+	totalUnits := 0
 	// First pass: rebuild maps.
 	for i, nj := range mj.Nodes {
 		if nj.ID != i {
@@ -103,13 +130,36 @@ func Load(r io.Reader) (*GHSOM, error) {
 		if nj.Depth < 1 {
 			return nil, fmt.Errorf("core: node %d has depth %d, want >= 1", i, nj.Depth)
 		}
+		if nj.Rows < 1 || nj.Rows > maxMapSide || nj.Cols < 1 || nj.Cols > maxMapSide {
+			return nil, fmt.Errorf("core: node %d shape %dx%d outside [1, %d]", i, nj.Rows, nj.Cols, maxMapSide)
+		}
+		units := nj.Rows * nj.Cols
+		if units > maxUnitsPerMap {
+			return nil, fmt.Errorf("core: node %d has %d units, cap %d", i, units, maxUnitsPerMap)
+		}
+		if totalUnits += units; totalUnits > maxTotalUnits {
+			return nil, fmt.Errorf("core: model exceeds %d total units", maxTotalUnits)
+		}
+		// Validate the weights length before som.New allocates rows*cols*dim
+		// floats, so a corrupt declared shape cannot force a huge allocation
+		// that its weights array never backs.
+		if want := units * mj.Dim; len(nj.Weights) != want {
+			return nil, fmt.Errorf("core: node %d has %d weights, want %d", i, len(nj.Weights), want)
+		}
+		if len(nj.UnitQE) != 0 && len(nj.UnitQE) != units {
+			return nil, fmt.Errorf("core: node %d has %d unit errors, want 0 or %d", i, len(nj.UnitQE), units)
+		}
+		if len(nj.UnitCount) != 0 && len(nj.UnitCount) != units {
+			return nil, fmt.Errorf("core: node %d has %d unit counts, want 0 or %d", i, len(nj.UnitCount), units)
+		}
+		for u, cnt := range nj.UnitCount {
+			if cnt < 0 {
+				return nil, fmt.Errorf("core: node %d unit %d has negative count %d", i, u, cnt)
+			}
+		}
 		m, err := som.New(nj.Rows, nj.Cols, mj.Dim)
 		if err != nil {
 			return nil, fmt.Errorf("core: node %d: %w", i, err)
-		}
-		want := nj.Rows * nj.Cols * mj.Dim
-		if len(nj.Weights) != want {
-			return nil, fmt.Errorf("core: node %d has %d weights, want %d", i, len(nj.Weights), want)
 		}
 		for u := 0; u < m.Units(); u++ {
 			if err := m.SetWeight(u, nj.Weights[u*mj.Dim:(u+1)*mj.Dim]); err != nil {
@@ -125,11 +175,20 @@ func Load(r io.Reader) (*GHSOM, error) {
 			UnitCount:  nj.UnitCount,
 		}
 	}
-	// Second pass: rebuild child links.
+	// Second pass: rebuild child links. Each child must be referenced by
+	// exactly one (parent, unit) pair, one depth down from its parent.
+	childSeen := make([]bool, len(g.nodes))
 	for i, nj := range mj.Nodes {
 		if nj.ParentID == -1 {
 			if g.root != nil {
 				return nil, fmt.Errorf("core: multiple roots (%d and %d)", g.root.ID, i)
+			}
+			// Training emits nodes in BFS order, so the root is always
+			// node 0 and every child follows its parent. The compiled
+			// representation and the binary writer rely on this
+			// invariant, so a file violating it is corrupt.
+			if i != 0 {
+				return nil, fmt.Errorf("core: root stored as node %d, want 0", i)
 			}
 			if nj.Depth != 1 {
 				return nil, fmt.Errorf("core: root node %d has depth %d, want 1", i, nj.Depth)
@@ -148,12 +207,22 @@ func Load(r io.Reader) (*GHSOM, error) {
 			if childID < 0 || childID >= len(g.nodes) {
 				return nil, fmt.Errorf("core: node %d child id %d out of range", i, childID)
 			}
+			if childID <= i {
+				return nil, fmt.Errorf("core: node %d child id %d does not follow its parent (BFS order)", i, childID)
+			}
 			if unit < 0 || unit >= g.nodes[i].Map.Units() {
 				return nil, fmt.Errorf("core: node %d child unit %d out of range", i, unit)
 			}
+			if childSeen[childID] {
+				return nil, fmt.Errorf("core: node %d referenced as a child more than once", childID)
+			}
+			childSeen[childID] = true
 			if g.nodes[childID].Depth != g.nodes[i].Depth+1 {
 				return nil, fmt.Errorf("core: node %d (depth %d) has child %d at depth %d",
 					i, g.nodes[i].Depth, childID, g.nodes[childID].Depth)
+			}
+			if _, dup := g.nodes[i].Children[unit]; dup {
+				return nil, fmt.Errorf("core: node %d unit %d expanded by more than one child", i, unit)
 			}
 			g.nodes[i].Children[unit] = g.nodes[childID]
 		}
@@ -161,5 +230,255 @@ func Load(r io.Reader) (*GHSOM, error) {
 	if g.root == nil {
 		return nil, fmt.Errorf("core: model has no root node")
 	}
+	if childSeen[g.root.ID] {
+		return nil, fmt.Errorf("core: root node %d referenced as a child", g.root.ID)
+	}
+	for i := range g.nodes {
+		if i != g.root.ID && !childSeen[i] {
+			return nil, fmt.Errorf("core: node %d is unreachable (no parent reference)", i)
+		}
+	}
 	return g, nil
+}
+
+// compiledMagic identifies the binary compiled-model blob (format
+// version in the trailing byte).
+var compiledMagic = [8]byte{'G', 'H', 'S', 'O', 'M', 'C', 'B', '1'}
+
+// WriteBinary writes the compiled model as a single little-endian binary
+// blob: config (length-prefixed JSON), dimensions, the flat node table,
+// the per-unit count and error tables, and the weight arena. The output
+// is deterministic: identical models produce identical bytes.
+func (c *Compiled) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(compiledMagic[:]); err != nil {
+		return fmt.Errorf("core: write compiled model: %w", err)
+	}
+	cfgJSON, err := json.Marshal(c.cfg)
+	if err != nil {
+		return fmt.Errorf("core: encode compiled config: %w", err)
+	}
+	le := binary.LittleEndian
+	write := func(v any) error { return binary.Write(bw, le, v) }
+	steps := []any{
+		uint32(len(cfgJSON)),
+		cfgJSON,
+		uint32(c.dim),
+		c.mqe0,
+		c.mean,
+		uint32(len(c.nodes)),
+	}
+	for _, v := range steps {
+		if err := write(v); err != nil {
+			return fmt.Errorf("core: write compiled model: %w", err)
+		}
+	}
+	for i := range c.nodes {
+		nd := &c.nodes[i]
+		hdr := [4]int32{int32(nd.parent), int32(nd.parentUnit), int32(nd.rows), int32(nd.cols)}
+		if err := write(hdr[:]); err != nil {
+			return fmt.Errorf("core: write compiled node %d: %w", i, err)
+		}
+	}
+	for _, v := range []any{c.counts, c.unitQE, c.arena} {
+		if err := write(v); err != nil {
+			return fmt.Errorf("core: write compiled tables: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("core: write compiled model: %w", err)
+	}
+	return nil
+}
+
+// ReadCompiledBinary reads a compiled model previously written by
+// WriteBinary, validating every shape and table against the package caps
+// and the tree structure (each non-root node expanded by exactly one
+// in-range parent unit that precedes it), so truncated or mutated blobs
+// return errors instead of panicking.
+func ReadCompiledBinary(r io.Reader) (*Compiled, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("core: read compiled magic: %w", err)
+	}
+	if magic != compiledMagic {
+		return nil, fmt.Errorf("core: not a compiled model blob (magic %q)", magic[:])
+	}
+	le := binary.LittleEndian
+	read := func(v any) error { return binary.Read(br, le, v) }
+
+	var cfgLen uint32
+	if err := read(&cfgLen); err != nil {
+		return nil, fmt.Errorf("core: read compiled config length: %w", err)
+	}
+	if cfgLen > 1<<20 {
+		return nil, fmt.Errorf("core: compiled config of %d bytes exceeds cap", cfgLen)
+	}
+	cfgJSON := make([]byte, cfgLen)
+	if _, err := io.ReadFull(br, cfgJSON); err != nil {
+		return nil, fmt.Errorf("core: read compiled config: %w", err)
+	}
+	c := &Compiled{}
+	if err := json.Unmarshal(cfgJSON, &c.cfg); err != nil {
+		return nil, fmt.Errorf("core: decode compiled config: %w", err)
+	}
+	if err := c.cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("core: compiled config: %w", err)
+	}
+
+	var dim uint32
+	if err := read(&dim); err != nil {
+		return nil, fmt.Errorf("core: read compiled dim: %w", err)
+	}
+	if dim < 1 || dim > maxModelDim {
+		return nil, fmt.Errorf("core: compiled dim %d outside [1, %d]", dim, maxModelDim)
+	}
+	c.dim = int(dim)
+	if err := read(&c.mqe0); err != nil {
+		return nil, fmt.Errorf("core: read compiled mqe0: %w", err)
+	}
+	mean, err := readFloat64s(br, c.dim)
+	if err != nil {
+		return nil, fmt.Errorf("core: read compiled mean: %w", err)
+	}
+	c.mean = mean
+
+	var nodeCount uint32
+	if err := read(&nodeCount); err != nil {
+		return nil, fmt.Errorf("core: read compiled node count: %w", err)
+	}
+	if nodeCount < 1 || nodeCount > maxModelNodes {
+		return nil, fmt.Errorf("core: compiled node count %d outside [1, %d]", nodeCount, maxModelNodes)
+	}
+	// Node headers (and every table below) are read incrementally, with
+	// storage growing only as bytes actually arrive: a corrupt header
+	// claiming a huge model cannot force a large allocation from a tiny
+	// stream — it fails on EOF having allocated in proportion to the
+	// stream, which is what makes the caps above safe to check late.
+	c.nodes = make([]compiledNode, 0, min(int(nodeCount), 4096))
+	totalUnits := 0
+	for i := 0; i < int(nodeCount); i++ {
+		var hdr [4]int32
+		if err := read(hdr[:]); err != nil {
+			return nil, fmt.Errorf("core: read compiled node %d: %w", i, err)
+		}
+		parent, parentUnit, rows, cols := int(hdr[0]), int(hdr[1]), int(hdr[2]), int(hdr[3])
+		if rows < 1 || rows > maxMapSide || cols < 1 || cols > maxMapSide {
+			return nil, fmt.Errorf("core: compiled node %d shape %dx%d outside [1, %d]", i, rows, cols, maxMapSide)
+		}
+		units := rows * cols
+		if units > maxUnitsPerMap {
+			return nil, fmt.Errorf("core: compiled node %d has %d units, cap %d", i, units, maxUnitsPerMap)
+		}
+		nd := compiledNode{
+			weightOff:  totalUnits * c.dim,
+			unitBase:   totalUnits,
+			units:      units,
+			rows:       rows,
+			cols:       cols,
+			parent:     parent,
+			parentUnit: parentUnit,
+		}
+		if totalUnits += units; totalUnits > maxTotalUnits {
+			return nil, fmt.Errorf("core: compiled model exceeds %d total units", maxTotalUnits)
+		}
+		if i == 0 {
+			if parent != -1 {
+				return nil, fmt.Errorf("core: compiled node 0 has parent %d, want -1 (root)", parent)
+			}
+			nd.depth = 1
+		} else {
+			// Nodes are stored in training (BFS) order, so a node's parent
+			// always precedes it; anything else is a corrupt or cyclic table.
+			if parent < 0 || parent >= i {
+				return nil, fmt.Errorf("core: compiled node %d has parent %d, want [0, %d)", i, parent, i)
+			}
+			if parentUnit < 0 || parentUnit >= c.nodes[parent].units {
+				return nil, fmt.Errorf("core: compiled node %d parent unit %d outside parent's %d units",
+					i, parentUnit, c.nodes[parent].units)
+			}
+			nd.depth = c.nodes[parent].depth + 1
+		}
+		c.nodes = append(c.nodes, nd)
+	}
+	if int64(totalUnits)*int64(c.dim) > maxArenaFloats {
+		return nil, fmt.Errorf("core: compiled arena of %d floats exceeds cap %d", int64(totalUnits)*int64(c.dim), maxArenaFloats)
+	}
+
+	// Payload tables, incremental like the headers. The derived tables
+	// (childIndex, probe lists, pruning tables) are only built once the
+	// whole payload has arrived.
+	c.counts, err = readInt64s(br, totalUnits)
+	if err != nil {
+		return nil, fmt.Errorf("core: read compiled counts: %w", err)
+	}
+	for i, cnt := range c.counts {
+		if cnt < 0 {
+			return nil, fmt.Errorf("core: compiled unit %d has negative count %d", i, cnt)
+		}
+	}
+	c.unitQE, err = readFloat64s(br, totalUnits)
+	if err != nil {
+		return nil, fmt.Errorf("core: read compiled unit errors: %w", err)
+	}
+	c.arena, err = readFloat64s(br, totalUnits*c.dim)
+	if err != nil {
+		return nil, fmt.Errorf("core: read compiled arena: %w", err)
+	}
+
+	c.childIndex = make([]int32, totalUnits)
+	for i := range c.childIndex {
+		c.childIndex[i] = -1
+	}
+	for i := 1; i < len(c.nodes); i++ {
+		nd := &c.nodes[i]
+		slot := c.nodes[nd.parent].unitBase + nd.parentUnit
+		if c.childIndex[slot] != -1 {
+			return nil, fmt.Errorf("core: compiled node %d unit %d expanded by more than one child",
+				nd.parent, nd.parentUnit)
+		}
+		c.childIndex[slot] = int32(i)
+	}
+	c.buildTrainedIndex()
+	return c, nil
+}
+
+// readChunkVals bounds one read of the incremental table readers.
+const readChunkVals = 1 << 13 // 64 KiB of payload per read
+
+// readFloat64s reads n little-endian float64s in bounded chunks, growing
+// the destination only as data actually arrives, so a header claiming a
+// huge table cannot force a proportional allocation from a short stream.
+func readFloat64s(br *bufio.Reader, n int) ([]float64, error) {
+	out := make([]float64, 0, min(n, readChunkVals))
+	var buf [8 * readChunkVals]byte
+	for len(out) < n {
+		k := min(n-len(out), readChunkVals)
+		b := buf[: 8*k : 8*k]
+		if _, err := io.ReadFull(br, b); err != nil {
+			return nil, err
+		}
+		for i := 0; i < k; i++ {
+			out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:])))
+		}
+	}
+	return out, nil
+}
+
+// readInt64s is readFloat64s for int64 tables.
+func readInt64s(br *bufio.Reader, n int) ([]int64, error) {
+	out := make([]int64, 0, min(n, readChunkVals))
+	var buf [8 * readChunkVals]byte
+	for len(out) < n {
+		k := min(n-len(out), readChunkVals)
+		b := buf[: 8*k : 8*k]
+		if _, err := io.ReadFull(br, b); err != nil {
+			return nil, err
+		}
+		for i := 0; i < k; i++ {
+			out = append(out, int64(binary.LittleEndian.Uint64(b[8*i:])))
+		}
+	}
+	return out, nil
 }

@@ -2,6 +2,8 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
+	"encoding/json"
 	"math/rand"
 	"strings"
 	"testing"
@@ -133,5 +135,66 @@ func TestSaveLoadPreservesConfig(t *testing.T) {
 	}
 	if g2.Config().Tau1 != 0.42 || g2.Config().Tau2 != 0.077 {
 		t.Errorf("config not preserved: %+v", g2.Config())
+	}
+}
+
+// TestLoadRejectsNonBFSOrder pins the training-order invariant the
+// compiled representation relies on: the root must be node 0 and every
+// child must follow its parent. A hand-crafted envelope with the root at
+// ID 1 would otherwise load "successfully" and then be misrouted by the
+// compiled descent, which starts at node 0.
+func TestLoadRejectsNonBFSOrder(t *testing.T) {
+	// Root at node 1, child (depth-2 map) at node 0, cross-linked.
+	rootAt1 := `{"version":1,"dim":1,"mean":[0],"nodes":[
+		{"id":0,"depth":2,"parentId":1,"parentUnit":0,"rows":1,"cols":1,"weights":[0]},
+		{"id":1,"depth":1,"parentId":-1,"parentUnit":-1,"rows":1,"cols":2,"weights":[0,1],
+		 "children":{"0":0}}]}`
+	if _, err := Load(strings.NewReader(rootAt1)); err == nil {
+		t.Fatal("envelope with root at node 1 accepted")
+	} else if !strings.Contains(err.Error(), "root") && !strings.Contains(err.Error(), "BFS") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+
+	// Root correctly at 0 but referencing an earlier... itself is caught
+	// elsewhere; a child id equal to its parent's must be rejected by the
+	// BFS-order check.
+	selfChild := `{"version":1,"dim":1,"mean":[0],"nodes":[
+		{"id":0,"depth":1,"parentId":-1,"parentUnit":-1,"rows":1,"cols":2,"weights":[0,1],
+		 "children":{"0":0}}]}`
+	if _, err := Load(strings.NewReader(selfChild)); err == nil {
+		t.Fatal("envelope with self-child accepted")
+	}
+}
+
+// TestReadCompiledBinaryHugeClaimTinyBody pins the memory-safety contract
+// of the binary loader: a few hundred bytes of headers claiming a
+// near-cap model (16 maps of 1024x1024 units) must fail on the missing
+// payload without allocating the claimed tables.
+func TestReadCompiledBinaryHugeClaimTinyBody(t *testing.T) {
+	var b bytes.Buffer
+	b.WriteString("GHSOMCB1")
+	le := binary.LittleEndian
+	cfgJSON, err := json.Marshal(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.Write(&b, le, uint32(len(cfgJSON)))
+	b.Write(cfgJSON)
+	binary.Write(&b, le, uint32(8))  // dim
+	binary.Write(&b, le, float64(1)) // mqe0
+	for i := 0; i < 8; i++ {
+		binary.Write(&b, le, float64(0)) // mean
+	}
+	binary.Write(&b, le, uint32(16)) // node count
+	for i := 0; i < 16; i++ {
+		parent := int32(-1)
+		if i > 0 {
+			parent = 0
+		}
+		binary.Write(&b, le, [4]int32{parent, int32(i), 1024, 1024})
+	}
+	// No payload tables follow: 16 Mi units were claimed by ~300 bytes.
+	if _, err := ReadCompiledBinary(bytes.NewReader(b.Bytes())); err == nil {
+		t.Fatal("header-only blob claiming 16Mi units accepted")
 	}
 }

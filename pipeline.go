@@ -64,13 +64,19 @@ func DefaultPipelineConfig() PipelineConfig {
 }
 
 // Pipeline is a trained end-to-end detector: encoder, scaler, GHSOM, and
-// labeled-unit detector.
+// labeled-unit detector. Inference routes through the compiled model —
+// the flat-arena, table-driven form built by core.Compile — while the
+// pointer-tree model stays available for structural inspection.
 type Pipeline struct {
 	encoder  *kdd.Encoder
 	scaler   *preprocess.MinMaxScaler
 	model    *core.GHSOM
+	compiled *core.Compiled
 	detector *anomaly.Detector
 	cfg      PipelineConfig
+	// envVersion is the envelope version the pipeline was loaded from
+	// (pipelineVersion for freshly trained pipelines).
+	envVersion int
 	// bufPool recycles per-worker inference arenas across Detect and
 	// DetectBatch calls, so steady-state inference performs no per-record
 	// heap allocation.
@@ -199,16 +205,21 @@ func TrainPipeline(records []Record, cfg PipelineConfig) (*Pipeline, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ghsom: train model: %w", err)
 	}
-	det, err := anomaly.Fit(anomaly.NewGHSOMQuantizer(model), scaled, labels, cfg.Detector)
+	// Compile once at train time: detector fitting and all inference run
+	// on the flat-arena table-driven descent.
+	compiled := core.Compile(model)
+	det, err := anomaly.Fit(anomaly.NewGHSOMQuantizer(compiled), scaled, labels, cfg.Detector)
 	if err != nil {
 		return nil, fmt.Errorf("ghsom: fit detector: %w", err)
 	}
 	return &Pipeline{
-		encoder:  encoder,
-		scaler:   scaler,
-		model:    model,
-		detector: det,
-		cfg:      cfg,
+		encoder:    encoder,
+		scaler:     scaler,
+		model:      model,
+		compiled:   compiled,
+		detector:   det,
+		cfg:        cfg,
+		envVersion: pipelineVersion,
 	}, nil
 }
 
@@ -342,6 +353,14 @@ func (p *Pipeline) Explain(rec *Record, k int) ([]FeatureContribution, error) {
 
 // Model returns the trained GHSOM for structural inspection.
 func (p *Pipeline) Model() *Model { return p.model }
+
+// Compiled returns the compiled (flat-arena) form of the model that the
+// pipeline's inference routes on.
+func (p *Pipeline) Compiled() *CompiledModel { return p.compiled }
+
+// EnvelopeVersion reports the envelope version this pipeline was loaded
+// from; freshly trained pipelines report the current version.
+func (p *Pipeline) EnvelopeVersion() int { return p.envVersion }
 
 // Detector returns the fitted anomaly detector.
 func (p *Pipeline) Detector() *anomaly.Detector { return p.detector }

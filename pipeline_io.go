@@ -1,10 +1,13 @@
 package ghsom
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"ghsom/internal/anomaly"
 	"ghsom/internal/core"
@@ -12,15 +15,21 @@ import (
 	"ghsom/internal/preprocess"
 )
 
-// pipelineJSON is the on-disk envelope for a trained pipeline.
+// pipelineJSON is the legacy JSON envelope for a trained pipeline
+// (versions 1 and 2).
 //
 // Version history:
 //
-//	1 — encoder vocabulary, scaler state, model, detector.
-//	2 — adds the pipeline-level training configuration
+//	1 — JSON: encoder vocabulary, scaler state, model, detector.
+//	2 — JSON: adds the pipeline-level training configuration
 //	    (trainCapPerLabel, seed, parallelism), which version 1 silently
 //	    dropped: a loaded pipeline reverted to zero values, so a retrain
 //	    from the same config file would not reproduce the original model.
+//	3 — binary: a single length-prefixed blob carrying the compiled
+//	    model (weight arena + flat tables), scaler state, encoder
+//	    vocabulary, pipeline configuration, and detector cell table.
+//	    Round-trips bit-identically; versions 1 and 2 still load, with
+//	    the model compiled on load.
 type pipelineJSON struct {
 	Version      int       `json:"version"`
 	LogTransform bool      `json:"logTransform"`
@@ -36,19 +45,111 @@ type pipelineJSON struct {
 	Detector         anomaly.State   `json:"detector"`
 }
 
-const pipelineVersion = 2
+const (
+	pipelineVersion     = 3
+	pipelineJSONVersion = 2
+)
 
-// Save writes the trained pipeline — encoder vocabulary, scaler state,
-// pipeline configuration, GHSOM model, and detector cell table — as a
-// single JSON document (envelope version 2).
+// envMagic opens a binary v3 envelope. The loader sniffs it to tell the
+// binary format from the legacy JSON envelopes (which start with '{').
+var envMagic = [8]byte{'G', 'H', 'S', 'O', 'M', 'P', 'V', '3'}
+
+// Caps applied while reading a binary envelope, so corrupt or hostile
+// input fails with an error before any proportional allocation.
+const (
+	envMaxServices   = 1 << 20
+	envMaxServiceLen = 1 << 16
+	envMaxDim        = 1 << 20
+	envMaxModelBytes = 1 << 30
+	envMaxDetBytes   = 1 << 28
+)
+
+// Save writes the trained pipeline as a binary envelope (version 3): one
+// length-prefixed blob carrying the compiled model arena and tables, the
+// encoder vocabulary, the scaler state, the pipeline configuration, and
+// the detector cell table. The output is deterministic — identical
+// pipelines produce identical bytes — and round-trips bit-identically
+// through LoadPipeline. Use SaveJSON for the legacy JSON envelope.
 func (p *Pipeline) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(envMagic[:]); err != nil {
+		return fmt.Errorf("ghsom: write envelope: %w", err)
+	}
+	le := binary.LittleEndian
+	write := func(v any) error { return binary.Write(bw, le, v) }
+
+	flags := uint8(0)
+	if p.encoder.Config().LogTransform {
+		flags = 1
+	}
+	if err := write(flags); err != nil {
+		return fmt.Errorf("ghsom: write envelope flags: %w", err)
+	}
+	for _, v := range []int64{int64(p.cfg.TrainCapPerLabel), p.cfg.Seed, int64(p.cfg.Parallelism)} {
+		if err := write(v); err != nil {
+			return fmt.Errorf("ghsom: write envelope config: %w", err)
+		}
+	}
+	services := p.encoder.Services()
+	if err := write(uint32(len(services))); err != nil {
+		return fmt.Errorf("ghsom: write envelope services: %w", err)
+	}
+	for _, s := range services {
+		if err := write(uint32(len(s))); err != nil {
+			return fmt.Errorf("ghsom: write envelope services: %w", err)
+		}
+		if _, err := bw.WriteString(s); err != nil {
+			return fmt.Errorf("ghsom: write envelope services: %w", err)
+		}
+	}
+	min, span := p.scaler.State()
+	if err := write(uint32(len(min))); err != nil {
+		return fmt.Errorf("ghsom: write envelope scaler: %w", err)
+	}
+	for _, v := range [][]float64{min, span} {
+		if err := write(v); err != nil {
+			return fmt.Errorf("ghsom: write envelope scaler: %w", err)
+		}
+	}
+
+	var modelBlob bytes.Buffer
+	if err := p.compiled.WriteBinary(&modelBlob); err != nil {
+		return fmt.Errorf("ghsom: write envelope model: %w", err)
+	}
+	if err := write(uint64(modelBlob.Len())); err != nil {
+		return fmt.Errorf("ghsom: write envelope model: %w", err)
+	}
+	if _, err := bw.Write(modelBlob.Bytes()); err != nil {
+		return fmt.Errorf("ghsom: write envelope model: %w", err)
+	}
+
+	detJSON, err := json.Marshal(p.detector.State())
+	if err != nil {
+		return fmt.Errorf("ghsom: encode detector state: %w", err)
+	}
+	if err := write(uint32(len(detJSON))); err != nil {
+		return fmt.Errorf("ghsom: write envelope detector: %w", err)
+	}
+	if _, err := bw.Write(detJSON); err != nil {
+		return fmt.Errorf("ghsom: write envelope detector: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("ghsom: write envelope: %w", err)
+	}
+	return nil
+}
+
+// SaveJSON writes the trained pipeline as the legacy JSON envelope
+// (version 2) — larger and slower to load than the binary envelope, but
+// human-inspectable and consumable by external tooling.
+func (p *Pipeline) SaveJSON(w io.Writer) error {
 	var modelBuf bytes.Buffer
 	if err := p.model.Save(&modelBuf); err != nil {
 		return fmt.Errorf("ghsom: save model: %w", err)
 	}
 	min, span := p.scaler.State()
 	env := pipelineJSON{
-		Version:          pipelineVersion,
+		Version:          pipelineJSONVersion,
 		LogTransform:     p.encoder.Config().LogTransform,
 		Services:         p.encoder.Services(),
 		ScalerMin:        min,
@@ -65,56 +166,240 @@ func (p *Pipeline) Save(w io.Writer) error {
 	return nil
 }
 
-// LoadPipeline reads a pipeline previously written by Save. Envelope
-// versions 1 and 2 are accepted; version 1 predates config persistence,
-// so TrainCapPerLabel, Seed, and Parallelism load as zero values there.
-// The loaded pipeline's Config is reassembled from the envelope, the
-// model's own serialized configuration, and the detector state, so
-// training and inference settings survive the round trip.
+// LoadPipeline reads a pipeline previously written by Save (binary
+// envelope v3) or SaveJSON / older releases' Save (JSON envelopes v1 and
+// v2) — the format is sniffed from the first bytes. JSON envelopes carry
+// the pointer-tree model and are compiled on load; the binary envelope
+// carries the compiled model directly and the tree is rebuilt from it.
+// Either way the loaded pipeline serves on the compiled dataplane and
+// classifies identically to the pipeline that was saved.
 //
 // Note the persisted Parallelism is the knob the pipeline was trained
 // with on the training machine — a model trained serially will serve
 // serially after loading. Call SetParallelism (0 = GOMAXPROCS) to retune
 // batch inference for the serving machine, as the CLIs do.
 func LoadPipeline(r io.Reader) (*Pipeline, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(envMagic))
+	if err == nil && bytes.Equal(head, envMagic[:]) {
+		return loadPipelineBinary(br)
+	}
+	return loadPipelineJSON(br)
+}
+
+// loadPipelineJSON reads the legacy v1/v2 JSON envelope and compiles the
+// model on load.
+func loadPipelineJSON(r io.Reader) (*Pipeline, error) {
 	var env pipelineJSON
 	if err := json.NewDecoder(r).Decode(&env); err != nil {
 		return nil, fmt.Errorf("ghsom: decode pipeline: %w", err)
 	}
-	if env.Version < 1 || env.Version > pipelineVersion {
-		return nil, fmt.Errorf("ghsom: unsupported pipeline version %d, want 1..%d", env.Version, pipelineVersion)
+	if env.Version < 1 || env.Version > pipelineJSONVersion {
+		return nil, fmt.Errorf("ghsom: unsupported JSON pipeline version %d, want 1..%d (version %d is the binary envelope)",
+			env.Version, pipelineJSONVersion, pipelineVersion)
 	}
 	model, err := core.Load(bytes.NewReader(env.Model))
 	if err != nil {
 		return nil, fmt.Errorf("ghsom: load model: %w", err)
 	}
-	scaler, err := preprocess.NewMinMaxScalerFromState(env.ScalerMin, env.ScalerSpan)
+	return assemblePipeline(pipelineParts{
+		version:          env.Version,
+		logTransform:     env.LogTransform,
+		services:         env.Services,
+		scalerMin:        env.ScalerMin,
+		scalerSpan:       env.ScalerSpan,
+		trainCapPerLabel: env.TrainCapPerLabel,
+		seed:             env.Seed,
+		parallelism:      env.Parallelism,
+		model:            model,
+		compiled:         core.Compile(model),
+		detector:         env.Detector,
+	})
+}
+
+// pipelineParts is the format-independent bundle assemblePipeline builds
+// a Pipeline from.
+type pipelineParts struct {
+	version          int
+	logTransform     bool
+	services         []string
+	scalerMin        []float64
+	scalerSpan       []float64
+	trainCapPerLabel int
+	seed             int64
+	parallelism      int
+	model            *core.GHSOM
+	compiled         *core.Compiled
+	detector         anomaly.State
+}
+
+// assemblePipeline validates the cross-component invariants (matching
+// dimensions) and wires the detector onto the compiled dataplane.
+func assemblePipeline(parts pipelineParts) (*Pipeline, error) {
+	scaler, err := preprocess.NewMinMaxScalerFromState(parts.scalerMin, parts.scalerSpan)
 	if err != nil {
 		return nil, fmt.Errorf("ghsom: load scaler: %w", err)
 	}
-	encoder := kdd.NewEncoderFromServices(env.Services, kdd.EncoderConfig{LogTransform: env.LogTransform})
+	encoder := kdd.NewEncoderFromServices(parts.services, kdd.EncoderConfig{LogTransform: parts.logTransform})
 	if encoder.Dim() != scaler.Dim() {
 		return nil, fmt.Errorf("ghsom: encoder dim %d does not match scaler dim %d", encoder.Dim(), scaler.Dim())
 	}
-	if scaler.Dim() != model.Dim() {
-		return nil, fmt.Errorf("ghsom: scaler dim %d does not match model dim %d", scaler.Dim(), model.Dim())
+	if scaler.Dim() != parts.compiled.Dim() {
+		return nil, fmt.Errorf("ghsom: scaler dim %d does not match model dim %d", scaler.Dim(), parts.compiled.Dim())
 	}
-	det, err := anomaly.FromState(anomaly.NewGHSOMQuantizer(model), env.Detector)
+	det, err := anomaly.FromState(anomaly.NewGHSOMQuantizer(parts.compiled), parts.detector)
 	if err != nil {
 		return nil, fmt.Errorf("ghsom: load detector: %w", err)
 	}
 	return &Pipeline{
-		encoder:  encoder,
-		scaler:   scaler,
-		model:    model,
-		detector: det,
+		encoder:    encoder,
+		scaler:     scaler,
+		model:      parts.model,
+		compiled:   parts.compiled,
+		detector:   det,
+		envVersion: parts.version,
 		cfg: PipelineConfig{
-			Model:            model.Config(),
-			Detector:         env.Detector.Config,
-			LogTransform:     env.LogTransform,
-			TrainCapPerLabel: env.TrainCapPerLabel,
-			Seed:             env.Seed,
-			Parallelism:      env.Parallelism,
+			Model:            parts.compiled.Config(),
+			Detector:         parts.detector.Config,
+			LogTransform:     parts.logTransform,
+			TrainCapPerLabel: parts.trainCapPerLabel,
+			Seed:             parts.seed,
+			Parallelism:      parts.parallelism,
 		},
 	}, nil
+}
+
+// readEnvFloats reads n little-endian float64s, growing storage only as
+// payload actually arrives (io.ReadAll doubles as data comes in), so a
+// corrupt length field cannot force a large allocation from a short
+// stream.
+func readEnvFloats(r io.Reader, n int) ([]float64, error) {
+	raw, err := io.ReadAll(io.LimitReader(r, int64(n)*8))
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) != n*8 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	return out, nil
+}
+
+// loadPipelineBinary reads the v3 binary envelope. Like the compiled
+// model reader, every variable-size section is read incrementally so
+// attacker-claimed lengths cannot force proportional allocations.
+func loadPipelineBinary(r *bufio.Reader) (*Pipeline, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("ghsom: read envelope magic: %w", err)
+	}
+	le := binary.LittleEndian
+	read := func(v any) error { return binary.Read(r, le, v) }
+
+	var flags uint8
+	if err := read(&flags); err != nil {
+		return nil, fmt.Errorf("ghsom: read envelope flags: %w", err)
+	}
+	if flags > 1 {
+		return nil, fmt.Errorf("ghsom: unknown envelope flags %#x", flags)
+	}
+	var cap64, seed, par int64
+	for _, v := range []*int64{&cap64, &seed, &par} {
+		if err := read(v); err != nil {
+			return nil, fmt.Errorf("ghsom: read envelope config: %w", err)
+		}
+	}
+	var nServices uint32
+	if err := read(&nServices); err != nil {
+		return nil, fmt.Errorf("ghsom: read envelope services: %w", err)
+	}
+	if nServices > envMaxServices {
+		return nil, fmt.Errorf("ghsom: envelope has %d services, cap %d", nServices, envMaxServices)
+	}
+	services := make([]string, 0, min(int(nServices), 4096))
+	for i := 0; i < int(nServices); i++ {
+		var slen uint32
+		if err := read(&slen); err != nil {
+			return nil, fmt.Errorf("ghsom: read envelope service %d: %w", i, err)
+		}
+		if slen > envMaxServiceLen {
+			return nil, fmt.Errorf("ghsom: envelope service %d of %d bytes exceeds cap", i, slen)
+		}
+		buf := make([]byte, slen)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("ghsom: read envelope service %d: %w", i, err)
+		}
+		services = append(services, string(buf))
+	}
+	var dim uint32
+	if err := read(&dim); err != nil {
+		return nil, fmt.Errorf("ghsom: read envelope scaler: %w", err)
+	}
+	if dim > envMaxDim {
+		return nil, fmt.Errorf("ghsom: envelope scaler dim %d exceeds cap %d", dim, envMaxDim)
+	}
+	scalerMin, err := readEnvFloats(r, int(dim))
+	if err != nil {
+		return nil, fmt.Errorf("ghsom: read envelope scaler: %w", err)
+	}
+	scalerSpan, err := readEnvFloats(r, int(dim))
+	if err != nil {
+		return nil, fmt.Errorf("ghsom: read envelope scaler: %w", err)
+	}
+	var modelLen uint64
+	if err := read(&modelLen); err != nil {
+		return nil, fmt.Errorf("ghsom: read envelope model: %w", err)
+	}
+	if modelLen > envMaxModelBytes {
+		return nil, fmt.Errorf("ghsom: envelope model of %d bytes exceeds cap %d", modelLen, envMaxModelBytes)
+	}
+	modelSection := io.LimitReader(r, int64(modelLen))
+	compiled, err := core.ReadCompiledBinary(modelSection)
+	if err != nil {
+		return nil, fmt.Errorf("ghsom: load model: %w", err)
+	}
+	// The model parser consumes exactly the blob, but its internal
+	// buffering may leave a remainder on the section reader; drain it so
+	// the detector section starts aligned.
+	if _, err := io.Copy(io.Discard, modelSection); err != nil {
+		return nil, fmt.Errorf("ghsom: skip envelope model: %w", err)
+	}
+	model, err := compiled.Decompile()
+	if err != nil {
+		return nil, fmt.Errorf("ghsom: rebuild model tree: %w", err)
+	}
+	var detLen uint32
+	if err := read(&detLen); err != nil {
+		return nil, fmt.Errorf("ghsom: read envelope detector: %w", err)
+	}
+	if detLen > envMaxDetBytes {
+		return nil, fmt.Errorf("ghsom: envelope detector of %d bytes exceeds cap %d", detLen, envMaxDetBytes)
+	}
+	detJSON, err := io.ReadAll(io.LimitReader(r, int64(detLen)))
+	if err != nil {
+		return nil, fmt.Errorf("ghsom: read envelope detector: %w", err)
+	}
+	if len(detJSON) != int(detLen) {
+		return nil, fmt.Errorf("ghsom: read envelope detector: %w", io.ErrUnexpectedEOF)
+	}
+	var det anomaly.State
+	if err := json.Unmarshal(detJSON, &det); err != nil {
+		return nil, fmt.Errorf("ghsom: decode detector state: %w", err)
+	}
+	return assemblePipeline(pipelineParts{
+		version:          pipelineVersion,
+		logTransform:     flags == 1,
+		services:         services,
+		scalerMin:        scalerMin,
+		scalerSpan:       scalerSpan,
+		trainCapPerLabel: int(cap64),
+		seed:             seed,
+		parallelism:      int(par),
+		model:            model,
+		compiled:         compiled,
+		detector:         det,
+	})
 }
