@@ -4,20 +4,22 @@
 //
 // It trains a pipeline on the small synthetic scenario, then benchmarks
 // DetectAll and DetectBatch (inference), som-level TrainBatchView and
-// end-to-end TrainPipeline (training), and tree-walk vs compiled model
-// routing (RouteTree / RouteCompiled) at Parallelism 1 and GOMAXPROCS
-// via testing.Benchmark.
+// end-to-end TrainPipeline (training), tree-walk vs compiled model
+// routing (RouteTree / RouteCompiled), and the scalar vs blocked BMU
+// search kernels (ArgMinScalar / ArgMinBatch across a dim×units sweep)
+// at Parallelism 1 and GOMAXPROCS via testing.Benchmark.
 //
 // Usage:
 //
 //	benchjson -out BENCH_inference.json -train-out BENCH_training.json \
-//	          -routing-out BENCH_routing.json
+//	          -routing-out BENCH_routing.json -bmu-out BENCH_bmu.json
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"testing"
@@ -26,17 +28,23 @@ import (
 	"ghsom"
 	"ghsom/internal/core"
 	"ghsom/internal/eval"
+	"ghsom/internal/parallel"
 	"ghsom/internal/som"
 	"ghsom/internal/trafficgen"
+	"ghsom/internal/vecmath"
 )
 
 // point is one measured benchmark configuration.
 type point struct {
 	// Name identifies the measured code path (DetectAll, DetectBatch,
-	// TrainBatch, TrainPipeline).
+	// TrainBatch, TrainPipeline, ArgMinScalar, ArgMinBatch).
 	Name string `json:"name"`
 	// Parallelism is the worker bound (0 reported as GOMAXPROCS).
 	Parallelism int `json:"parallelism"`
+	// Dim is the vector dimension (BMU kernel points only).
+	Dim int `json:"dim,omitempty"`
+	// Units is the codebook row count (BMU kernel points only).
+	Units int `json:"units,omitempty"`
 	// BatchRecords is the number of records per benchmark op.
 	BatchRecords int `json:"batchRecords"`
 	// Epochs is the training epochs per op (training points only).
@@ -81,6 +89,7 @@ func run(args []string) error {
 	out := fs.String("out", "BENCH_inference.json", "inference JSON path (empty = skip)")
 	trainOut := fs.String("train-out", "BENCH_training.json", "training JSON path (empty = skip)")
 	routingOut := fs.String("routing-out", "BENCH_routing.json", "routing JSON path (empty = skip)")
+	bmuOut := fs.String("bmu-out", "BENCH_bmu.json", "BMU kernel JSON path (empty = skip)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -116,7 +125,74 @@ func run(args []string) error {
 			return err
 		}
 	}
+	if *bmuOut != "" {
+		if err := writeArtifact(*bmuOut, bmuPoints()); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// bmuShapes is the BMU kernel sweep: dimensions bracketing the encoded
+// KDD width and unit counts from a GHSOM child map to a large flat SOM.
+var bmuShapes = []struct{ dim, units int }{
+	{8, 4}, {8, 64}, {8, 256},
+	{32, 4}, {32, 64}, {32, 256},
+	{118, 4}, {118, 64}, {118, 256},
+}
+
+// bmuPoints measures the scalar per-row BMU scan (ArgMinDistance)
+// against the blocked engine (ArgMinDistanceBatch, norm-cached
+// expanded-distance candidates with exact settle) on synthetic uniform
+// data across the dim×units sweep, at P=1 and GOMAXPROCS.
+func bmuPoints() artifact {
+	const n = 2048
+	doc := newArtifact(n)
+	for _, sh := range bmuShapes {
+		rng := rand.New(rand.NewSource(42))
+		flat := make([]float64, sh.units*sh.dim)
+		data := make([]float64, n*sh.dim)
+		for i := range flat {
+			flat[i] = rng.Float64()
+		}
+		for i := range data {
+			data[i] = rng.Float64()
+		}
+		mat, err := vecmath.MatrixOver(data, n, sh.dim)
+		if err != nil {
+			panic(err) // static shapes; cannot fail
+		}
+		view := mat.View()
+		norms := vecmath.SquaredNorms(flat, sh.dim, nil)
+		bmus := make([]int, n)
+		d2s := make([]float64, n)
+		for _, par := range parSweep {
+			par := par
+			sp := measure("ArgMinScalar", effectivePar(par), n, 0, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					parallel.ForEach(par, n, func(r int) {
+						bmus[r], d2s[r] = vecmath.ArgMinDistance(view.Row(r), flat)
+					})
+				}
+			})
+			sp.Dim, sp.Units = sh.dim, sh.units
+			bp := measure("ArgMinBatch", effectivePar(par), n, 0, func(b *testing.B) {
+				w := parallel.Workers(par, n)
+				chunk := (n + w - 1) / w
+				chunks := (n + chunk - 1) / chunk
+				for i := 0; i < b.N; i++ {
+					parallel.ForEach(par, chunks, func(c int) {
+						lo := c * chunk
+						hi := min(lo+chunk, n)
+						vecmath.ArgMinDistanceBatch(view.Slice(lo, hi), flat, norms, bmus[lo:hi], d2s[lo:hi])
+					})
+				}
+			})
+			bp.Dim, bp.Units = sh.dim, sh.units
+			doc.Points = append(doc.Points, sp, bp)
+		}
+	}
+	return doc
 }
 
 // parSweep is the measured worker-bound sweep: serial and GOMAXPROCS.
@@ -297,6 +373,9 @@ func writeArtifact(path string, doc artifact) error {
 		if p.Epochs > 0 {
 			fmt.Printf("%-14s P=%-2d %12.0f rec·epochs/sec %10.1f allocs/epoch\n",
 				p.Name, p.Parallelism, p.RecordEpochsPerSec, p.AllocsPerEpoch)
+		} else if p.Units > 0 {
+			fmt.Printf("%-14s P=%-2d dim=%-3d units=%-3d %12.0f rows/sec\n",
+				p.Name, p.Parallelism, p.Dim, p.Units, p.RecordsPerSec)
 		} else {
 			fmt.Printf("%-14s P=%-2d %12.0f records/sec %10.4f allocs/record\n",
 				p.Name, p.Parallelism, p.RecordsPerSec, p.AllocsPerRecord)

@@ -55,9 +55,10 @@ func run(args []string) error {
 		format = "json, compiled on load"
 	}
 	fmt.Printf("envelope: v%d (%s)\n", pipe.EnvelopeVersion(), format)
-	fmt.Printf("compiled: nodes=%d units=%d leaf-units=%d arena=%s tables=%s\n\n",
+	fmt.Printf("compiled: nodes=%d units=%d leaf-units=%d arena=%s tables=%s norm-cache=%s\n\n",
 		cst.Maps, cst.Units, cst.LeafUnits,
-		humanBytes(compiled.ArenaBytes()), humanBytes(compiled.TableBytes()))
+		humanBytes(compiled.ArenaBytes()), humanBytes(compiled.TableBytes()),
+		humanBytes(compiled.NormBytes()))
 
 	fmt.Println("per-depth structure (tree | compiled):")
 	rows := make([][]string, 0, len(st.MapsPerDepth))
@@ -75,6 +76,22 @@ func run(args []string) error {
 		})
 	}
 	fmt.Print(viz.Table([]string{"depth", "maps", "units", "c-maps", "c-units"}, rows))
+
+	fmt.Println("\nBMU engine GEMM blocks per level (units×dim per node):")
+	brows := make([][]string, 0, 4)
+	for _, b := range compiled.BlockShapes() {
+		shape := fmt.Sprintf("%d×%d", b.MinUnits, b.Dim)
+		if b.MaxUnits != b.MinUnits {
+			shape = fmt.Sprintf("%d–%d×%d", b.MinUnits, b.MaxUnits, b.Dim)
+		}
+		brows = append(brows, []string{
+			fmt.Sprint(b.Depth),
+			fmt.Sprint(b.Nodes),
+			shape,
+			humanBytes(b.WeightBytes),
+		})
+	}
+	fmt.Print(viz.Table([]string{"depth", "nodes", "block", "weights"}, brows))
 
 	fmt.Println("\nhierarchy:")
 	fmt.Print(model.TreeString())

@@ -180,11 +180,20 @@ func Fit(q Quantizer, data [][]float64, labels []string, cfg Config) (*Detector,
 	// Quantize every record in parallel (the dominant cost: one hierarchy
 	// descent per record), then accumulate serially in data order so the
 	// fitted thresholds are identical at every Parallelism setting.
+	// Quantizers with a flat-batch fast path run it over gathered row
+	// chunks — the same blocked BMU descent ClassifyBatch uses — which is
+	// what keeps detector fitting on the batched engine inside
+	// TrainPipeline; QuantizeBatch is contractually identical to Quantize
+	// per row, so the fitted state does not depend on the path taken.
 	cellOf := make([]string, len(data))
 	qeOf := make([]float64, len(data))
-	parallel.ForEach(cfg.Parallelism, len(data), func(i int) {
-		cellOf[i], qeOf[i] = q.Quantize(data[i])
-	})
+	if bq, ok := q.(BatchQuantizer); ok && uniformDim(data) > 0 {
+		fitQuantizeBatch(bq, data, cellOf, qeOf, cfg.Parallelism)
+	} else {
+		parallel.ForEach(cfg.Parallelism, len(data), func(i int) {
+			cellOf[i], qeOf[i] = q.Quantize(data[i])
+		})
+	}
 
 	type cellAccum struct {
 		labelCounts map[string]int
@@ -244,6 +253,68 @@ func Fit(q Quantizer, data [][]float64, labels []string, cfg Config) (*Detector,
 		d.globalQE = 1e-9
 	}
 	return d, nil
+}
+
+// uniformDim returns the shared row width of data, or 0 when rows have
+// mixed widths (which the per-row path handles and the flat batch path
+// cannot).
+func uniformDim(data [][]float64) int {
+	if len(data) == 0 {
+		return 0
+	}
+	d := len(data[0])
+	for _, row := range data[1:] {
+		if len(row) != d {
+			return 0
+		}
+	}
+	return d
+}
+
+// fitScratch is the pooled per-worker gather arena of Fit's batched
+// quantize pass.
+type fitScratch struct {
+	flat  []float64
+	cells []CellQE
+}
+
+var fitScratchPool = sync.Pool{New: func() any { return &fitScratch{} }}
+
+// fitQuantizeBatch runs Fit's quantization through the quantizer's batch
+// path: workers gather row chunks into pooled flat arenas and quantize
+// each with one batch call. Results are positionally identical to
+// per-row Quantize at every worker count.
+func fitQuantizeBatch(bq BatchQuantizer, data [][]float64, cellOf []string, qeOf []float64, parallelism int) {
+	n, d := len(data), len(data[0])
+	w := parallel.Workers(parallelism, n)
+	chunk := min((n+w-1)/w, classifyChunk)
+	if chunk < 1 {
+		chunk = 1
+	}
+	chunks := (n + chunk - 1) / chunk
+	parallel.ForEach(parallelism, chunks, func(c int) {
+		lo := c * chunk
+		hi := min(lo+chunk, n)
+		sc := fitScratchPool.Get().(*fitScratch)
+		// Pool entries are shared across Fit calls with different row
+		// widths and chunk sizes: each buffer's capacity must be checked
+		// on its own.
+		if cap(sc.flat) < (hi-lo)*d {
+			sc.flat = make([]float64, (hi-lo)*d)
+		}
+		if cap(sc.cells) < hi-lo {
+			sc.cells = make([]CellQE, hi-lo)
+		}
+		flat, cells := sc.flat[:(hi-lo)*d], sc.cells[:hi-lo]
+		for i := lo; i < hi; i++ {
+			copy(flat[(i-lo)*d:(i-lo+1)*d], data[i])
+		}
+		bq.QuantizeBatch(flat, hi-lo, d, cells)
+		for i := lo; i < hi; i++ {
+			cellOf[i], qeOf[i] = cells[i-lo].Cell, cells[i-lo].QE
+		}
+		fitScratchPool.Put(sc)
+	})
 }
 
 // majorityLabel returns the label with the highest count, breaking ties

@@ -262,3 +262,63 @@ func TestDegenerateAllIdenticalTraining(t *testing.T) {
 		t.Errorf("perturbed point not flagged on degenerate detector: %+v", p)
 	}
 }
+
+// batchGridQuantizer is gridQuantizer with a batch path, so Fit's
+// batched quantize pass is exercised directly.
+type batchGridQuantizer struct{ gridQuantizer }
+
+func (q batchGridQuantizer) QuantizeBatch(flat []float64, n, d int, out []CellQE) {
+	for i := 0; i < n; i++ {
+		out[i].Cell, out[i].QE = q.Quantize(flat[i*d : (i+1)*d])
+	}
+}
+
+// TestFitBatchedScratchReshaped is the regression test for the pooled
+// fit-scratch shape hazard: a Fit over wide rows in small chunks leaves
+// pool entries whose flat arena is large but whose cell buffer is
+// small; a following Fit over narrow rows in full-size chunks must not
+// panic reslicing the stale cell buffer, and both fits must match the
+// per-row quantize path exactly.
+func TestFitBatchedScratchReshaped(t *testing.T) {
+	mkData := func(n, d int, span float64) ([][]float64, []string) {
+		data := make([][]float64, n)
+		labels := make([]string, n)
+		for i := range data {
+			row := make([]float64, d)
+			row[0] = span * float64(i) / float64(n)
+			data[i] = row
+			if i%3 == 0 {
+				labels[i] = "neptune"
+			} else {
+				labels[i] = "normal"
+			}
+		}
+		return data, labels
+	}
+	// Wide rows, many workers → small chunks with a wide flat arena.
+	wideData, wideLabels := mkData(64, 118, 4)
+	if _, err := Fit(batchGridQuantizer{}, wideData, wideLabels, Config{Parallelism: 8}); err != nil {
+		t.Fatal(err)
+	}
+	// Narrow rows, serial → full classifyChunk-sized chunks; the pooled
+	// cell buffers from the wide fit must be regrown.
+	narrowData, narrowLabels := mkData(4096, 2, 8)
+	got, err := Fit(batchGridQuantizer{}, narrowData, narrowLabels, Config{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Fit(gridQuantizer{}, narrowData, narrowLabels, Config{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cells() != want.Cells() || got.GlobalThreshold() != want.GlobalThreshold() {
+		t.Fatalf("batched fit differs from per-row fit: cells %d/%d, global %v/%v",
+			got.Cells(), want.Cells(), got.GlobalThreshold(), want.GlobalThreshold())
+	}
+	for _, x := range [][]float64{{0.4, 0}, {1.7, 0}, {7.2, 0}} {
+		a, b := got.Classify(x), want.Classify(x)
+		if a != b {
+			t.Fatalf("verdicts differ for %v: %+v vs %+v", x, a, b)
+		}
+	}
+}

@@ -87,6 +87,15 @@ type Compiled struct {
 	// screening row of the masked BMU search (zero for the root, which
 	// has no parent). Derived, never serialized.
 	parentDist []float64
+	// norms[unitBase+u] is the squared Euclidean norm of unit u's arena
+	// row — the ‖w‖² term of the blocked batch descent's expanded-form
+	// BMU search. A Compiled is immutable, so unlike som.Map's versioned
+	// NormCache these can never go stale. Derived, never serialized.
+	norms []float64
+	// nodeMaxNorm[i] is the largest squared unit norm of node i, the
+	// magnitude term of the batch descent's settle margin and overflow
+	// guard. Derived, never serialized.
+	nodeMaxNorm []float64
 	// arena is the shared weight storage: totalUnits*dim float64s.
 	arena []float64
 }
@@ -166,6 +175,7 @@ func (c *Compiled) buildTrainedIndex() {
 	}
 	c.probeIdx = append(c.probeIdx[:0], c.trainedIdx...)
 	c.buildPairTables()
+	c.buildNormTables()
 	for i := range c.nodes {
 		nd := &c.nodes[i]
 		probe := c.probeIdx[nd.trainedBase : nd.trainedBase+nd.trainedLen]
@@ -246,6 +256,21 @@ func (c *Compiled) buildPairTables() {
 	}
 }
 
+// buildNormTables precomputes the per-unit squared weight norms and the
+// per-node maxima that feed the blocked batch descent's expanded-form
+// candidate generator. Derived deterministically from the arena.
+func (c *Compiled) buildNormTables() {
+	c.norms = vecmath.SquaredNorms(c.arena, c.dim, c.norms[:0])
+	if cap(c.nodeMaxNorm) < len(c.nodes) {
+		c.nodeMaxNorm = make([]float64, len(c.nodes))
+	}
+	c.nodeMaxNorm = c.nodeMaxNorm[:len(c.nodes)]
+	for i := range c.nodes {
+		nd := &c.nodes[i]
+		c.nodeMaxNorm[i] = vecmath.MaxOrZero(c.norms[nd.unitBase : nd.unitBase+nd.units])
+	}
+}
+
 // Dim returns the input dimension.
 func (c *Compiled) Dim() int { return c.dim }
 
@@ -291,8 +316,8 @@ func (c *Compiled) UnitWeight(nodeID, unit int) []float64 {
 func (c *Compiled) ArenaBytes() int { return len(c.arena) * 8 }
 
 // TableBytes returns the memory footprint of the routing tables (node
-// table, child index, counts, unit errors, trained/probe unit lists, and
-// pairwise pruning tables).
+// table, child index, counts, unit errors, trained/probe unit lists,
+// pairwise pruning tables, and the norm caches of the batch descent).
 func (c *Compiled) TableBytes() int {
 	const nodeBytes = 11 * 8 // compiledNode fields
 	return len(c.nodes)*nodeBytes +
@@ -302,7 +327,56 @@ func (c *Compiled) TableBytes() int {
 		len(c.trainedIdx)*4 +
 		len(c.probeIdx)*4 +
 		len(c.pairDist)*8 +
-		len(c.parentDist)*8
+		len(c.parentDist)*8 +
+		c.NormBytes()
+}
+
+// NormBytes returns the memory footprint of the norm caches the blocked
+// batch descent tiles over: the per-unit squared-norm table plus the
+// per-node maxima.
+func (c *Compiled) NormBytes() int {
+	return len(c.norms)*8 + len(c.nodeMaxNorm)*8
+}
+
+// BlockShape describes the GEMM block of one hierarchy level as the
+// blocked batch descent tiles it: at a level (depth), each record group
+// routed into one of Nodes maps is scored against a units×dim weight
+// block.
+type BlockShape struct {
+	// Depth is the level (root = 1).
+	Depth int
+	// Nodes is the number of maps at the level.
+	Nodes int
+	// MinUnits and MaxUnits bound the per-node unit counts (GEMM block
+	// heights) at the level.
+	MinUnits, MaxUnits int
+	// Dim is the block width (the feature dimension).
+	Dim int
+	// WeightBytes is the total weight storage of the level's blocks.
+	WeightBytes int
+}
+
+// BlockShapes reports, per level, the units×dim GEMM block shapes the
+// batch descent will tile — the operator's view of what the engine
+// multiplies at each step of the hierarchy.
+func (c *Compiled) BlockShapes() []BlockShape {
+	var out []BlockShape
+	for i := range c.nodes {
+		nd := &c.nodes[i]
+		for len(out) < nd.depth {
+			out = append(out, BlockShape{Depth: len(out) + 1, Dim: c.dim})
+		}
+		b := &out[nd.depth-1]
+		b.Nodes++
+		if b.MinUnits == 0 || nd.units < b.MinUnits {
+			b.MinUnits = nd.units
+		}
+		if nd.units > b.MaxUnits {
+			b.MaxUnits = nd.units
+		}
+		b.WeightBytes += nd.units * c.dim * 8
+	}
+	return out
 }
 
 // Stats computes the same structure statistics as GHSOM.Stats from the
@@ -752,33 +826,71 @@ func (c *Compiled) RouteFlat(flat []float64, n int, out []Placement, parallelism
 	return nil
 }
 
-// routeScratchPool recycles the per-worker duplicate-row indexes of
-// RouteTrainedFlat. The maps are cleared before being pooled, so no
+// routeScratchPool recycles the per-worker state of the blocked batch
+// descent: the duplicate-row index, the per-record descent state, and
+// the GEMM score tiles. The maps are cleared before being pooled, so no
 // caller memory is retained across calls.
 var routeScratchPool = sync.Pool{
 	New: func() any { return &routeScratch{seen: make(map[string]int, 512)} },
 }
 
-type routeScratch struct{ seen map[string]int }
+type routeScratch struct {
+	seen   map[string]int
+	ref    []int32   // per chunk row: chunk-relative representative (dedup)
+	xn     []float64 // per unique row: squared record norm
+	pd     []float64 // per unique row: exact distance at the parent level (NaN = unknown)
+	cur    []int32   // per unique row: current node of the descent
+	act    []int32   // active unique rows (not yet placed)
+	nxt    []int32   // next level's active rows (double buffer)
+	counts []int32   // per node: counting-sort state
+	order  []int32   // active rows grouped by node
+	gidx   []int     // absolute matrix rows of one GEMM tile
+	allIdx []int32   // 0..units-1 candidate set for untrained nodes
+	scores []float64 // GEMM tile: records×units dots, then expanded distances
+}
+
+// Blocked batch-descent tile constants. routeGemmTile is the record rows
+// per GEMM block inside one node group; routeGemmMin is the smallest
+// per-node group the descent scores through the blocked engine — smaller
+// groups take the scalar screened probe path (bmuMasked), which wins
+// when there is no batch to amortize the block over.
+const (
+	routeGemmTile = 32
+	routeGemmMin  = 8
+)
 
 // RouteTrainedFlat routes every row of the flat row-major batch through
 // the effective codebook into out — the compiled counterpart of
 // GHSOM.RouteTrainedFlat, with byte-identical placements at every
 // parallelism setting and zero per-row steady-state allocation.
 //
-// Routing is a pure function of the row bytes, so byte-identical rows —
-// common in real traffic, where a flood repeats one encoded vector —
-// are routed once per worker chunk and the placement is reused for every
-// repeat. The index keys alias the caller's flat buffer only for the
-// duration of the call (the caller must not mutate flat concurrently,
-// which the batch contract already requires) and are dropped before the
-// scratch map returns to its pool.
+// The descent is level-synchronous and blocked: within a worker chunk,
+// records are deduplicated (byte-identical rows — common in real
+// traffic, where a flood repeats one encoded vector — are routed once),
+// then all records sitting at the same node of the hierarchy are scored
+// against that node's units×dim weight block with one blocked
+// expanded-form matrix product per group (vecmath.MulBatchT plus the
+// compiled norm tables) instead of one scalar probe loop per record.
+// Expanded distances only nominate candidates; winners are settled with
+// the canonical kernel exactly as bmuMasked would, interior levels skip
+// the canonical scan entirely when a single candidate survives the
+// margin, and groups too small to fill a block — or records whose
+// magnitudes fall outside the expanded form's error model — take the
+// scalar screened path, so placements stay byte-identical to the
+// per-record tree walk. The dedup index keys alias the caller's flat
+// buffer only for the duration of the call (the caller must not mutate
+// flat concurrently, which the batch contract already requires) and are
+// dropped before the scratch returns to its pool.
 func (c *Compiled) RouteTrainedFlat(flat []float64, n int, out []Placement, parallelism int) error {
 	if err := c.checkFlat(flat, n, out); err != nil {
 		return err
 	}
 	if n == 0 {
 		return nil
+	}
+	mat, err := vecmath.MatrixOver(flat, n, c.dim)
+	if err != nil {
+		return fmt.Errorf("core: route flat batch: %w", err)
 	}
 	// Chunk cap: keeps each worker's duplicate index small enough to stay
 	// cache-resident (duplicate traffic clusters in time, so locality is
@@ -797,20 +909,248 @@ func (c *Compiled) RouteTrainedFlat(flat []float64, n int, out []Placement, para
 			hi = n
 		}
 		sc := routeScratchPool.Get().(*routeScratch)
-		for i := lo; i < hi; i++ {
-			row := flat[i*c.dim : (i+1)*c.dim]
-			key := unsafe.String((*byte)(unsafe.Pointer(&row[0])), len(row)*8)
-			if j, ok := sc.seen[key]; ok {
-				out[i] = out[j]
-				continue
-			}
-			out[i] = c.routeTrainedRow(row)
-			sc.seen[key] = i
-		}
-		clear(sc.seen)
+		c.routeTrainedChunk(mat, lo, hi, out, sc)
 		routeScratchPool.Put(sc)
 	})
 	return nil
+}
+
+// grow32 resizes buf to n int32s, reallocating only on capacity growth.
+func grow32(buf *[]int32, n int) []int32 {
+	if cap(*buf) < n {
+		*buf = make([]int32, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// growF is grow32 for float64 scratch.
+func growF(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// routeTrainedChunk runs the deduplicated level-synchronous descent for
+// chunk rows [lo, hi) of mat, writing placements into out at absolute
+// row positions.
+func (c *Compiled) routeTrainedChunk(mat vecmath.Matrix, lo, hi int, out []Placement, sc *routeScratch) {
+	m := hi - lo
+	ref := grow32(&sc.ref, m)
+	xn := growF(&sc.xn, m)
+	pd := growF(&sc.pd, m)
+	cur := grow32(&sc.cur, m)
+	act := sc.act[:0]
+	for i := 0; i < m; i++ {
+		row := mat.Row(lo + i)
+		key := unsafe.String((*byte)(unsafe.Pointer(&row[0])), len(row)*8)
+		if j, ok := sc.seen[key]; ok {
+			ref[i] = int32(j)
+			continue
+		}
+		sc.seen[key] = i
+		ref[i] = int32(i)
+		cur[i] = 0
+		xn[i] = vecmath.SumSquares(row)
+		pd[i] = math.NaN() // no parent ball at the root
+		act = append(act, int32(i))
+	}
+	clear(sc.seen)
+
+	nodes := len(c.nodes)
+	counts := grow32(&sc.counts, nodes)
+	for len(act) > 0 {
+		// Counting sort groups the active records by their current node:
+		// one pass to count, one stable scatter pass. Every record at the
+		// same node then shares that node's GEMM blocks this level.
+		for i := range counts {
+			counts[i] = 0
+		}
+		for _, r := range act {
+			counts[cur[r]]++
+		}
+		sum := int32(0)
+		for ni := 0; ni < nodes; ni++ {
+			cnt := counts[ni]
+			counts[ni] = sum
+			sum += cnt
+		}
+		order := grow32(&sc.order, len(act))
+		for _, r := range act {
+			order[counts[cur[r]]] = r
+			counts[cur[r]]++
+		}
+		nxt := sc.nxt[:0]
+		start := int32(0)
+		for ni := 0; ni < nodes && int(start) < len(order); ni++ {
+			end := counts[ni] // post-scatter: end offset of node ni's group
+			if end == start {
+				continue
+			}
+			nxt = c.routeLevelNode(mat, lo, ni, order[start:end], xn, pd, cur, out, nxt, sc)
+			start = end
+		}
+		sc.act = act
+		act = nxt
+		sc.act, sc.nxt = nxt, sc.act
+	}
+	sc.act = act[:0]
+
+	// Replay the placements of deduplicated rows.
+	for i := 0; i < m; i++ {
+		if int(ref[i]) != i {
+			out[lo+i] = out[lo+int(ref[i])]
+		}
+	}
+}
+
+// routeLevelNode advances one node's record group by one level: the
+// group is scored in routeGemmTile-row GEMM blocks against the node's
+// weight block (or probed scalar when too small), each record's BMU is
+// settled exactly, and records descending into a child are appended to
+// nxt.
+func (c *Compiled) routeLevelNode(mat vecmath.Matrix, lo, ni int, group []int32, xn, pd []float64, cur []int32, out []Placement, nxt []int32, sc *routeScratch) []int32 {
+	nd := &c.nodes[ni]
+	dim := c.dim
+	if len(group) < routeGemmMin {
+		for _, r := range group {
+			row := mat.Row(lo + int(r))
+			bmu, d2, ok := c.bmuMasked(row, nd, pd[r])
+			if !ok {
+				bmu, d2 = c.bmuFull(row, nd)
+			}
+			nxt = c.stepRecord(ni, nd, int(r), bmu, d2, true, row, cur, pd, out, lo, nxt)
+		}
+		return nxt
+	}
+	weights := c.arena[nd.weightOff : nd.weightOff+nd.units*dim]
+	norms := c.norms[nd.unitBase : nd.unitBase+nd.units]
+	maxN := c.nodeMaxNorm[ni]
+	// The candidate set is the effective codebook; a node with no trained
+	// units falls back to the full map, exactly like the scalar descent.
+	units := c.trainedIdx[nd.trainedBase : nd.trainedBase+nd.trainedLen]
+	masked := len(units) > 0
+	if !masked {
+		all := grow32(&sc.allIdx, nd.units)
+		for u := range all {
+			all[u] = int32(u)
+		}
+		units = all
+	}
+	for gLo := 0; gLo < len(group); gLo += routeGemmTile {
+		gHi := gLo + routeGemmTile
+		if gHi > len(group) {
+			gHi = len(group)
+		}
+		blk := group[gLo:gHi]
+		gidx := sc.gidx[:0]
+		for _, r := range blk {
+			gidx = append(gidx, lo+int(r))
+		}
+		sc.gidx = gidx
+		if cap(sc.scores) < len(blk)*nd.units {
+			sc.scores = make([]float64, len(blk)*nd.units)
+		}
+		scores := sc.scores[:len(blk)*nd.units]
+		vecmath.MulBatchT(mat.Subset(gidx), weights, scores)
+		for k, r := range blk {
+			row := mat.Row(lo + int(r))
+			bmu, d2, haveD2 := c.settleNode(row, xn[r], nd, norms, maxN, units, masked, scores[k*nd.units:(k+1)*nd.units])
+			nxt = c.stepRecord(ni, nd, int(r), bmu, d2, haveD2, row, cur, pd, out, lo, nxt)
+		}
+	}
+	return nxt
+}
+
+// stepRecord places record r at its leaf or descends it one level. When
+// the settle skipped the canonical distance (haveD2 false, interior
+// fast path) and the unit turns out to be a leaf, the canonical distance
+// of the winner is computed here — exactly one canonical scan per
+// record, at the only level whose QE is observable.
+func (c *Compiled) stepRecord(ni int, nd *compiledNode, r, bmu int, d2 float64, haveD2 bool, row []float64, cur []int32, pd []float64, out []Placement, lo int, nxt []int32) []int32 {
+	child := c.childIndex[nd.unitBase+bmu]
+	if child < 0 {
+		if !haveD2 {
+			d2 = vecmath.SquaredDistanceFlat(row, c.arena, nd.weightOff+bmu*c.dim)
+		}
+		out[lo+r] = Placement{NodeID: ni, Unit: bmu, Depth: nd.depth, QE: math.Sqrt(d2)}
+		return nxt
+	}
+	cur[r] = child
+	if haveD2 {
+		pd[r] = math.Sqrt(d2)
+	} else {
+		pd[r] = math.NaN() // scalar fallback below just skips the annulus screen
+	}
+	return append(nxt, int32(r))
+}
+
+// settleNode resolves one record's BMU at one node from its GEMM dot
+// row, byte-identically to the scalar descent (bmuMasked with bmuFull
+// fallback): expanded-form distances nominate candidates within the
+// settle margin, the canonical kernel judges them (ties to the lowest
+// unit index), and degenerate magnitudes or empty candidate sets fall
+// back to the scalar kernels. units is the ascending candidate set —
+// the node's trained units (masked true) or every unit when none
+// trained, mirroring the scalar fallback chain. haveD2 reports whether
+// d2 is the settled canonical distance; it is false on the interior
+// fast path where a single candidate survived and no canonical scan was
+// needed. dots is overwritten with expanded distances.
+func (c *Compiled) settleNode(row []float64, xn float64, nd *compiledNode, norms []float64, maxN float64, units []int32, masked bool, dots []float64) (int, float64, bool) {
+	scalar := func() (int, float64, bool) {
+		if masked {
+			if bmu, d2, ok := c.bmuMasked(row, nd, math.NaN()); ok {
+				return bmu, d2, true
+			}
+		}
+		bmu, d2 := c.bmuFull(row, nd)
+		return bmu, d2, true
+	}
+	if !vecmath.ExpandGuardOK(xn, maxN) {
+		return scalar()
+	}
+	minD := math.Inf(1)
+	for _, u32 := range units {
+		u := u32
+		d := xn + norms[u] - 2*dots[u]
+		dots[u] = d
+		if d < minD {
+			minD = d
+		}
+	}
+	thr := minD + vecmath.ExpandSettleRel*(xn+maxN)
+	cand, ncand := -1, 0
+	for _, u32 := range units {
+		if dots[u32] <= thr {
+			cand = int(u32)
+			if ncand++; ncand > 1 {
+				break
+			}
+		}
+	}
+	if ncand == 1 {
+		// The scalar winner is always within the margin, so a unique
+		// candidate is it; its canonical distance is deferred until
+		// observable (leaf QE).
+		return cand, 0, false
+	}
+	best, bestVal := -1, math.Inf(1)
+	for _, u32 := range units {
+		u := int(u32)
+		if dots[u] <= thr {
+			if d := vecmath.SquaredDistanceFlat(row, c.arena, nd.weightOff+u*c.dim); d < bestVal {
+				best, bestVal = u, d
+			}
+		}
+	}
+	if best >= 0 {
+		return best, bestVal, true
+	}
+	// All candidate distances were NaN: defer to the scalar kernels,
+	// whose degenerate contracts are authoritative.
+	return scalar()
 }
 
 func (c *Compiled) checkFlat(flat []float64, n int, out []Placement) error {

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 
-	"ghsom/internal/parallel"
 	"ghsom/internal/vecmath"
 )
 
@@ -46,9 +45,10 @@ func (m *Map) BMUMasked(x []float64, counts []int) (bmu int, dist2 float64, ok b
 // (Assign, MQE) it takes the worker bound explicitly — 0 = GOMAXPROCS,
 // 1 = serial — so callers embedding it under an outer parallel loop (the
 // anomaly batch quantizer) can pin it to 1 instead of inheriting the
-// map's knob. Results are positionally stable and identical to calling
-// BMU per row at every setting. Either output slice may be nil to skip
-// that result.
+// map's knob. The search runs on the blocked BMU engine (norm-cached
+// expanded-distance candidates, exact settle); results are positionally
+// stable and bit-for-bit identical to calling BMU per row at every
+// setting. Either output slice may be nil to skip that result.
 func (m *Map) AssignFlat(flat []float64, n int, bmus []int, d2s []float64, parallelism int) error {
 	if len(flat) < n*m.dim {
 		return fmt.Errorf("assign flat batch of %d rows from %d values, want >= %d: %w",
@@ -60,14 +60,10 @@ func (m *Map) AssignFlat(flat []float64, n int, bmus []int, d2s []float64, paral
 	if d2s != nil && len(d2s) < n {
 		return fmt.Errorf("d2s length %d < %d rows: %w", len(d2s), n, ErrBadShape)
 	}
-	parallel.ForEach(parallelism, n, func(i int) {
-		bmu, d2 := m.BMU(flat[i*m.dim : (i+1)*m.dim])
-		if bmus != nil {
-			bmus[i] = bmu
-		}
-		if d2s != nil {
-			d2s[i] = d2
-		}
-	})
+	mat, err := vecmath.MatrixOver(flat, n, m.dim)
+	if err != nil {
+		return fmt.Errorf("assign flat batch: %w", err)
+	}
+	m.bmuView(mat.View(), bmus, d2s, parallelism)
 	return nil
 }

@@ -11,6 +11,9 @@ package som
 import (
 	"errors"
 	"fmt"
+	"sync"
+
+	"ghsom/internal/vecmath"
 )
 
 // Errors shared by the package.
@@ -36,6 +39,20 @@ type Map struct {
 	rows, cols, dim int
 	flat            []float64 // rows*cols*dim, unit-major then dimension
 	parallelism     int       // batch-op worker knob; <= 0 means GOMAXPROCS
+
+	// version counts weight-arena mutations: every mutating method
+	// (SetWeight, the Init* family, training updates, and the growth
+	// operations, which also reallocate the arena) bumps it. It is the
+	// staleness token of the norm cache below — see Version.
+	version uint64
+	// normMu serializes norm-cache synchronization so concurrent read-only
+	// batch operations (Assign, AssignFlat, MQE) on a trained map stay
+	// race-free. Weight mutation itself requires exclusive access, exactly
+	// as it always has.
+	normMu sync.Mutex
+	// norms caches the per-unit squared weight norms for the blocked BMU
+	// engine, keyed by version.
+	norms vecmath.NormCache
 }
 
 // New returns an untrained map of the given shape with zero-valued weights.
@@ -45,7 +62,30 @@ func New(rows, cols, dim int) (*Map, error) {
 	if rows < 1 || cols < 1 || dim < 1 {
 		return nil, fmt.Errorf("new %dx%d map of dim %d: %w", rows, cols, dim, ErrBadShape)
 	}
-	return &Map{rows: rows, cols: cols, dim: dim, flat: make([]float64, rows*cols*dim)}, nil
+	return &Map{rows: rows, cols: cols, dim: dim, flat: make([]float64, rows*cols*dim), version: 1}, nil
+}
+
+// Version returns the weight-arena mutation counter. Every mutation made
+// through the map's API — SetWeight, the Init* initializers, training
+// updates (batch rank-1 updates and online MoveToward steps), and the
+// reallocating growth operations — increments it, which is what makes a
+// stale norm cache impossible: the blocked BMU engine's NormCache
+// recomputes whenever the version it sees differs from the one it cached
+// (see internal/vecmath). Writes through slices returned by
+// Weight/WeightAt/Weights bypass the counter — the documented contract
+// has always been to mutate via SetWeight only.
+func (m *Map) Version() uint64 { return m.version }
+
+// touch records a weight mutation.
+func (m *Map) touch() { m.version++ }
+
+// syncedNorms returns the up-to-date per-unit squared-norm table. Safe
+// for concurrent callers on a map that is not being mutated.
+func (m *Map) syncedNorms() []float64 {
+	m.normMu.Lock()
+	norms := m.norms.Sync(m.flat, m.dim, m.version)
+	m.normMu.Unlock()
+	return norms
 }
 
 // Rows returns the number of grid rows.
@@ -101,6 +141,7 @@ func (m *Map) SetWeight(i int, w []float64) error {
 		return fmt.Errorf("set weight of length %d on dim-%d map: %w", len(w), m.dim, ErrDimMismatch)
 	}
 	copy(m.Weight(i), w)
+	m.touch()
 	return nil
 }
 
@@ -159,9 +200,10 @@ func (m *Map) Neighbors(i int, dst []int) []int {
 	return dst
 }
 
-// Clone returns a deep copy of the map.
+// Clone returns a deep copy of the map. The clone starts with a fresh
+// version counter and an empty norm cache of its own.
 func (m *Map) Clone() *Map {
-	out := &Map{rows: m.rows, cols: m.cols, dim: m.dim, parallelism: m.parallelism}
+	out := &Map{rows: m.rows, cols: m.cols, dim: m.dim, parallelism: m.parallelism, version: 1}
 	out.flat = make([]float64, len(m.flat))
 	copy(out.flat, m.flat)
 	return out

@@ -28,6 +28,7 @@ func (m *Map) InsertRowBetween(r int) error {
 	}
 	m.flat = newFlat
 	m.rows++
+	m.touch()
 	return nil
 }
 
@@ -54,6 +55,7 @@ func (m *Map) InsertColBetween(c int) error {
 	}
 	m.flat = newFlat
 	m.cols = newCols
+	m.touch()
 	return nil
 }
 

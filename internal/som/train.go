@@ -139,6 +139,7 @@ func (m *Map) InitRandomUniform(data [][]float64, rng *rand.Rand) error {
 			w[d] = lo[d] + rng.Float64()*(hi[d]-lo[d])
 		}
 	}
+	m.touch()
 	return nil
 }
 
@@ -151,6 +152,7 @@ func (m *Map) InitSample(data [][]float64, rng *rand.Rand) error {
 	for i := 0; i < m.Units(); i++ {
 		copy(m.Weight(i), data[rng.Intn(len(data))])
 	}
+	m.touch()
 	return nil
 }
 
@@ -196,6 +198,7 @@ func (m *Map) InitLinear(data [][]float64, rng *rand.Rand) error {
 			}
 		}
 	}
+	m.touch()
 	return nil
 }
 
@@ -212,6 +215,7 @@ func (m *Map) InitAroundMean(mean []float64, spread float64, rng *rand.Rand) err
 			w[d] = mean[d] + rng.NormFloat64()*spread
 		}
 	}
+	m.touch()
 	return nil
 }
 

@@ -96,19 +96,39 @@ func (m *Map) neighborhoodTable(dst []float64, radius, scale float64, kernel Ker
 }
 
 // bmuView computes the BMU index and squared distance of every view row
-// into bmus and d2s (either may be nil) on p workers. Each index writes
-// only its own slots, so results are identical at every worker count.
+// into bmus and d2s (either may be nil) on p workers, through the blocked
+// BMU engine: workers take contiguous view ranges and run the norm-cached
+// expanded-distance kernel (vecmath.ArgMinDistanceBatch) over them, which
+// is bit-for-bit identical to the per-row ArgMinDistance scan. When d2s
+// is nil — the training BMU pass under SkipEpochMQE — the engine skips
+// the canonical distance settle for every unambiguous record. Each chunk
+// writes only its own slots, so results are identical at every worker
+// count.
 func (m *Map) bmuView(v vecmath.View, bmus []int, d2s []float64, p int) {
-	parallel.ForEach(p, v.Rows(), func(i int) {
-		best, d2 := vecmath.ArgMinDistance(v.Row(i), m.flat)
-		if best < 0 {
-			best = 0 // degenerate query: keep the BMU contract of unit 0
-		}
+	n := v.Rows()
+	if n == 0 || (bmus == nil && d2s == nil) {
+		return
+	}
+	norms := m.syncedNorms()
+	w := parallel.Workers(p, n)
+	chunk := (n + w - 1) / w
+	chunks := (n + chunk - 1) / chunk
+	parallel.ForEach(p, chunks, func(c int) {
+		lo := c * chunk
+		hi := min(lo+chunk, n)
+		var ob []int
+		var od []float64
 		if bmus != nil {
-			bmus[i] = best
+			ob = bmus[lo:hi]
 		}
 		if d2s != nil {
-			d2s[i] = d2
+			od = d2s[lo:hi]
+		}
+		vecmath.ArgMinDistanceBatch(v.Slice(lo, hi), m.flat, norms, ob, od)
+		for i := range ob {
+			if ob[i] < 0 {
+				ob[i] = 0 // degenerate query: keep the BMU contract of unit 0
+			}
 		}
 	})
 }
@@ -197,6 +217,10 @@ func (m *Map) TrainBatchView(v vecmath.View, cfg TrainConfig) (TrainStats, error
 				w[d] = numer[d] * inv
 			}
 		}
+		// The rank-1 updates above rewrote the weight arena: bump the
+		// version so the next epoch's blocked BMU pass resyncs its norm
+		// cache.
+		m.touch()
 	}
 	if !cfg.SkipEpochMQE {
 		stats.EpochMQE = append(stats.EpochMQE, m.mqeView(v, cfg.Parallelism, d2s))
@@ -249,6 +273,7 @@ func (m *Map) TrainOnlineView(v vecmath.View, cfg TrainConfig) (TrainStats, erro
 				}
 				vecmath.MoveToward(m.Weight(u), coef, x)
 			}
+			m.touch() // MoveToward mutated the arena: invalidate norms
 		}
 		if !cfg.SkipEpochMQE {
 			stats.EpochMQE = append(stats.EpochMQE, m.mqeView(v, cfg.Parallelism, d2scratch))

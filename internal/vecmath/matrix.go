@@ -134,6 +134,27 @@ func (v View) Index(i int) int {
 	return i
 }
 
+// Slice returns the zero-copy view of the contiguous view-relative row
+// range [lo, hi). Unlike Subview it allocates nothing for any view: an
+// indexed view reslices its index, and a whole-matrix view narrows to a
+// sub-matrix over the same backing rows. It is the work-splitting
+// primitive of the batched BMU engine — workers call it to carve a view
+// into per-worker ranges whose Row data still aliases the original
+// storage.
+//
+// Caveat: on a whole-matrix view the narrowed result is its own
+// sub-matrix, so Index reports positions relative to the slice, not the
+// original matrix (an indexed view keeps original indices). Callers
+// that need to map sliced rows back to matrix rows must add lo
+// themselves; the BMU engine only reads Row/Rows/Dim.
+func (v View) Slice(lo, hi int) View {
+	if v.idx != nil {
+		return View{m: v.m, idx: v.idx[lo:hi]}
+	}
+	sub := Matrix{data: v.m.data[lo*v.m.cols : hi*v.m.cols], rows: hi - lo, cols: v.m.cols}
+	return View{m: sub}
+}
+
 // Subview returns the view of the view-relative rows in rows, composing
 // index indirections so the result still points straight into the backing
 // matrix. The rows slice is retained when the view has no indirection of

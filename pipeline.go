@@ -150,7 +150,10 @@ func encodeScaleRows(enc *kdd.Encoder, scaler *preprocess.MinMaxScaler, records 
 // TrainPipeline builds the full detection chain from labeled records. The
 // training set is encoded into one flat row-major matrix and scaled in
 // place — the same batch dataplane DetectBatch runs on — before the GHSOM
-// is grown and the detector fitted.
+// is grown and the detector fitted. Both the growth loop's per-epoch BMU
+// passes and the detector's fitting quantization run on the blocked GEMM
+// BMU engine (see internal/vecmath), whose results are bit-identical to
+// the scalar scans.
 func TrainPipeline(records []Record, cfg PipelineConfig) (*Pipeline, error) {
 	if len(records) == 0 {
 		return nil, ErrEmptyTrainingSet
@@ -268,8 +271,10 @@ func (p *Pipeline) DetectAll(records []Record) ([]Prediction, error) {
 // the previous call to reuse it. Records are processed in chunks of a few
 // hundred rows, concurrently on the pipeline's configured Parallelism;
 // each worker encodes and scales its chunk inside a pooled flat arena and
-// classifies it through the detector's batch path, so in steady state the
-// call performs no per-record heap allocation. Predictions are
+// classifies it through the detector's batch path — whose hierarchy
+// descent runs on the blocked GEMM BMU engine, level-synchronously per
+// chunk — so in steady state the call performs no per-record heap
+// allocation. Predictions are
 // positionally stable and byte-identical to calling Detect per record at
 // every Parallelism setting. On failure the error of the lowest-index bad
 // record is returned and out's contents are unspecified.
