@@ -16,11 +16,15 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 	"time"
@@ -28,6 +32,7 @@ import (
 	"ghsom"
 	"ghsom/internal/core"
 	"ghsom/internal/eval"
+	"ghsom/internal/kdd"
 	"ghsom/internal/parallel"
 	"ghsom/internal/som"
 	"ghsom/internal/trafficgen"
@@ -90,6 +95,7 @@ func run(args []string) error {
 	trainOut := fs.String("train-out", "BENCH_training.json", "training JSON path (empty = skip)")
 	routingOut := fs.String("routing-out", "BENCH_routing.json", "routing JSON path (empty = skip)")
 	bmuOut := fs.String("bmu-out", "BENCH_bmu.json", "BMU kernel JSON path (empty = skip)")
+	ingestOut := fs.String("ingest-out", "BENCH_ingest.json", "ingestion dataplane JSON path (empty = skip)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -130,7 +136,140 @@ func run(args []string) error {
 			return err
 		}
 	}
+	if *ingestOut != "" {
+		doc, err := ingestPoints(records)
+		if err != nil {
+			return err
+		}
+		if err := writeArtifact(*ingestOut, doc); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// ingestPoints measures the ingestion dataplane: wire bytes to the
+// encoded feature matrix for NDJSON (pooled fast parser and the stdlib
+// json.Decoder baseline) against the columnar batch format, plus the
+// cold model load path heap-decoded against mmap-backed.
+func ingestPoints(records []ghsom.Record) (artifact, error) {
+	doc := newArtifact(len(records))
+
+	var nd bytes.Buffer
+	jenc := json.NewEncoder(&nd)
+	for i := range records {
+		if err := jenc.Encode(&records[i]); err != nil {
+			return artifact{}, err
+		}
+	}
+	var col bytes.Buffer
+	if err := kdd.WriteColumnarBatch(&col, records, kdd.ColumnarWriteOptions{}); err != nil {
+		return artifact{}, err
+	}
+	ndjson, columnar := nd.Bytes(), col.Bytes()
+
+	enc := kdd.NewEncoder(records, kdd.EncoderConfig{LogTransform: true})
+	d := enc.Dim()
+	flat := make([]float64, len(records)*d)
+	parser := kdd.NewRecordParser(bytes.NewReader(ndjson))
+	var rec kdd.Record
+	var cb kdd.ColumnarBatch
+	doc.Points = append(doc.Points,
+		measure("IngestNDJSON", 1, len(records), 0, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				parser.Reset(bytes.NewReader(ndjson))
+				n := 0
+				for {
+					if err := parser.Next(&rec); err != nil {
+						if errors.Is(err, io.EOF) {
+							break
+						}
+						b.Fatal(err)
+					}
+					if err := enc.EncodeInto(&rec, flat[n*d:(n+1)*d]); err != nil {
+						b.Fatal(err)
+					}
+					n++
+				}
+				if n != len(records) {
+					b.Fatalf("parsed %d records, want %d", n, len(records))
+				}
+			}
+		}),
+		measure("IngestNDJSONStdlib", 1, len(records), 0, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				dec := json.NewDecoder(bytes.NewReader(ndjson))
+				n := 0
+				for dec.More() {
+					var r kdd.Record
+					if err := dec.Decode(&r); err != nil {
+						b.Fatal(err)
+					}
+					if err := enc.EncodeInto(&r, flat[n*d:(n+1)*d]); err != nil {
+						b.Fatal(err)
+					}
+					n++
+				}
+			}
+		}),
+		measure("IngestColumnar", 1, len(records), 0, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := kdd.ReadColumnarBatch(bytes.NewReader(columnar), &cb, kdd.DefaultColumnarLimits); err != nil {
+					b.Fatal(err)
+				}
+				if err := enc.BindColumnar(&cb); err != nil {
+					b.Fatal(err)
+				}
+				if err := enc.EncodeColumnarRows(&cb, 0, cb.Rows(), flat); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+	)
+
+	// Cold model load: the same trained envelope through the heap decoder
+	// (arena and tables copied out) and the mmap loader (views over the
+	// page-cache-shared mapping). BatchRecords=1 so the per-record columns
+	// read as per-load.
+	pipe, err := ghsom.TrainPipeline(records, pipelineConfig(1))
+	if err != nil {
+		return artifact{}, err
+	}
+	dir, err := os.MkdirTemp("", "benchjson")
+	if err != nil {
+		return artifact{}, err
+	}
+	defer os.RemoveAll(dir)
+	modelPath := filepath.Join(dir, "model.bin")
+	mf, err := os.Create(modelPath)
+	if err != nil {
+		return artifact{}, err
+	}
+	if err := pipe.Save(mf); err != nil {
+		mf.Close()
+		return artifact{}, err
+	}
+	if err := mf.Close(); err != nil {
+		return artifact{}, err
+	}
+	for _, mapped := range []bool{false, true} {
+		name := "ColdLoadHeap"
+		if mapped {
+			name = "ColdLoadMmap"
+		}
+		doc.Points = append(doc.Points, measure(name, 1, 1, 0, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p, err := ghsom.LoadPipelineFile(modelPath, mapped)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := p.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	}
+	return doc, nil
 }
 
 // bmuShapes is the BMU kernel sweep: dimensions bracketing the encoded

@@ -1,17 +1,24 @@
-// Command ghsom-detect runs a trained pipeline over a
-// kddcup.data-format CSV and reports detection quality (when the CSV has
-// ground-truth labels) plus optional per-record verdicts.
+// Command ghsom-detect runs a trained pipeline over a traffic trace and
+// reports detection quality (when the trace has ground-truth labels)
+// plus optional per-record verdicts. The input format is sniffed:
+// kddcup.data CSV, NDJSON records, or the columnar batch wire format
+// (GHSOMWB1 frames, e.g. from trafficgen -format columnar) — columnar
+// input runs on the zero-copy ingestion dataplane.
 //
 // Usage:
 //
 //	ghsom-detect -model model.bin -in test.csv
+//	ghsom-detect -model model.bin -in trace.gwb -mmap
 //	ghsom-detect -model model.bin -in test.csv -verdicts verdicts.csv
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 
@@ -31,9 +38,10 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("ghsom-detect", flag.ContinueOnError)
 	modelPath := fs.String("model", "model.bin", "trained pipeline file")
-	in := fs.String("in", "", "input CSV in kddcup.data format (required)")
+	in := fs.String("in", "", "input trace: CSV, NDJSON, or columnar frames (required; format sniffed)")
 	verdicts := fs.String("verdicts", "", "optional per-record verdict CSV output")
 	par := fs.Int("parallelism", 0, "classification worker bound (0 = GOMAXPROCS, 1 = serial; results identical)")
+	useMmap := fs.Bool("mmap", false, "mmap the model file instead of heap-loading it")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -41,28 +49,19 @@ func run(args []string) error {
 		return fmt.Errorf("-in is required")
 	}
 
-	mf, err := os.Open(*modelPath)
+	pipe, err := ghsom.LoadPipelineFile(*modelPath, *useMmap)
 	if err != nil {
 		return err
 	}
-	pipe, err := ghsom.LoadPipeline(mf)
-	mf.Close()
-	if err != nil {
-		return err
-	}
+	defer pipe.Close()
+	pipe.SetParallelism(*par)
 
 	rf, err := os.Open(*in)
 	if err != nil {
 		return err
 	}
-	records, err := kdd.ReadAll(rf)
+	truth, preds, err := detectInput(pipe, rf)
 	rf.Close()
-	if err != nil {
-		return err
-	}
-
-	pipe.SetParallelism(*par)
-	preds, err := pipe.DetectAll(records)
 	if err != nil {
 		return err
 	}
@@ -81,20 +80,24 @@ func run(args []string) error {
 		}
 	}
 
+	hasTruth := false
 	var outcome metrics.BinaryOutcome
 	conf := metrics.NewConfusion("normal", "dos", "probe", "r2l", "u2r")
-	for i := range records {
-		truthAttack := records[i].IsAttack()
-		outcome.AddBinary(truthAttack, preds[i].Attack)
-		predCat := kdd.CategoryOf(preds[i].Label).String()
-		if preds[i].Attack && predCat == "normal" {
-			predCat = "unknown"
+	for i := range preds {
+		if truth[i] != "" {
+			hasTruth = true
+			truthCat := kdd.CategoryOf(truth[i])
+			outcome.AddBinary(truthCat != kdd.Normal && truthCat != kdd.Unknown, preds[i].Attack)
+			predCat := kdd.CategoryOf(preds[i].Label).String()
+			if preds[i].Attack && predCat == "normal" {
+				predCat = "unknown"
+			}
+			conf.Add(truthCat.String(), predCat)
 		}
-		conf.Add(records[i].Category().String(), predCat)
 		if vw != nil {
 			err := vw.Write([]string{
 				strconv.Itoa(i),
-				records[i].Label,
+				truth[i],
 				preds[i].Label,
 				strconv.FormatBool(preds[i].Attack),
 				strconv.FormatBool(preds[i].Novel),
@@ -106,7 +109,11 @@ func run(args []string) error {
 		}
 	}
 
-	fmt.Printf("records: %d\n", len(records))
+	fmt.Printf("records: %d\n", len(preds))
+	if !hasTruth {
+		fmt.Println("no ground-truth labels in input; quality metrics skipped")
+		return nil
+	}
 	fmt.Printf("binary:  %s\n\n", outcome)
 	fmt.Println("category confusion (truth rows, predicted columns):")
 	fmt.Print(conf.String())
@@ -117,4 +124,54 @@ func run(args []string) error {
 	fmt.Println()
 	fmt.Print(viz.Table([]string{"category", "recall"}, rows))
 	return nil
+}
+
+// detectInput sniffs the trace format from its first bytes and runs the
+// matching dataplane: columnar frames go straight through DetectColumnar
+// (no Record materialization), CSV and NDJSON records through
+// DetectAll. Returns the per-record ground-truth labels ("" when the
+// input carries none) and predictions, positionally aligned.
+func detectInput(pipe *ghsom.Pipeline, r io.Reader) (truth []string, preds []ghsom.Prediction, err error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head, _ := br.Peek(8)
+	if bytes.Equal(head, []byte("GHSOMWB1")) {
+		var cb ghsom.ColumnarBatch
+		var frame []ghsom.Prediction
+		for {
+			err := ghsom.ReadColumnarBatch(br, &cb, ghsom.DefaultColumnarLimits())
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, nil, err
+			}
+			frame, err = pipe.DetectColumnar(&cb, frame)
+			if err != nil {
+				return nil, nil, fmt.Errorf("frame starting at record %d: %w", len(preds), err)
+			}
+			preds = append(preds, frame...)
+			if cb.HasLabels() {
+				truth = cb.AppendLabels(truth)
+			} else {
+				for i := 0; i < cb.Rows(); i++ {
+					truth = append(truth, "")
+				}
+			}
+		}
+		return truth, preds, nil
+	}
+	var records []kdd.Record
+	if len(head) > 0 && head[0] == '{' {
+		records, err = kdd.ReadRecordsNDJSON(br, nil, 0)
+	} else {
+		records, err = kdd.ReadAll(br)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	preds, err = pipe.DetectAll(records)
+	if err != nil {
+		return nil, nil, err
+	}
+	return kdd.Labels(records), preds, nil
 }

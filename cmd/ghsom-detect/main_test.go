@@ -1,8 +1,11 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strconv"
 	"testing"
 
 	"ghsom"
@@ -86,5 +89,138 @@ func TestRunDetectErrors(t *testing.T) {
 	}
 	if err := run([]string{"-model", "/nonexistent.json", "-in", "/nonexistent.csv"}); err == nil {
 		t.Error("missing model accepted")
+	}
+}
+
+// TestRunDetectFormats feeds the same trace through the NDJSON record
+// path and the columnar dataplane (heap and mmap loads) and requires
+// byte-identical verdict files from all three runs. CSV is excluded
+// from the identity check only because the kddcup format rounds rate
+// fields; NDJSON and columnar are lossless.
+func TestRunDetectFormats(t *testing.T) {
+	model, _ := fixture(t)
+	dir := t.TempDir()
+
+	testRecs, err := trafficgen.Generate(trafficgen.Small(63))
+	if err != nil {
+		t.Fatal(err)
+	}
+	testRecs = testRecs[:2000]
+
+	ndjsonPath := filepath.Join(dir, "trace.ndjson")
+	nf, err := os.Create(ndjsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := json.NewEncoder(nf)
+	for i := range testRecs {
+		if err := enc.Encode(&testRecs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	nf.Close()
+
+	columnarPath := filepath.Join(dir, "trace.gwb")
+	cf, err := os.Create(columnarPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := kdd.ColumnarWriteOptions{Labels: true}
+	for lo := 0; lo < len(testRecs); lo += 700 {
+		hi := min(lo+700, len(testRecs))
+		if err := kdd.WriteColumnarBatch(cf, testRecs[lo:hi], opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cf.Close()
+
+	verdictsFor := func(name string, args ...string) []byte {
+		t.Helper()
+		path := filepath.Join(dir, name+".csv")
+		args = append(args, "-model", model, "-verdicts", path)
+		if err := run(args); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) == 0 {
+			t.Fatalf("%s: empty verdicts", name)
+		}
+		return data
+	}
+
+	want := verdictsFor("ndjson", "-in", ndjsonPath)
+	if got := verdictsFor("columnar", "-in", columnarPath); !bytes.Equal(got, want) {
+		t.Error("columnar verdicts differ from ndjson verdicts")
+	}
+	if got := verdictsFor("columnar-mmap", "-in", columnarPath, "-mmap"); !bytes.Equal(got, want) {
+		t.Error("mmap columnar verdicts differ from heap ndjson verdicts")
+	}
+	if got := verdictsFor("ndjson-mmap", "-in", ndjsonPath, "-mmap"); !bytes.Equal(got, want) {
+		t.Error("mmap ndjson verdicts differ from heap verdicts")
+	}
+}
+
+// TestRunDetectColumnarNoLabels covers unlabeled production traffic:
+// detection succeeds and quality metrics are skipped.
+func TestRunDetectColumnarNoLabels(t *testing.T) {
+	model, _ := fixture(t)
+	dir := t.TempDir()
+
+	testRecs, err := trafficgen.Generate(trafficgen.Small(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	columnarPath := filepath.Join(dir, "trace.gwb")
+	cf, err := os.Create(columnarPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kdd.WriteColumnarBatch(cf, testRecs[:500], kdd.ColumnarWriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	cf.Close()
+
+	verdicts := filepath.Join(dir, "verdicts.csv")
+	if err := run([]string{"-model", model, "-in", columnarPath, "-verdicts", verdicts}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(verdicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimSpace(data), []byte("\n"))
+	if len(lines) != 501 {
+		t.Fatalf("verdicts has %d lines, want 501", len(lines))
+	}
+	for i, line := range lines[1:] {
+		if !bytes.HasPrefix(line, []byte(strconv.Itoa(i)+",,")) {
+			t.Fatalf("line %d truth column not empty: %q", i, line)
+		}
+	}
+}
+
+// TestRunDetectTruncatedColumnar checks a torn frame surfaces as an
+// error instead of a silent partial result.
+func TestRunDetectTruncatedColumnar(t *testing.T) {
+	model, _ := fixture(t)
+	dir := t.TempDir()
+
+	testRecs, err := trafficgen.Generate(trafficgen.Small(65))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := kdd.WriteColumnarBatch(&buf, testRecs[:300], kdd.ColumnarWriteOptions{Labels: true}); err != nil {
+		t.Fatal(err)
+	}
+	torn := filepath.Join(dir, "torn.gwb")
+	if err := os.WriteFile(torn, buf.Bytes()[:buf.Len()-37], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-model", model, "-in", torn}); err == nil {
+		t.Error("truncated columnar input accepted")
 	}
 }

@@ -29,19 +29,16 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("ghsom-inspect", flag.ContinueOnError)
 	modelPath := fs.String("model", "model.bin", "trained pipeline file")
 	nodeID := fs.Int("node", 0, "node whose U-matrix to render")
+	useMmap := fs.Bool("mmap", false, "mmap the model file instead of heap-loading it")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	f, err := os.Open(*modelPath)
+	pipe, err := ghsom.LoadPipelineFile(*modelPath, *useMmap)
 	if err != nil {
 		return err
 	}
-	pipe, err := ghsom.LoadPipeline(f)
-	f.Close()
-	if err != nil {
-		return err
-	}
+	defer pipe.Close()
 	model := pipe.Model()
 	st := model.Stats()
 	compiled := pipe.Compiled()
@@ -55,10 +52,14 @@ func run(args []string) error {
 		format = "json, compiled on load"
 	}
 	fmt.Printf("envelope: v%d (%s)\n", pipe.EnvelopeVersion(), format)
-	fmt.Printf("compiled: nodes=%d units=%d leaf-units=%d arena=%s tables=%s norm-cache=%s\n\n",
+	residency := "heap"
+	if pipe.MappedBytes() > 0 {
+		residency = fmt.Sprintf("mmap, %s page-cache shared", humanBytes(pipe.MappedBytes()))
+	}
+	fmt.Printf("compiled: nodes=%d units=%d leaf-units=%d arena=%s tables=%s norm-cache=%s residency=%s\n\n",
 		cst.Maps, cst.Units, cst.LeafUnits,
 		humanBytes(compiled.ArenaBytes()), humanBytes(compiled.TableBytes()),
-		humanBytes(compiled.NormBytes()))
+		humanBytes(compiled.NormBytes()), residency)
 
 	fmt.Println("per-depth structure (tree | compiled):")
 	rows := make([][]string, 0, len(st.MapsPerDepth))

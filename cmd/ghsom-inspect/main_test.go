@@ -58,3 +58,10 @@ func TestRunInspectMissingModel(t *testing.T) {
 		t.Error("missing model accepted")
 	}
 }
+
+func TestRunInspectMmap(t *testing.T) {
+	model := trainedModelFile(t)
+	if err := run([]string{"-model", model, "-mmap"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -14,9 +14,14 @@
 //
 // HTTP endpoints:
 //
-//	POST /detect   body: one JSON kdd record per line (NDJSON); the
-//	               response is one JSON prediction per line, in order.
-//	               ?model=NAME selects a registry entry.
+//	POST /detect   body: one JSON kdd record per line (NDJSON), or — with
+//	               Content-Type: application/x-ghsom-columnar — a stream
+//	               of columnar batch frames (see internal/kdd, GHSOMWB1).
+//	               The response is one JSON prediction per line, in
+//	               order. Columnar frames are pre-formed batches, so they
+//	               bypass the micro-batcher and run straight through the
+//	               zero-copy columnar dataplane. ?model=NAME selects a
+//	               registry entry.
 //	POST /model    body: a pipeline envelope; loads (or hot-swaps)
 //	               ?name=NAME (default "default") atomically.
 //	DELETE /model  unloads ?name=NAME (the default model cannot be
@@ -38,9 +43,11 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"mime"
 	"net/http"
 	"os"
 	"sort"
@@ -67,6 +74,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	flushEvery := fs.Duration("flush", 2*time.Millisecond, "micro-batch flush deadline")
 	par := fs.Int("parallelism", 0, "detection worker bound (0 = GOMAXPROCS)")
 	useStdin := fs.Bool("stdin", false, "serve NDJSON records from stdin to stdout instead of HTTP")
+	useMmap := fs.Bool("mmap", false, "mmap the model file: the weight arena serves as views of the page cache instead of heap copies")
+	maxBody := fs.Int64("max-body", defaultMaxBodyBytes, "cap on one /detect request body in bytes (413 beyond)")
+	maxModel := fs.Int64("max-model", defaultMaxModelBytes, "cap on one POST /model envelope in bytes (413 beyond)")
 	example := fs.Bool("example", false, "print one example request record as JSON and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,23 +90,26 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if *flushEvery <= 0 {
 		return fmt.Errorf("-flush must be positive, got %v", *flushEvery)
 	}
-
-	mf, err := os.Open(*modelPath)
-	if err != nil {
-		return err
+	if *maxBody < 1 || *maxModel < 1 {
+		return fmt.Errorf("-max-body and -max-model must be >= 1 byte")
 	}
-	pipe, err := ghsom.LoadPipeline(mf)
-	mf.Close()
+
+	pipe, err := ghsom.LoadPipelineFile(*modelPath, *useMmap)
 	if err != nil {
 		return err
 	}
 	pipe.SetParallelism(*par)
+	if *useMmap {
+		fmt.Fprintf(os.Stderr, "ghsom-serve: model mapped, %d bytes page-cache shared\n", pipe.MappedBytes())
+	}
 
 	if *useStdin {
 		return serveStdin(pipe, *maxBatch, stdin, stdout)
 	}
 
 	reg := newRegistry(*maxBatch, *flushEvery, *par)
+	reg.maxBody = *maxBody
+	reg.maxModel = *maxModel
 	defer reg.close()
 	if _, _, err := reg.swap(defaultModelName, pipe); err != nil {
 		return err
@@ -134,6 +147,10 @@ type registry struct {
 	maxBatch   int
 	flushEvery time.Duration
 	par        int
+	// maxBody and maxModel cap one /detect body and one uploaded
+	// envelope; requests beyond them get 413.
+	maxBody  int64
+	maxModel int64
 }
 
 func newRegistry(maxBatch int, flushEvery time.Duration, par int) *registry {
@@ -142,6 +159,8 @@ func newRegistry(maxBatch int, flushEvery time.Duration, par int) *registry {
 		maxBatch:   maxBatch,
 		flushEvery: flushEvery,
 		par:        par,
+		maxBody:    defaultMaxBodyBytes,
+		maxModel:   defaultMaxModelBytes,
 	}
 }
 
@@ -194,6 +213,7 @@ func (reg *registry) swap(name string, pipe *ghsom.Pipeline) (view modelView, sw
 		batcher:  newBatcher(pipe, reg.maxBatch, reg.flushEvery),
 		loadedAt: time.Now(),
 	}
+	e.batcher.maxBody = reg.maxBody
 	reg.entries[name] = e
 	return e.view(), false, nil
 }
@@ -255,8 +275,24 @@ func (reg *registry) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// maxModelBytes bounds one uploaded envelope.
-const maxModelBytes = 1 << 30
+// defaultMaxModelBytes and defaultMaxBodyBytes are the -max-model and
+// -max-body defaults: caps on one uploaded envelope and one /detect
+// request body.
+const (
+	defaultMaxModelBytes = 1 << 30
+	defaultMaxBodyBytes  = 64 << 20
+)
+
+// errorStatus maps a request-parsing failure to its HTTP status: bodies
+// that blew through a MaxBytesReader cap are 413 (the client should not
+// retry the same payload), everything else is a 400.
+func errorStatus(err error) int {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
 
 // modelView is the JSON shape of one registry entry on /models and
 // POST /model responses.
@@ -309,9 +345,9 @@ func (reg *registry) handleLoadModel(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("registry full (%d models); DELETE unused entries first", maxRegistryModels), http.StatusConflict)
 		return
 	}
-	pipe, err := ghsom.LoadPipeline(http.MaxBytesReader(w, r.Body, maxModelBytes))
+	pipe, err := ghsom.LoadPipeline(http.MaxBytesReader(w, r.Body, reg.maxModel))
 	if err != nil {
-		http.Error(w, fmt.Sprintf("load model: %v", err), http.StatusBadRequest)
+		http.Error(w, fmt.Sprintf("load model: %v", err), errorStatus(err))
 		return
 	}
 	pipe.SetParallelism(reg.par)
@@ -446,6 +482,7 @@ type batcher struct {
 	pipe       atomic.Pointer[ghsom.Pipeline]
 	maxBatch   int
 	flushEvery time.Duration
+	maxBody    int64
 	jobs       chan *job
 	quit       chan struct{}
 	wg         sync.WaitGroup
@@ -456,6 +493,7 @@ func newBatcher(pipe *ghsom.Pipeline, maxBatch int, flushEvery time.Duration) *b
 	b := &batcher{
 		maxBatch:   maxBatch,
 		flushEvery: flushEvery,
+		maxBody:    defaultMaxBodyBytes,
 		jobs:       make(chan *job, 64),
 		quit:       make(chan struct{}),
 	}
@@ -607,38 +645,42 @@ func (b *batcher) submit(ctx context.Context, records []kdd.Record) ([]ghsom.Pre
 	}
 }
 
-// readRecords parses NDJSON records, reporting the line of the first
-// malformed one.
+// parserPool recycles NDJSON record parsers (and their internal buffers
+// and string-interning tables) across requests, so the legacy ingestion
+// path costs near-zero steady-state allocation too.
+var parserPool = sync.Pool{New: func() any { return kdd.NewRecordParser(nil) }}
+
+// readRecords parses NDJSON records with the pooled allocation-lean
+// parser, reporting the line of the first malformed one. Accept/reject
+// behavior matches the json.Decoder loop it replaced.
 func readRecords(r io.Reader, maxRecords int) ([]kdd.Record, error) {
-	dec := json.NewDecoder(r)
-	var out []kdd.Record
-	for line := 1; ; line++ {
-		var rec kdd.Record
-		if err := dec.Decode(&rec); err == io.EOF {
-			break
-		} else if err != nil {
-			return nil, fmt.Errorf("record %d: %w", line, err)
-		}
-		out = append(out, rec)
-		if maxRecords > 0 && len(out) > maxRecords {
-			return nil, fmt.Errorf("request exceeds %d records", maxRecords)
-		}
+	p := parserPool.Get().(*kdd.RecordParser)
+	p.Reset(r)
+	out, err := p.AppendAll(nil, maxRecords)
+	p.Reset(nil) // drop the body reference before pooling
+	parserPool.Put(p)
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-// maxRequestRecords and maxRequestBytes bound one HTTP request body (by
-// record count and by raw size — a single huge record must not exhaust
-// memory); bulk scoring belongs on the stdin path or multiple requests.
-const (
-	maxRequestRecords = 100_000
-	maxRequestBytes   = 64 << 20
-)
+// columnarPool recycles decoded-frame buffers across columnar requests.
+var columnarPool = sync.Pool{New: func() any { return new(kdd.ColumnarBatch) }}
+
+// maxRequestRecords bounds one HTTP request body by record count (the
+// raw size is bounded by -max-body); bulk scoring belongs on the stdin
+// path or multiple requests.
+const maxRequestRecords = 100_000
 
 func (b *batcher) handleDetect(w http.ResponseWriter, r *http.Request) {
-	records, err := readRecords(http.MaxBytesReader(w, r.Body, maxRequestBytes), maxRequestRecords)
+	if ct, _, err := mime.ParseMediaType(r.Header.Get("Content-Type")); err == nil && ct == kdd.ColumnarContentType {
+		b.handleDetectColumnar(w, r)
+		return
+	}
+	records, err := readRecords(http.MaxBytesReader(w, r.Body, b.maxBody), maxRequestRecords)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		http.Error(w, err.Error(), errorStatus(err))
 		return
 	}
 	if len(records) == 0 {
@@ -659,6 +701,67 @@ func (b *batcher) handleDetect(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleDetectColumnar is the wire-format fast path: each GHSOMWB1 frame
+// in the body is already a formed batch, so it skips the micro-batcher
+// and runs whole through DetectColumnar — column runs decoded straight
+// into the pipeline's pooled flat matrix, no intermediate Record structs
+// — against one atomically-loaded pipeline per frame. Predictions stream
+// out as NDJSON in record order, frame by frame. Errors on the first
+// frame map to a status code (400/413/422); once output has begun a
+// malformed trailing frame just ends the response.
+func (b *batcher) handleDetectColumnar(w http.ResponseWriter, r *http.Request) {
+	// The HTTP/1 server closes the request body on the first response
+	// write; a multi-frame body interleaves reads with prediction writes,
+	// so opt in to full duplex (no-op where unsupported, e.g. HTTP/2,
+	// which is duplex already).
+	_ = http.NewResponseController(w).EnableFullDuplex()
+	body := http.MaxBytesReader(w, r.Body, b.maxBody)
+	cb := columnarPool.Get().(*kdd.ColumnarBatch)
+	defer columnarPool.Put(cb)
+	enc := json.NewEncoder(w)
+	var preds []ghsom.Prediction
+	frames, total := 0, 0
+	fail := func(msg string, code int) {
+		if frames == 0 {
+			http.Error(w, msg, code)
+		}
+	}
+	for {
+		err := kdd.ReadColumnarBatch(body, cb, kdd.DefaultColumnarLimits)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fail(fmt.Sprintf("frame %d: %v", frames+1, err), errorStatus(err))
+			return
+		}
+		if total += cb.Rows(); total > maxRequestRecords {
+			fail(fmt.Sprintf("request exceeds %d records", maxRequestRecords), http.StatusBadRequest)
+			return
+		}
+		pipe := b.pipe.Load()
+		start := time.Now()
+		preds, err = pipe.DetectColumnar(cb, preds)
+		if err != nil {
+			fail(err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		b.stats.record(cb.Rows(), time.Since(start))
+		if frames == 0 {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+		}
+		frames++
+		for i := range preds {
+			if err := enc.Encode(&preds[i]); err != nil {
+				return // client went away mid-response
+			}
+		}
+	}
+	if frames == 0 {
+		http.Error(w, "empty request: expected columnar frames", http.StatusBadRequest)
+	}
+}
+
 func (b *batcher) handleStats(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	snap := b.stats.snapshot()
@@ -671,7 +774,7 @@ func (b *batcher) handleStats(w http.ResponseWriter, r *http.Request) {
 // to chunking, so no timer is involved), and written as NDJSON
 // predictions in input order. A per-batch summary lands on stderr.
 func serveStdin(pipe *ghsom.Pipeline, maxBatch int, stdin io.Reader, stdout io.Writer) error {
-	dec := json.NewDecoder(bufio.NewReader(stdin))
+	dec := kdd.NewRecordParser(bufio.NewReader(stdin))
 	out := bufio.NewWriter(stdout)
 	defer out.Flush()
 	enc := json.NewEncoder(out)
@@ -701,7 +804,7 @@ func serveStdin(pipe *ghsom.Pipeline, maxBatch int, stdin io.Reader, stdout io.W
 	}
 	for {
 		var rec kdd.Record
-		err := dec.Decode(&rec)
+		err := dec.Next(&rec)
 		if err == io.EOF {
 			break
 		} else if err != nil {

@@ -8,6 +8,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -570,4 +572,218 @@ func TestRegistryNamedModels(t *testing.T) {
 		t.Fatalf("detect on unloaded model = %d, want 404", resp.StatusCode)
 	}
 	check("", wantA) // default still serves
+}
+
+// columnarBody renders records as one columnar wire frame.
+func columnarBody(t *testing.T, recs []kdd.Record) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := kdd.WriteColumnarBatch(&buf, recs, kdd.ColumnarWriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestHandleDetectColumnar posts columnar frames to /detect and checks
+// the verdicts match the NDJSON path bit for bit, across single- and
+// multi-frame bodies.
+func TestHandleDetectColumnar(t *testing.T) {
+	pipe, recs := testPipeline(t)
+	eval := recs[300:500]
+	b := newBatcher(pipe, 64, 2*time.Millisecond)
+	defer b.close()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /detect", b.handleDetect)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	want, err := pipe.DetectAll(eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two frames in one body: predictions must stream out frame by frame
+	// in record order.
+	body := append(columnarBody(t, eval[:120]), columnarBody(t, eval[120:])...)
+	resp, err := http.Post(srv.URL+"/detect", kdd.ColumnarContentType, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("response Content-Type = %q", ct)
+	}
+	preds := decodePreds(t, resp.Body)
+	if len(preds) != len(want) {
+		t.Fatalf("got %d predictions, want %d", len(preds), len(want))
+	}
+	for i := range preds {
+		if preds[i] != want[i] {
+			t.Fatalf("record %d: columnar %+v, direct %+v", i, preds[i], want[i])
+		}
+	}
+
+	// Structurally broken frames and empty bodies are client errors.
+	for _, bad := range [][]byte{nil, []byte("GHSOMWB1 not a frame"), body[:len(body)-5]} {
+		resp, err := http.Post(srv.URL+"/detect", kdd.ColumnarContentType, bytes.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		// A truncated *second* frame lands after output began: the server
+		// has already committed a 200 and just ends the stream.
+		wantCode := http.StatusBadRequest
+		if len(bad) > len(body)/2 {
+			wantCode = http.StatusOK
+		}
+		if resp.StatusCode != wantCode {
+			t.Errorf("bad body (%d bytes): status %d, want %d", len(bad), resp.StatusCode, wantCode)
+		}
+	}
+
+	// A frame with an unknown protocol symbol is a 422, like the NDJSON
+	// path's unprocessable records.
+	badRecs := append([]kdd.Record(nil), eval[:10]...)
+	badRecs[3].Protocol = "sctp"
+	resp, err = http.Post(srv.URL+"/detect", kdd.ColumnarContentType, bytes.NewReader(columnarBody(t, badRecs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity || !strings.Contains(string(raw), "record 3") {
+		t.Errorf("unknown protocol: status %d body %q, want 422 naming record 3", resp.StatusCode, raw)
+	}
+}
+
+// TestDetectBodyCap413 pins the -max-body contract on both wire formats:
+// a body over the cap is rejected with 413, under it with 200.
+func TestDetectBodyCap413(t *testing.T) {
+	pipe, recs := testPipeline(t)
+	eval := recs[:64]
+	b := newBatcher(pipe, 64, 2*time.Millisecond)
+	b.maxBody = 2048 // tiny cap for the test
+	defer b.close()
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /detect", b.handleDetect)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	for _, tc := range []struct {
+		name string
+		ct   string
+		body []byte
+	}{
+		{"ndjson", "application/x-ndjson", ndjson(t, eval)},
+		{"columnar", kdd.ColumnarContentType, columnarBody(t, eval)},
+	} {
+		if len(tc.body) <= 2048 {
+			t.Fatalf("%s test body only %d bytes, cap not exercised", tc.name, len(tc.body))
+		}
+		resp, err := http.Post(srv.URL+"/detect", tc.ct, bytes.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("%s over-cap body: status %d, want 413", tc.name, resp.StatusCode)
+		}
+		small, err := http.Post(srv.URL+"/detect", tc.ct, bytes.NewReader(tc.body[:0]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, small.Body)
+		small.Body.Close()
+		if small.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s empty body: status %d, want 400", tc.name, small.StatusCode)
+		}
+	}
+	// An under-cap request still succeeds.
+	resp, err := http.Post(srv.URL+"/detect", "application/x-ndjson", bytes.NewReader(ndjson(t, eval[:1])))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("under-cap body: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestModelUploadCap413 pins the -max-model contract on POST /model.
+func TestModelUploadCap413(t *testing.T) {
+	pipe, _ := testPipeline(t)
+	reg := newRegistry(64, time.Millisecond, 0)
+	reg.maxModel = 4096
+	defer reg.close()
+	reg.swap(defaultModelName, pipe)
+	srv := httptest.NewServer(reg.mux())
+	defer srv.Close()
+
+	var env bytes.Buffer
+	if err := pipe.Save(&env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Len() <= 4096 {
+		t.Fatalf("envelope only %d bytes, cap not exercised", env.Len())
+	}
+	resp, err := http.Post(srv.URL+"/model?name=big", "application/octet-stream", bytes.NewReader(env.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("over-cap envelope: status %d, want 413", resp.StatusCode)
+	}
+	if reg.get("big") != nil {
+		t.Error("over-cap upload created a registry entry")
+	}
+}
+
+// TestServeMmapFlag runs the real CLI entry with -mmap over a saved
+// envelope on the stdin dataplane, proving the mapped load path serves
+// identical verdicts end to end.
+func TestServeMmapFlag(t *testing.T) {
+	pipe, recs := testPipeline(t)
+	eval := recs[600:700]
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pipe.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err = run([]string{"-model", path, "-mmap", "-stdin", "-parallelism", "1"},
+		bytes.NewReader(ndjson(t, eval)), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := decodePreds(t, &out)
+	want, err := pipe.DetectAll(eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != len(want) {
+		t.Fatalf("got %d predictions, want %d", len(preds), len(want))
+	}
+	for i := range preds {
+		if preds[i] != want[i] {
+			t.Fatalf("record %d: mmap stdin %+v, direct %+v", i, preds[i], want[i])
+		}
+	}
+	if err := run([]string{"-model", path, "-max-body", "0"}, nil, io.Discard); err == nil {
+		t.Error("zero -max-body accepted")
+	}
 }

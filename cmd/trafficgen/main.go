@@ -1,15 +1,21 @@
 // Command trafficgen generates a synthetic KDD-99-style traffic trace and
-// writes it as kddcup.data-format CSV.
+// writes it as kddcup.data-format CSV (default), NDJSON, or the columnar
+// batch wire format ghsom-serve's /detect accepts directly.
 //
 // Usage:
 //
 //	trafficgen -scenario kdd99 -seed 1 -out train.csv
 //	trafficgen -scenario small -exclude smurf,satan -out holdout-train.csv
+//	trafficgen -scenario small -format columnar -frame 4096 -out trace.gwb
+//	trafficgen -scenario small -format ndjson | curl --data-binary @- localhost:8741/detect
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -29,10 +35,21 @@ func run(args []string) error {
 	scenario := fs.String("scenario", "small", "scenario: small, kdd99, or hard")
 	seed := fs.Int64("seed", 1, "generation seed")
 	out := fs.String("out", "-", "output file (- for stdout)")
+	format := fs.String("format", "csv", "output format: csv, ndjson, or columnar")
+	frame := fs.Int("frame", 4096, "records per columnar frame")
+	f32 := fs.Bool("f32", false, "columnar only: write numeric columns as float32 (half the bytes, rounded values)")
 	exclude := fs.String("exclude", "", "comma-separated attack labels to exclude")
 	listAttacks := fs.Bool("list-attacks", false, "list supported attack labels and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	switch *format {
+	case "csv", "ndjson", "columnar":
+	default:
+		return fmt.Errorf("unknown format %q (want csv, ndjson, or columnar)", *format)
+	}
+	if *frame < 1 {
+		return fmt.Errorf("-frame must be >= 1, got %d", *frame)
 	}
 	if *listAttacks {
 		for _, a := range trafficgen.SupportedAttacks() {
@@ -61,7 +78,7 @@ func run(args []string) error {
 		return err
 	}
 
-	w := os.Stdout
+	var w io.Writer = os.Stdout
 	if *out != "-" {
 		f, err := os.Create(*out)
 		if err != nil {
@@ -70,9 +87,40 @@ func run(args []string) error {
 		defer f.Close()
 		w = f
 	}
-	if err := kdd.WriteAll(w, records); err != nil {
+	if err := writeRecords(w, records, *format, *frame, *f32); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "wrote %d records (scenario %s, seed %d)\n", len(records), *scenario, *seed)
+	fmt.Fprintf(os.Stderr, "wrote %d records (scenario %s, seed %d, format %s)\n",
+		len(records), *scenario, *seed, *format)
 	return nil
+}
+
+// writeRecords renders the trace in the selected wire format. Columnar
+// output carries the ground-truth labels (the trace has them) in frames
+// of -frame records, so the file round-trips through eval tooling.
+func writeRecords(w io.Writer, records []kdd.Record, format string, frame int, f32 bool) error {
+	switch format {
+	case "csv":
+		return kdd.WriteAll(w, records)
+	case "ndjson":
+		bw := bufio.NewWriter(w)
+		enc := json.NewEncoder(bw)
+		for i := range records {
+			if err := enc.Encode(&records[i]); err != nil {
+				return err
+			}
+		}
+		return bw.Flush()
+	case "columnar":
+		bw := bufio.NewWriter(w)
+		opts := kdd.ColumnarWriteOptions{Float32: f32, Labels: true}
+		for lo := 0; lo < len(records); lo += frame {
+			hi := min(lo+frame, len(records))
+			if err := kdd.WriteColumnarBatch(bw, records[lo:hi], opts); err != nil {
+				return err
+			}
+		}
+		return bw.Flush()
+	}
+	return fmt.Errorf("unknown format %q", format)
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -62,5 +63,108 @@ func TestRunListAttacks(t *testing.T) {
 func TestRunBadFlag(t *testing.T) {
 	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
 		t.Error("bad flag accepted")
+	}
+}
+
+// TestRunFormats checks the three wire formats carry the same trace:
+// same record count, same labels, same field values record-by-record.
+func TestRunFormats(t *testing.T) {
+	dir := t.TempDir()
+	paths := map[string]string{
+		"csv":      filepath.Join(dir, "trace.csv"),
+		"ndjson":   filepath.Join(dir, "trace.ndjson"),
+		"columnar": filepath.Join(dir, "trace.gwb"),
+	}
+	for format, path := range paths {
+		args := []string{"-scenario", "small", "-seed", "17", "-format", format, "-out", path}
+		if format == "columnar" {
+			args = append(args, "-frame", "512")
+		}
+		if err := run(args); err != nil {
+			t.Fatalf("format %s: %v", format, err)
+		}
+	}
+
+	read := func(format string) []kdd.Record {
+		f, err := os.Open(paths[format])
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		switch format {
+		case "csv":
+			records, err := kdd.ReadAll(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return records
+		case "ndjson":
+			records, err := kdd.ReadRecordsNDJSON(f, nil, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return records
+		default:
+			var records []kdd.Record
+			var cb kdd.ColumnarBatch
+			for {
+				err := kdd.ReadColumnarBatch(f, &cb, kdd.DefaultColumnarLimits)
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !cb.HasLabels() {
+					t.Fatal("columnar trace dropped ground-truth labels")
+				}
+				if cb.Rows() > 512 {
+					t.Fatalf("frame holds %d rows, -frame was 512", cb.Rows())
+				}
+				for i := 0; i < cb.Rows(); i++ {
+					rec, err := cb.Record(i)
+					if err != nil {
+						t.Fatal(err)
+					}
+					records = append(records, rec)
+				}
+			}
+			return records
+		}
+	}
+
+	// NDJSON and columnar are lossless, so they must agree exactly.
+	// CSV rounds rate fields (kddcup format), so it only gets
+	// count/label checks.
+	want := read("ndjson")
+	if len(want) < 1000 {
+		t.Fatalf("only %d records", len(want))
+	}
+	got := read("columnar")
+	if len(got) != len(want) {
+		t.Fatalf("columnar: %d records, ndjson has %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("columnar record %d = %+v, ndjson has %+v", i, got[i], want[i])
+		}
+	}
+	csvRecs := read("csv")
+	if len(csvRecs) != len(want) {
+		t.Fatalf("csv: %d records, ndjson has %d", len(csvRecs), len(want))
+	}
+	for i := range csvRecs {
+		if csvRecs[i].Label != want[i].Label {
+			t.Fatalf("csv record %d label %q, ndjson has %q", i, csvRecs[i].Label, want[i].Label)
+		}
+	}
+}
+
+func TestRunBadFormatFlags(t *testing.T) {
+	if err := run([]string{"-format", "parquet"}); err == nil || !strings.Contains(err.Error(), "unknown format") {
+		t.Errorf("bad format: err = %v", err)
+	}
+	if err := run([]string{"-format", "columnar", "-frame", "0"}); err == nil || !strings.Contains(err.Error(), "-frame") {
+		t.Errorf("zero frame: err = %v", err)
 	}
 }

@@ -35,6 +35,8 @@
 package ghsom
 
 import (
+	"io"
+
 	"ghsom/internal/anomaly"
 	"ghsom/internal/core"
 	"ghsom/internal/kdd"
@@ -90,6 +92,38 @@ type DetectorConfig = anomaly.Config
 
 // GeneratorConfig describes a synthetic traffic scenario.
 type GeneratorConfig = trafficgen.Config
+
+// ColumnarBatch is one decoded frame of the columnar batch wire format
+// (magic GHSOMWB1): numeric features as contiguous column runs and
+// categoricals as small-int codes against per-frame symbol tables. Frames
+// are read with ReadColumnarBatch and classified with
+// Pipeline.DetectColumnar, which encodes the columns straight into the
+// inference dataplane's flat matrix — no intermediate Record structs.
+type ColumnarBatch = kdd.ColumnarBatch
+
+// ColumnarLimits bounds what ReadColumnarBatch accepts from one frame.
+type ColumnarLimits = kdd.ColumnarLimits
+
+// ColumnarWriteOptions configures WriteColumnarBatch.
+type ColumnarWriteOptions = kdd.ColumnarWriteOptions
+
+// ColumnarContentType is the media type of the columnar wire format on
+// HTTP ingestion paths.
+const ColumnarContentType = kdd.ColumnarContentType
+
+// DefaultColumnarLimits returns the package-cap frame limits.
+func DefaultColumnarLimits() ColumnarLimits { return kdd.DefaultColumnarLimits }
+
+// ReadColumnarBatch reads the next columnar frame from r into cb,
+// reusing cb's buffers. It returns io.EOF at a clean end of stream.
+func ReadColumnarBatch(r io.Reader, cb *ColumnarBatch, lim ColumnarLimits) error {
+	return kdd.ReadColumnarBatch(r, cb, lim)
+}
+
+// WriteColumnarBatch writes records as one columnar frame.
+func WriteColumnarBatch(w io.Writer, records []Record, opts ColumnarWriteOptions) error {
+	return kdd.WriteColumnarBatch(w, records, opts)
+}
 
 // DefaultModelConfig returns the GHSOM configuration used by the paper
 // reproduction experiments (tau1=0.6, tau2=0.03).

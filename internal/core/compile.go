@@ -96,8 +96,14 @@ type Compiled struct {
 	// magnitude term of the batch descent's settle margin and overflow
 	// guard. Derived, never serialized.
 	nodeMaxNorm []float64
-	// arena is the shared weight storage: totalUnits*dim float64s.
+	// arena is the shared weight storage: totalUnits*dim float64s. For a
+	// heap-loaded model it is owned storage; for a zero-copy load (see
+	// ReadCompiledBinaryBytes) it is a read-only view over the caller's
+	// mapping, as are counts and unitQE.
 	arena []float64
+	// viewBytes is how many bytes of the model alias the source buffer
+	// of a zero-copy load (0 when fully heap-resident).
+	viewBytes int
 }
 
 // Compile packs a trained hierarchy into its compiled representation.

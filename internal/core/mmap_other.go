@@ -1,0 +1,30 @@
+//go:build !unix
+
+package core
+
+import "os"
+
+// Mapping is a read-only view of a file. On platforms without mmap
+// support it degrades to a plain heap read: the loader semantics are
+// identical, only the page-cache sharing and lazy fault-in are lost.
+type Mapping struct {
+	data []byte
+	mmap bool
+}
+
+// OpenMapping reads path into memory (no mmap on this platform).
+func OpenMapping(path string) (*Mapping, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Mapping{data: data}, nil
+}
+
+// Close releases the mapping.
+func (m *Mapping) Close() error {
+	if m != nil {
+		m.data = nil
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+//go:build unix
+
+package core
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// Mapping is a read-only view of a file. On unix it is a real
+// page-cache-shared mmap: opening a model costs no read of the weight
+// bytes (pages fault in lazily on first touch), and N processes or N
+// registry slots serving the same file share one physical copy.
+type Mapping struct {
+	data []byte
+	mmap bool
+}
+
+// OpenMapping maps path read-only. The returned bytes are valid until
+// Close; writing to them faults.
+func OpenMapping(path string) (*Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return &Mapping{}, nil
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("core: map %s: %d bytes exceeds address space", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("core: mmap %s: %w", path, err)
+	}
+	return &Mapping{data: data, mmap: true}, nil
+}
+
+// Close releases the mapping. Views derived from Bytes must not be used
+// afterwards.
+func (m *Mapping) Close() error {
+	if m == nil || !m.mmap || m.data == nil {
+		return nil
+	}
+	data := m.data
+	m.data = nil
+	return syscall.Munmap(data)
+}

@@ -248,15 +248,23 @@ var compiledMagic = [8]byte{'G', 'H', 'S', 'O', 'M', 'C', 'B', '1'}
 // WriteBinary writes the compiled model as a single little-endian binary
 // blob: config (length-prefixed JSON), dimensions, the flat node table,
 // the per-unit count and error tables, and the weight arena. The output
-// is deterministic: identical models produce identical bytes.
+// is deterministic: identical models produce identical bytes. See
+// WriteBinaryAt for the alignment-padded variant the zero-copy loader
+// prefers.
 func (c *Compiled) WriteBinary(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(compiledMagic[:]); err != nil {
-		return fmt.Errorf("core: write compiled model: %w", err)
-	}
 	cfgJSON, err := json.Marshal(c.cfg)
 	if err != nil {
 		return fmt.Errorf("core: encode compiled config: %w", err)
+	}
+	return c.writeBinaryCfg(w, cfgJSON)
+}
+
+// writeBinaryCfg writes the blob with a caller-prepared (possibly
+// alignment-padded) config JSON section.
+func (c *Compiled) writeBinaryCfg(w io.Writer, cfgJSON []byte) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(compiledMagic[:]); err != nil {
+		return fmt.Errorf("core: write compiled model: %w", err)
 	}
 	le := binary.LittleEndian
 	write := func(v any) error { return binary.Write(bw, le, v) }

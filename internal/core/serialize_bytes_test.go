@@ -1,0 +1,224 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"unsafe"
+)
+
+// alignedCopyAt places blob into an 8-aligned backing buffer so that the
+// returned slice's base address has the same (mod 8) residue as file
+// offset blobOff in a page-aligned mapping — letting tests reproduce any
+// file-offset alignment deterministically on the heap.
+func alignedCopyAt(blob []byte, blobOff int) []byte {
+	backing := make([]float64, (blobOff+len(blob))/8+2)
+	raw := unsafe.Slice((*byte)(unsafe.Pointer(&backing[0])), len(backing)*8)
+	misalign := blobOff % 8
+	copy(raw[misalign:], blob)
+	return raw[misalign : misalign+len(blob)]
+}
+
+// routesIdentical routes n random vectors through both models and
+// requires bit-identical placements from every routing entry point.
+func routesIdentical(t *testing.T, a, b *Compiled, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	const n = 200
+	flat := make([]float64, n*a.dim)
+	for i := range flat {
+		flat[i] = rng.Float64() * 12
+	}
+	for i := 0; i < n; i++ {
+		x := flat[i*a.dim : (i+1)*a.dim]
+		pa, pb := a.Route(x), b.Route(x)
+		if pa != pb && !(math.IsNaN(pa.QE) && math.IsNaN(pb.QE)) {
+			t.Fatalf("Route diverged at %d: %+v vs %+v", i, pa, pb)
+		}
+		ta, tb := a.RouteTrained(x), b.RouteTrained(x)
+		if ta != tb && !(math.IsNaN(ta.QE) && math.IsNaN(tb.QE)) {
+			t.Fatalf("RouteTrained diverged at %d: %+v vs %+v", i, ta, tb)
+		}
+	}
+	for _, par := range []int{1, 0} {
+		oa := make([]Placement, n)
+		ob := make([]Placement, n)
+		if err := a.RouteTrainedFlat(flat, n, oa, par); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.RouteTrainedFlat(flat, n, ob, par); err != nil {
+			t.Fatal(err)
+		}
+		for i := range oa {
+			if oa[i] != ob[i] {
+				t.Fatalf("RouteTrainedFlat(par=%d) diverged at %d: %+v vs %+v", par, i, oa[i], ob[i])
+			}
+		}
+	}
+}
+
+func trainedCompiled(t testing.TB, seed int64) *Compiled {
+	t.Helper()
+	cfg := quickConfig()
+	cfg.Tau1 = 0.5
+	cfg.Tau2 = 0.02
+	g, err := Train(fourBlobs(seed, 60), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Compile(g)
+}
+
+func TestReadCompiledBinaryBytesMatchesStream(t *testing.T) {
+	c := trainedCompiled(t, 51)
+	var blob bytes.Buffer
+	if err := c.WriteBinary(&blob); err != nil {
+		t.Fatal(err)
+	}
+	stream, err := ReadCompiledBinary(bytes.NewReader(blob.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBytes, err := ReadCompiledBinaryBytes(blob.Bytes(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromBytes.MappedBytes() != 0 {
+		t.Fatalf("copy-mode load reports %d mapped bytes", fromBytes.MappedBytes())
+	}
+	if fromBytes.dim != stream.dim || fromBytes.mqe0 != stream.mqe0 ||
+		len(fromBytes.nodes) != len(stream.nodes) {
+		t.Fatal("bytes reader metadata diverged from stream reader")
+	}
+	routesIdentical(t, stream, fromBytes, 1)
+
+	// Both readers must re-serialize to the same bytes.
+	var again bytes.Buffer
+	if err := fromBytes.WriteBinary(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again.Bytes(), blob.Bytes()) {
+		t.Fatal("bytes-loaded model re-serialized differently")
+	}
+}
+
+func TestWriteBinaryAtZeroCopyViews(t *testing.T) {
+	c := trainedCompiled(t, 52)
+	// Every file offset residue must produce an aligned, viewable blob.
+	for blobOff := 0; blobOff < 16; blobOff++ {
+		var buf bytes.Buffer
+		if err := c.WriteBinaryAt(&buf, int64(blobOff)); err != nil {
+			t.Fatal(err)
+		}
+		data := alignedCopyAt(buf.Bytes(), blobOff)
+		m, err := ReadCompiledBinaryBytes(data, true)
+		if err != nil {
+			t.Fatalf("blobOff %d: %v", blobOff, err)
+		}
+		if m.MappedBytes() == 0 {
+			t.Fatalf("blobOff %d: aligned blob did not zero-copy", blobOff)
+		}
+		wantMapped := len(m.counts)*16 + len(m.arena)*8
+		if m.MappedBytes() != wantMapped {
+			t.Fatalf("blobOff %d: MappedBytes = %d, want %d", blobOff, m.MappedBytes(), wantMapped)
+		}
+		// The arena must alias data, not a heap copy.
+		if &data[len(data)-8] != (*byte)(unsafe.Pointer(&m.arena[len(m.arena)-1])) {
+			t.Fatalf("blobOff %d: arena does not alias the source buffer", blobOff)
+		}
+		routesIdentical(t, c, m, int64(100+blobOff))
+	}
+}
+
+func TestReadCompiledBinaryBytesLegacyUnaligned(t *testing.T) {
+	c := trainedCompiled(t, 53)
+	var buf bytes.Buffer
+	if err := c.WriteBinary(&buf); err != nil { // unpadded legacy blob
+		t.Fatal(err)
+	}
+	// Sweep base residues: whatever the alignment lands on, the load must
+	// succeed; when the tables happen to be misaligned it must fall back
+	// to copies rather than fail.
+	sawCopy := false
+	for off := 0; off < 8; off++ {
+		m, err := ReadCompiledBinaryBytes(alignedCopyAt(buf.Bytes(), off), true)
+		if err != nil {
+			t.Fatalf("offset %d: %v", off, err)
+		}
+		if m.MappedBytes() == 0 {
+			sawCopy = true
+		}
+		routesIdentical(t, c, m, int64(200+off))
+	}
+	if !sawCopy {
+		t.Fatal("all 8 residues aligned — alignment fallback never exercised")
+	}
+}
+
+func TestReadCompiledBinaryBytesRejectsCorrupt(t *testing.T) {
+	c := trainedCompiled(t, 54)
+	var buf bytes.Buffer
+	if err := c.WriteBinaryAt(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+	for cut := 0; cut < len(blob); cut += 7 {
+		if _, err := ReadCompiledBinaryBytes(blob[:cut], true); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := ReadCompiledBinaryBytes(append(bytes.Clone(blob), 0), true); err == nil ||
+		!strings.Contains(err.Error(), "trailing") {
+		t.Fatal("trailing byte accepted")
+	}
+	bad := bytes.Clone(blob)
+	bad[0] = 'X'
+	if _, err := ReadCompiledBinaryBytes(bad, true); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+// FuzzReadCompiledBinaryBytes asserts the bytes reader never panics and
+// agrees with the streaming reader on accept/reject for arbitrary
+// blobs (modulo the bytes reader's stricter no-trailing-bytes rule).
+func FuzzReadCompiledBinaryBytes(f *testing.F) {
+	c := trainedCompiled(f, 55)
+	var buf bytes.Buffer
+	if err := c.WriteBinaryAt(&buf, 0); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("GHSOMCB1"))
+	f.Add([]byte(""))
+	mut := bytes.Clone(valid)
+	if len(mut) > 32 {
+		mut[12] ^= 0xff
+		mut[28] ^= 0x01
+	}
+	f.Add(mut)
+	f.Fuzz(func(t *testing.T, in []byte) {
+		m, err := ReadCompiledBinaryBytes(in, true)
+		sm, serr := ReadCompiledBinary(bytes.NewReader(in))
+		if err != nil {
+			// The stream reader tolerates trailing bytes; the bytes
+			// reader must reject only for that reason when the stream
+			// reader accepts.
+			if serr == nil && !strings.Contains(err.Error(), "trailing") {
+				t.Fatalf("bytes reader rejected (%v) what stream reader accepted", err)
+			}
+			return
+		}
+		if serr != nil {
+			t.Fatalf("bytes reader accepted what stream reader rejected (%v)", serr)
+		}
+		x := make([]float64, m.Dim())
+		if p := m.RouteTrained(x); p.NodeID < 0 {
+			t.Fatal("loaded model RouteTrained to invalid node")
+		}
+		_ = sm
+	})
+}

@@ -1,6 +1,7 @@
 package kdd
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 )
@@ -28,6 +29,59 @@ func FuzzParseFields(f *testing.F) {
 		if back.Protocol != rec.Protocol || back.Service != rec.Service ||
 			back.Flag != rec.Flag || back.Label != rec.Label {
 			t.Fatalf("categoricals changed in round trip: %+v vs %+v", back, rec)
+		}
+	})
+}
+
+// FuzzReadColumnarBatch asserts that adversarial GHSOMWB1 frames —
+// truncated, mutated, huge claimed lengths, mismatched row counts,
+// out-of-range categorical codes — never panic the reader, never force
+// an allocation proportional to a lie in the header, and that every
+// frame the reader accepts also binds and encodes cleanly.
+func FuzzReadColumnarBatch(f *testing.F) {
+	seedBatch := func(opts ColumnarWriteOptions, n int) []byte {
+		var buf bytes.Buffer
+		if err := WriteColumnarBatch(&buf, columnarTestRecords(n), opts); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(seedBatch(ColumnarWriteOptions{}, 3))
+	f.Add(seedBatch(ColumnarWriteOptions{Labels: true}, 7))
+	f.Add(seedBatch(ColumnarWriteOptions{Float32: true, Labels: true}, 2))
+	f.Add([]byte("GHSOMWB1"))
+	f.Add([]byte{})
+	// Mutated seeds: the fuzzer starts from these and flips more.
+	base := seedBatch(ColumnarWriteOptions{Labels: true}, 5)
+	for _, off := range []int{8, 12, 13, 17, 21, len(base) - 1} {
+		m := bytes.Clone(base)
+		m[off] ^= 0xFF
+		f.Add(m)
+	}
+	enc := NewEncoder(nil, EncoderConfig{LogTransform: true})
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		var cb ColumnarBatch
+		lim := ColumnarLimits{MaxRows: 1 << 16, MaxFrameBytes: 1 << 24}
+		r := bytes.NewReader(frame)
+		for {
+			err := ReadColumnarBatch(r, &cb, lim)
+			if err != nil {
+				return
+			}
+			if cb.Rows() < 1 || cb.Rows() > 1<<16 {
+				t.Fatalf("accepted frame with %d rows", cb.Rows())
+			}
+			if err := enc.BindColumnar(&cb); err != nil {
+				t.Fatalf("accepted frame failed BindColumnar: %v", err)
+			}
+			dst := make([]float64, cb.Rows()*enc.Dim())
+			// Unknown protocols/flags in the frame are a clean encode
+			// error, never a panic.
+			_ = enc.EncodeColumnarRows(&cb, 0, cb.Rows(), dst)
+			if _, err := cb.Record(0); err != nil {
+				t.Fatalf("accepted frame failed Record(0): %v", err)
+			}
+			cb.AppendLabels(nil)
 		}
 	})
 }

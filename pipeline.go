@@ -77,6 +77,14 @@ type Pipeline struct {
 	// envVersion is the envelope version the pipeline was loaded from
 	// (pipelineVersion for freshly trained pipelines).
 	envVersion int
+	// modelOnce guards the lazy Decompile of loaded pipelines: rebuilding
+	// the pointer tree copies the whole weight arena, so it is deferred
+	// until Model() is first called. Mapped loads in particular stay
+	// copy-free through registry startup this way.
+	modelOnce sync.Once
+	// mapping is the file mapping a mapped load's model views, released by
+	// Close. Nil for trained, JSON-loaded, and stream-loaded pipelines.
+	mapping *core.Mapping
 	// bufPool recycles per-worker inference arenas across Detect and
 	// DetectBatch calls, so steady-state inference performs no per-record
 	// heap allocation.
@@ -305,6 +313,48 @@ func (p *Pipeline) DetectBatch(records []Record, out []Prediction) ([]Prediction
 	return out, nil
 }
 
+// DetectColumnar classifies one decoded columnar frame into out,
+// returning out[:cb.Rows()]. It is the wire-format twin of DetectBatch:
+// the frame's symbol tables are bound to the encoder's vocabulary once,
+// then each worker expands its chunk of column runs directly into a
+// pooled flat arena — decode, one-hot, log transform, and scaling fused
+// in a single pass with no intermediate Record structs — and classifies
+// it through the detector's batch path. Verdicts are byte-identical to
+// DetectBatch over the same records at every Parallelism setting, and
+// steady state performs no per-record heap allocation. On failure the
+// error of the lowest-index bad record is returned and out's contents
+// are unspecified.
+func (p *Pipeline) DetectColumnar(cb *ColumnarBatch, out []Prediction) ([]Prediction, error) {
+	if err := p.encoder.BindColumnar(cb); err != nil {
+		return nil, fmt.Errorf("ghsom: bind columnar frame: %w", err)
+	}
+	n := cb.Rows()
+	if cap(out) < n {
+		out = make([]Prediction, n)
+	}
+	out = out[:n]
+	d := p.encoder.Dim()
+	chunk, chunks := batchChunks(p.cfg.Parallelism, n)
+	err := parallel.ForEachErr(p.cfg.Parallelism, chunks, func(c int) error {
+		lo := c * chunk
+		hi := min(lo+chunk, n)
+		buf := p.getBuf((hi - lo) * d)
+		defer p.putBuf(buf)
+		flat := buf.flat[:(hi-lo)*d]
+		if err := p.encoder.EncodeColumnarRows(cb, lo, hi, flat); err != nil {
+			return err
+		}
+		if err := p.scaler.TransformBatch(flat, d); err != nil {
+			return err
+		}
+		return p.detector.ClassifyBatchAt(flat, hi-lo, d, out[lo:hi], 1)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // Score returns the anomaly score of a record (higher = more anomalous).
 func (p *Pipeline) Score(rec *Record) (float64, error) {
 	x, err := p.Encode(rec)
@@ -356,8 +406,40 @@ func (p *Pipeline) Explain(rec *Record, k int) ([]FeatureContribution, error) {
 	return out, nil
 }
 
-// Model returns the trained GHSOM for structural inspection.
-func (p *Pipeline) Model() *Model { return p.model }
+// Model returns the trained GHSOM for structural inspection. Pipelines
+// loaded from the binary envelope rebuild the pointer tree from the
+// compiled model on the first call (the rebuild copies the weight arena,
+// which is why loading defers it); the result is cached.
+func (p *Pipeline) Model() *Model {
+	p.modelOnce.Do(func() {
+		if p.model == nil {
+			// The compiled model passed full structural validation at load
+			// time, so decompilation cannot fail on it; a nil return here
+			// would indicate memory corruption, not bad input.
+			p.model, _ = p.compiled.Decompile()
+		}
+	})
+	return p.model
+}
+
+// Close releases the file mapping backing a pipeline loaded with
+// LoadPipelineFile in mapped mode. After Close the pipeline must not be
+// used: its model tables alias the unmapped pages. Close is a no-op (and
+// always safe) for heap-resident pipelines; it is not idempotent for
+// mapped ones.
+func (p *Pipeline) Close() error {
+	m := p.mapping
+	p.mapping = nil
+	if m == nil {
+		return nil
+	}
+	return m.Close()
+}
+
+// MappedBytes reports how many bytes of the pipeline's model are views
+// over a file mapping (0 for heap-resident pipelines) — the
+// page-cache-shared portion of the serving footprint.
+func (p *Pipeline) MappedBytes() int { return p.compiled.MappedBytes() }
 
 // Compiled returns the compiled (flat-arena) form of the model that the
 // pipeline's inference routes on.

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
 
 	"ghsom/internal/anomaly"
 	"ghsom/internal/core"
@@ -69,7 +70,10 @@ const (
 // encoder vocabulary, the scaler state, the pipeline configuration, and
 // the detector cell table. The output is deterministic — identical
 // pipelines produce identical bytes — and round-trips bit-identically
-// through LoadPipeline. Use SaveJSON for the legacy JSON envelope.
+// through LoadPipeline. The embedded model blob is written with its big
+// tables 8-byte aligned relative to the envelope start, so a file whose
+// envelope begins at offset 0 loads zero-copy through LoadPipelineFile
+// in mapped mode. Use SaveJSON for the legacy JSON envelope.
 func (p *Pipeline) Save(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(envMagic[:]); err != nil {
@@ -112,8 +116,18 @@ func (p *Pipeline) Save(w io.Writer) error {
 		}
 	}
 
+	// The model blob starts after the fixed header (magic 8 + flags 1 +
+	// config 24 + service count 4 + scaler dim 4 + model length 8 = 49
+	// bytes), the service strings, and the two scaler tables; handing
+	// WriteBinaryAt that offset lets it pad the blob so the weight arena
+	// lands 8-byte aligned in the file.
+	blobOff := int64(49)
+	for _, s := range services {
+		blobOff += int64(4 + len(s))
+	}
+	blobOff += int64(16 * len(min))
 	var modelBlob bytes.Buffer
-	if err := p.compiled.WriteBinary(&modelBlob); err != nil {
+	if err := p.compiled.WriteBinaryAt(&modelBlob, blobOff); err != nil {
 		return fmt.Errorf("ghsom: write envelope model: %w", err)
 	}
 	if err := write(uint64(modelBlob.Len())); err != nil {
@@ -143,8 +157,12 @@ func (p *Pipeline) Save(w io.Writer) error {
 // (version 2) — larger and slower to load than the binary envelope, but
 // human-inspectable and consumable by external tooling.
 func (p *Pipeline) SaveJSON(w io.Writer) error {
+	model := p.Model() // rebuilds the pointer tree if loading deferred it
+	if model == nil {
+		return fmt.Errorf("ghsom: save model: no pointer-tree model")
+	}
 	var modelBuf bytes.Buffer
-	if err := p.model.Save(&modelBuf); err != nil {
+	if err := model.Save(&modelBuf); err != nil {
 		return fmt.Errorf("ghsom: save model: %w", err)
 	}
 	min, span := p.scaler.State()
@@ -269,6 +287,200 @@ func assemblePipeline(parts pipelineParts) (*Pipeline, error) {
 	}, nil
 }
 
+// LoadPipelineFile loads a pipeline envelope from a file. With mapped
+// false it is LoadPipeline over the opened file. With mapped true the
+// file is mapped read-only (core.OpenMapping) and, for a binary v3
+// envelope written by Save, the model's weight arena and serialized unit
+// tables become direct views of the mapping: loading copies no arena,
+// touches no weight page until routing first reads it, and every process
+// serving the same file shares one physical copy through the page cache.
+// Classification is byte-identical to a stream load. The returned
+// pipeline owns the mapping; release it with Close only when the
+// pipeline is retired — the model reads the mapped pages for as long as
+// it serves. Legacy JSON envelopes and pre-alignment binary envelopes
+// load correctly in mapped mode too, falling back to heap copies (and
+// then need no Close).
+func LoadPipelineFile(path string, mapped bool) (*Pipeline, error) {
+	if !mapped {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("ghsom: open pipeline: %w", err)
+		}
+		defer f.Close()
+		return LoadPipeline(f)
+	}
+	m, err := core.OpenMapping(path)
+	if err != nil {
+		return nil, fmt.Errorf("ghsom: map pipeline: %w", err)
+	}
+	p, err := loadPipelineMapped(m.Bytes())
+	if err != nil {
+		m.Close()
+		return nil, err
+	}
+	if p.MappedBytes() > 0 {
+		p.mapping = m
+	} else {
+		// Nothing in the pipeline views the mapping (JSON envelope, or a
+		// legacy blob whose tables landed unaligned): release it here so
+		// the caller need not Close.
+		m.Close()
+	}
+	return p, nil
+}
+
+// loadPipelineMapped parses an envelope held fully in memory, loading
+// the model blob through the zero-copy bytes reader. Validation mirrors
+// loadPipelineBinary's; the incremental-read defenses are unnecessary
+// here because every claimed length is bounds-checked against the
+// mapping before any proportional allocation.
+func loadPipelineMapped(data []byte) (*Pipeline, error) {
+	if len(data) < len(envMagic) || !bytes.Equal(data[:len(envMagic)], envMagic[:]) {
+		return loadPipelineJSON(bytes.NewReader(data))
+	}
+	cur := &envCursor{data: data, off: len(envMagic)}
+	flags, err := cur.u8("envelope flags")
+	if err != nil {
+		return nil, err
+	}
+	if flags > 1 {
+		return nil, fmt.Errorf("ghsom: unknown envelope flags %#x", flags)
+	}
+	var cap64, seed, par int64
+	for _, v := range []*int64{&cap64, &seed, &par} {
+		b, err := cur.bytes(8, "envelope config")
+		if err != nil {
+			return nil, err
+		}
+		*v = int64(binary.LittleEndian.Uint64(b))
+	}
+	nServices, err := cur.u32("envelope services")
+	if err != nil {
+		return nil, err
+	}
+	if nServices > envMaxServices {
+		return nil, fmt.Errorf("ghsom: envelope has %d services, cap %d", nServices, envMaxServices)
+	}
+	services := make([]string, 0, min(int(nServices), 4096))
+	for i := 0; i < int(nServices); i++ {
+		slen, err := cur.u32("envelope service")
+		if err != nil {
+			return nil, err
+		}
+		if slen > envMaxServiceLen {
+			return nil, fmt.Errorf("ghsom: envelope service %d of %d bytes exceeds cap", i, slen)
+		}
+		b, err := cur.bytes(int(slen), "envelope service")
+		if err != nil {
+			return nil, err
+		}
+		services = append(services, string(b))
+	}
+	dim, err := cur.u32("envelope scaler")
+	if err != nil {
+		return nil, err
+	}
+	if dim > envMaxDim {
+		return nil, fmt.Errorf("ghsom: envelope scaler dim %d exceeds cap %d", dim, envMaxDim)
+	}
+	scalerMin, err := cur.floats(int(dim), "envelope scaler")
+	if err != nil {
+		return nil, err
+	}
+	scalerSpan, err := cur.floats(int(dim), "envelope scaler")
+	if err != nil {
+		return nil, err
+	}
+	mb, err := cur.bytes(8, "envelope model")
+	if err != nil {
+		return nil, err
+	}
+	modelLen := binary.LittleEndian.Uint64(mb)
+	if modelLen > envMaxModelBytes {
+		return nil, fmt.Errorf("ghsom: envelope model of %d bytes exceeds cap %d", modelLen, envMaxModelBytes)
+	}
+	window, err := cur.bytes(int(modelLen), "envelope model")
+	if err != nil {
+		return nil, err
+	}
+	compiled, err := core.ReadCompiledBinaryBytes(window, true)
+	if err != nil {
+		return nil, fmt.Errorf("ghsom: load model: %w", err)
+	}
+	detLen, err := cur.u32("envelope detector")
+	if err != nil {
+		return nil, err
+	}
+	if detLen > envMaxDetBytes {
+		return nil, fmt.Errorf("ghsom: envelope detector of %d bytes exceeds cap %d", detLen, envMaxDetBytes)
+	}
+	detJSON, err := cur.bytes(int(detLen), "envelope detector")
+	if err != nil {
+		return nil, err
+	}
+	var det anomaly.State
+	if err := json.Unmarshal(detJSON, &det); err != nil {
+		return nil, fmt.Errorf("ghsom: decode detector state: %w", err)
+	}
+	return assemblePipeline(pipelineParts{
+		version:          pipelineVersion,
+		logTransform:     flags == 1,
+		services:         services,
+		scalerMin:        scalerMin,
+		scalerSpan:       scalerSpan,
+		trainCapPerLabel: int(cap64),
+		seed:             seed,
+		parallelism:      int(par),
+		// model stays nil — rebuilt lazily by Model(), copying the arena
+		// only if a caller actually asks for the pointer tree.
+		compiled: compiled,
+		detector: det,
+	})
+}
+
+// envCursor walks a fully-resident envelope with bounds-checked reads.
+type envCursor struct {
+	data []byte
+	off  int
+}
+
+func (c *envCursor) bytes(n int, what string) ([]byte, error) {
+	if n < 0 || len(c.data)-c.off < n {
+		return nil, fmt.Errorf("ghsom: read %s: envelope truncated at byte %d", what, c.off)
+	}
+	b := c.data[c.off : c.off+n]
+	c.off += n
+	return b, nil
+}
+
+func (c *envCursor) u8(what string) (uint8, error) {
+	b, err := c.bytes(1, what)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (c *envCursor) u32(what string) (uint32, error) {
+	b, err := c.bytes(4, what)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (c *envCursor) floats(n int, what string) ([]float64, error) {
+	b, err := c.bytes(n*8, what)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out, nil
+}
+
 // readEnvFloats reads n little-endian float64s, growing storage only as
 // payload actually arrives (io.ReadAll doubles as data comes in), so a
 // corrupt length field cannot force a large allocation from a short
@@ -367,10 +579,6 @@ func loadPipelineBinary(r *bufio.Reader) (*Pipeline, error) {
 	if _, err := io.Copy(io.Discard, modelSection); err != nil {
 		return nil, fmt.Errorf("ghsom: skip envelope model: %w", err)
 	}
-	model, err := compiled.Decompile()
-	if err != nil {
-		return nil, fmt.Errorf("ghsom: rebuild model tree: %w", err)
-	}
 	var detLen uint32
 	if err := read(&detLen); err != nil {
 		return nil, fmt.Errorf("ghsom: read envelope detector: %w", err)
@@ -398,8 +606,9 @@ func loadPipelineBinary(r *bufio.Reader) (*Pipeline, error) {
 		trainCapPerLabel: int(cap64),
 		seed:             seed,
 		parallelism:      int(par),
-		model:            model,
-		compiled:         compiled,
-		detector:         det,
+		// model stays nil: the pointer tree is rebuilt lazily on the first
+		// Model() call, so loading never copies the weight arena.
+		compiled: compiled,
+		detector: det,
 	})
 }
