@@ -7,12 +7,20 @@
 // end-to-end TrainPipeline (training), tree-walk vs compiled model
 // routing (RouteTree / RouteCompiled), and the scalar vs blocked BMU
 // search kernels (ArgMinScalar / ArgMinBatch across a dim×units sweep)
-// at Parallelism 1 and GOMAXPROCS via testing.Benchmark.
+// across the -p parallelism sweep (default "1,0": serial and GOMAXPROCS)
+// via testing.Benchmark.
+//
+// -scaling-out writes the multi-core scaling curve: records/sec and
+// parallel efficiency for the four end-to-end dataplanes (TrainPipeline,
+// RouteCompiled, DetectBatch, DetectColumnar) at every P in
+// {1, 2, 4, ..., GOMAXPROCS}. On a single-CPU host the curve degenerates
+// to the P=1 point; that is recorded, not an error.
 //
 // Usage:
 //
-//	benchjson -out BENCH_inference.json -train-out BENCH_training.json \
-//	          -routing-out BENCH_routing.json -bmu-out BENCH_bmu.json
+//	benchjson -p 1,2,4,0 -out BENCH_inference.json \
+//	          -train-out BENCH_training.json -routing-out BENCH_routing.json \
+//	          -bmu-out BENCH_bmu.json -scaling-out BENCH_scaling.json
 package main
 
 import (
@@ -26,6 +34,8 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -71,6 +81,9 @@ type point struct {
 	AllocsPerEpoch float64 `json:"allocsPerEpoch,omitempty"`
 	// BytesPerRecord is heap bytes per record.
 	BytesPerRecord float64 `json:"bytesPerRecord"`
+	// Efficiency is the parallel efficiency rate(P)/(P·rate(1)) —
+	// 1.0 is perfect linear scaling (scaling points only).
+	Efficiency float64 `json:"efficiency,omitempty"`
 }
 
 // artifact is the document written for each benchmark family.
@@ -96,9 +109,16 @@ func run(args []string) error {
 	routingOut := fs.String("routing-out", "BENCH_routing.json", "routing JSON path (empty = skip)")
 	bmuOut := fs.String("bmu-out", "BENCH_bmu.json", "BMU kernel JSON path (empty = skip)")
 	ingestOut := fs.String("ingest-out", "BENCH_ingest.json", "ingestion dataplane JSON path (empty = skip)")
+	scalingOut := fs.String("scaling-out", "", "multi-core scaling curve JSON path (empty = skip)")
+	pList := fs.String("p", "1,0", "comma-separated parallelism sweep for all bench families (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	sweep, err := parseParSweep(*pList)
+	if err != nil {
+		return err
+	}
+	parSweep = sweep
 
 	records, err := trafficgen.Generate(trafficgen.Small(1))
 	if err != nil {
@@ -145,7 +165,139 @@ func run(args []string) error {
 			return err
 		}
 	}
+	if *scalingOut != "" {
+		doc, err := scalingPoints(records)
+		if err != nil {
+			return err
+		}
+		if err := writeArtifact(*scalingOut, doc); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// parseParSweep parses the -p flag: a comma-separated list of worker
+// bounds, each >= 0 (0 = GOMAXPROCS), deduplicated in order.
+func parseParSweep(list string) ([]int, error) {
+	var sweep []int
+	seen := make(map[int]bool)
+	for _, fieldRaw := range strings.Split(list, ",") {
+		field := strings.TrimSpace(fieldRaw)
+		if field == "" {
+			continue
+		}
+		p, err := strconv.Atoi(field)
+		if err != nil || p < 0 {
+			return nil, fmt.Errorf("-p: invalid parallelism %q (want integers >= 0)", field)
+		}
+		if !seen[p] {
+			seen[p] = true
+			sweep = append(sweep, p)
+		}
+	}
+	if len(sweep) == 0 {
+		return nil, fmt.Errorf("-p: empty sweep")
+	}
+	return sweep, nil
+}
+
+// scalingLadder is the P ladder for the scaling curve: powers of two up
+// to GOMAXPROCS, always ending at GOMAXPROCS itself. On one CPU it is
+// just {1}.
+func scalingLadder() []int {
+	maxP := runtime.GOMAXPROCS(0)
+	var ps []int
+	for p := 1; p < maxP; p *= 2 {
+		ps = append(ps, p)
+	}
+	return append(ps, maxP)
+}
+
+// scalingPoints measures the four end-to-end dataplanes across the
+// scaling ladder and annotates each point with its parallel efficiency
+// relative to the P=1 point of the same dataplane. Training produces a
+// bit-identical model at every P (the determinism contract), so the
+// serving-side dataplanes all run against one shared trained pipeline.
+func scalingPoints(records []ghsom.Record) (artifact, error) {
+	doc := newArtifact(len(records))
+	n := len(records)
+
+	pipe, err := ghsom.TrainPipeline(records, pipelineConfig(0))
+	if err != nil {
+		return artifact{}, err
+	}
+	compiled := pipe.Compiled()
+	flat := make([]float64, 0, n*compiled.Dim())
+	for i := range records {
+		x, err := pipe.Encode(&records[i])
+		if err != nil {
+			return artifact{}, err
+		}
+		flat = append(flat, x...)
+	}
+	outPlaces := make([]core.Placement, n)
+
+	var frame bytes.Buffer
+	if err := kdd.WriteColumnarBatch(&frame, records, kdd.ColumnarWriteOptions{}); err != nil {
+		return artifact{}, err
+	}
+	var cb ghsom.ColumnarBatch
+	if err := kdd.ReadColumnarBatch(bytes.NewReader(frame.Bytes()), &cb, kdd.DefaultColumnarLimits); err != nil {
+		return artifact{}, err
+	}
+	preds := make([]ghsom.Prediction, n)
+
+	for _, par := range scalingLadder() {
+		par := par
+		pipe.SetParallelism(par)
+		doc.Points = append(doc.Points,
+			measure("TrainPipeline", par, n, 0, func(b *testing.B) {
+				cfg := pipelineConfig(par)
+				for i := 0; i < b.N; i++ {
+					if _, err := ghsom.TrainPipeline(records, cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}),
+			measure("RouteCompiled", par, n, 0, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if err := compiled.RouteTrainedFlat(flat, n, outPlaces, par); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}),
+			measure("DetectBatch", par, n, 0, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := pipe.DetectBatch(records, preds); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}),
+			measure("DetectColumnar", par, n, 0, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := pipe.DetectColumnar(&cb, preds); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}),
+		)
+	}
+	pipe.SetParallelism(0)
+
+	base := make(map[string]float64)
+	for _, p := range doc.Points {
+		if p.Parallelism == 1 {
+			base[p.Name] = p.RecordsPerSec
+		}
+	}
+	for i := range doc.Points {
+		p := &doc.Points[i]
+		if b := base[p.Name]; b > 0 {
+			p.Efficiency = p.RecordsPerSec / (float64(p.Parallelism) * b)
+		}
+	}
+	return doc, nil
 }
 
 // ingestPoints measures the ingestion dataplane: wire bytes to the
@@ -334,7 +486,8 @@ func bmuPoints() artifact {
 	return doc
 }
 
-// parSweep is the measured worker-bound sweep: serial and GOMAXPROCS.
+// parSweep is the worker-bound sweep shared by every bench family,
+// overridden by the -p flag. Default: serial and GOMAXPROCS.
 var parSweep = []int{1, 0}
 
 // pipelineConfig returns the default pipeline config with every layer's
@@ -515,6 +668,9 @@ func writeArtifact(path string, doc artifact) error {
 		} else if p.Units > 0 {
 			fmt.Printf("%-14s P=%-2d dim=%-3d units=%-3d %12.0f rows/sec\n",
 				p.Name, p.Parallelism, p.Dim, p.Units, p.RecordsPerSec)
+		} else if p.Efficiency > 0 {
+			fmt.Printf("%-14s P=%-2d %12.0f records/sec %6.2f efficiency\n",
+				p.Name, p.Parallelism, p.RecordsPerSec, p.Efficiency)
 		} else {
 			fmt.Printf("%-14s P=%-2d %12.0f records/sec %10.4f allocs/record\n",
 				p.Name, p.Parallelism, p.RecordsPerSec, p.AllocsPerRecord)

@@ -29,8 +29,13 @@
 //	GET  /models   JSON listing of the registry: name, envelope version,
 //	               model shape, arena footprint, per-model serve stats.
 //	GET  /stats    JSON batching/latency/throughput counters of the
-//	               model selected by ?model=NAME.
+//	               model selected by ?model=NAME, plus worker-pool
+//	               gauges (busy/idle workers, queue depth).
 //	GET  /healthz  200 once the initial model is loaded.
+//
+// With -pprof the stdlib profiling endpoints are mounted under
+// /debug/pprof (CPU, heap, mutex, block) for diagnosing scaling stalls
+// in production; they are off by default.
 //
 // Usage:
 //
@@ -49,6 +54,7 @@ import (
 	"io"
 	"mime"
 	"net/http"
+	netpprof "net/http/pprof"
 	"os"
 	"sort"
 	"sync"
@@ -57,6 +63,7 @@ import (
 
 	"ghsom"
 	"ghsom/internal/kdd"
+	"ghsom/internal/parallel"
 )
 
 func main() {
@@ -77,6 +84,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	useMmap := fs.Bool("mmap", false, "mmap the model file: the weight arena serves as views of the page cache instead of heap copies")
 	maxBody := fs.Int64("max-body", defaultMaxBodyBytes, "cap on one /detect request body in bytes (413 beyond)")
 	maxModel := fs.Int64("max-model", defaultMaxModelBytes, "cap on one POST /model envelope in bytes (413 beyond)")
+	pprofOn := fs.Bool("pprof", false, "expose /debug/pprof profiling endpoints (CPU, heap, mutex, block profiles)")
 	example := fs.Bool("example", false, "print one example request record as JSON and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -110,6 +118,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	reg := newRegistry(*maxBatch, *flushEvery, *par)
 	reg.maxBody = *maxBody
 	reg.maxModel = *maxModel
+	reg.pprof = *pprofOn
 	defer reg.close()
 	if _, _, err := reg.swap(defaultModelName, pipe); err != nil {
 		return err
@@ -151,6 +160,8 @@ type registry struct {
 	// envelope; requests beyond them get 413.
 	maxBody  int64
 	maxModel int64
+	// pprof exposes /debug/pprof on the mux when set (-pprof flag).
+	pprof bool
 }
 
 func newRegistry(maxBatch int, flushEvery time.Duration, par int) *registry {
@@ -210,7 +221,7 @@ func (reg *registry) swap(name string, pipe *ghsom.Pipeline) (view modelView, sw
 	}
 	e := &modelEntry{
 		name:     name,
-		batcher:  newBatcher(pipe, reg.maxBatch, reg.flushEvery),
+		batcher:  newBatcher(pipe, reg.maxBatch, reg.flushEvery, reg.par),
 		loadedAt: time.Now(),
 	}
 	e.batcher.maxBody = reg.maxBody
@@ -245,6 +256,16 @@ func (reg *registry) mux() *http.ServeMux {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
+	if reg.pprof {
+		// Opt-in: profiling endpoints leak operational detail, so they are
+		// off unless -pprof is passed. These are the stdlib handlers that
+		// net/http/pprof would install on the default mux.
+		mux.HandleFunc("GET /debug/pprof/", netpprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", netpprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", netpprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", netpprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", netpprof.Trace)
+	}
 	return mux
 }
 
@@ -323,7 +344,7 @@ func (e *modelEntry) view() modelView {
 		MaxDepth:        st.MaxDepth,
 		ArenaBytes:      c.ArenaBytes(),
 		TableBytes:      c.TableBytes(),
-		Stats:           e.batcher.stats.snapshot(),
+		Stats:           e.batcher.statsSnapshot(),
 	}
 }
 
@@ -439,7 +460,11 @@ func (s *serveStats) record(records int, latency time.Duration) {
 	}
 }
 
-// statsView is the marshal-safe derived view served on /stats.
+// statsView is the marshal-safe derived view served on /stats. The
+// worker-pool gauges (WorkerBound, BusyWorkers, IdleWorkers, QueueDepth)
+// are point-in-time snapshots for diagnosing scaling stalls: a saturated
+// queue with idle workers points at batching latency, busy workers with
+// a deep queue at CPU saturation.
 type statsView struct {
 	Batches       int64   `json:"batches"`
 	Records       int64   `json:"records"`
@@ -449,6 +474,17 @@ type statsView struct {
 	MeanBatchSize float64 `json:"meanBatchSize"`
 	MeanBatchMs   float64 `json:"meanBatchLatencyMs"`
 	MaxBatchMs    float64 `json:"maxBatchLatencyMs"`
+	// WorkerBound is the resolved per-batch worker count (the
+	// -parallelism knob, 0 resolved to GOMAXPROCS).
+	WorkerBound int `json:"workerBound"`
+	// BusyWorkers is the worker count claimed by detect calls executing
+	// right now (in-flight batches × WorkerBound); IdleWorkers is the
+	// remainder of the bound, floored at zero.
+	BusyWorkers int64 `json:"busyWorkers"`
+	IdleWorkers int64 `json:"idleWorkers"`
+	// QueueDepth is the number of jobs waiting in the micro-batch
+	// channel, not yet picked up by the flush loop.
+	QueueDepth int `json:"queueDepth"`
 }
 
 // snapshot derives the rate/mean fields under the lock.
@@ -483,17 +519,20 @@ type batcher struct {
 	maxBatch   int
 	flushEvery time.Duration
 	maxBody    int64
+	par        int
+	inflight   atomic.Int64
 	jobs       chan *job
 	quit       chan struct{}
 	wg         sync.WaitGroup
 	stats      serveStats
 }
 
-func newBatcher(pipe *ghsom.Pipeline, maxBatch int, flushEvery time.Duration) *batcher {
+func newBatcher(pipe *ghsom.Pipeline, maxBatch int, flushEvery time.Duration, par int) *batcher {
 	b := &batcher{
 		maxBatch:   maxBatch,
 		flushEvery: flushEvery,
 		maxBody:    defaultMaxBodyBytes,
+		par:        par,
 		jobs:       make(chan *job, 64),
 		quit:       make(chan struct{}),
 	}
@@ -592,6 +631,8 @@ func (b *batcher) flush(pending []*job, size int) {
 	for _, j := range pending {
 		batch = append(batch, j.records...)
 	}
+	b.inflight.Add(1)
+	defer b.inflight.Add(-1)
 	start := time.Now()
 	preds, err := pipe.DetectBatch(batch, nil)
 	if err != nil {
@@ -740,8 +781,10 @@ func (b *batcher) handleDetectColumnar(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		pipe := b.pipe.Load()
+		b.inflight.Add(1)
 		start := time.Now()
 		preds, err = pipe.DetectColumnar(cb, preds)
+		b.inflight.Add(-1)
 		if err != nil {
 			fail(err.Error(), http.StatusUnprocessableEntity)
 			return
@@ -762,9 +805,24 @@ func (b *batcher) handleDetectColumnar(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// statsSnapshot derives the counter view and overlays the point-in-time
+// worker-pool gauges.
+func (b *batcher) statsSnapshot() statsView {
+	out := b.stats.snapshot()
+	bound := parallel.Resolve(b.par)
+	busy := b.inflight.Load() * int64(bound)
+	out.WorkerBound = bound
+	out.BusyWorkers = busy
+	if idle := int64(bound) - busy; idle > 0 {
+		out.IdleWorkers = idle
+	}
+	out.QueueDepth = len(b.jobs)
+	return out
+}
+
 func (b *batcher) handleStats(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	snap := b.stats.snapshot()
+	snap := b.statsSnapshot()
 	json.NewEncoder(w).Encode(&snap)
 }
 

@@ -96,7 +96,7 @@ func TestBatcherCoalescesAndMatchesDetectAll(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b := newBatcher(pipe, 128, 5*time.Millisecond)
+	b := newBatcher(pipe, 128, 5*time.Millisecond, 0)
 	defer b.close()
 
 	const jobRecs = 5
@@ -137,7 +137,7 @@ func TestBatcherCoalescesAndMatchesDetectAll(t *testing.T) {
 func TestBatcherIsolatesBadJob(t *testing.T) {
 	pipe, recs := testPipeline(t)
 	// Large flush window + batch so both jobs coalesce into one flush.
-	b := newBatcher(pipe, 1024, 50*time.Millisecond)
+	b := newBatcher(pipe, 1024, 50*time.Millisecond, 0)
 	defer b.close()
 
 	good := recs[:20]
@@ -176,7 +176,7 @@ func TestBatcherIsolatesBadJob(t *testing.T) {
 func TestHandleDetectHTTP(t *testing.T) {
 	pipe, recs := testPipeline(t)
 	eval := recs[100:160]
-	b := newBatcher(pipe, 64, 2*time.Millisecond)
+	b := newBatcher(pipe, 64, 2*time.Millisecond, 0)
 	defer b.close()
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /detect", b.handleDetect)
@@ -590,7 +590,7 @@ func columnarBody(t *testing.T, recs []kdd.Record) []byte {
 func TestHandleDetectColumnar(t *testing.T) {
 	pipe, recs := testPipeline(t)
 	eval := recs[300:500]
-	b := newBatcher(pipe, 64, 2*time.Millisecond)
+	b := newBatcher(pipe, 64, 2*time.Millisecond, 0)
 	defer b.close()
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /detect", b.handleDetect)
@@ -665,7 +665,7 @@ func TestHandleDetectColumnar(t *testing.T) {
 func TestDetectBodyCap413(t *testing.T) {
 	pipe, recs := testPipeline(t)
 	eval := recs[:64]
-	b := newBatcher(pipe, 64, 2*time.Millisecond)
+	b := newBatcher(pipe, 64, 2*time.Millisecond, 0)
 	b.maxBody = 2048 // tiny cap for the test
 	defer b.close()
 	mux := http.NewServeMux()

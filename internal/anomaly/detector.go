@@ -178,8 +178,13 @@ func Fit(q Quantizer, data [][]float64, labels []string, cfg Config) (*Detector,
 	}
 
 	// Quantize every record in parallel (the dominant cost: one hierarchy
-	// descent per record), then accumulate serially in data order so the
-	// fitted thresholds are identical at every Parallelism setting.
+	// descent per record), then fold the per-cell statistics with the
+	// chunked deterministic scheduler: each chunk accumulates its rows in
+	// data order into a private table (no shared maps, no false sharing)
+	// and the per-chunk partials merge in ascending chunk order, so the
+	// fitted thresholds are identical at every Parallelism setting —
+	// counts are exact integers and every per-cell QE list comes out in
+	// data order, exactly as the retired serial fold produced it.
 	// Quantizers with a flat-batch fast path run it over gathered row
 	// chunks — the same blocked BMU descent ClassifyBatch uses — which is
 	// what keeps detector fitting on the batched engine inside
@@ -195,29 +200,32 @@ func Fit(q Quantizer, data [][]float64, labels []string, cfg Config) (*Detector,
 		})
 	}
 
-	type cellAccum struct {
-		labelCounts map[string]int
-		qes         []float64
-		attacks     int
-	}
-	accum := make(map[string]*cellAccum)
-	var allQEs []float64
-	labelTotals := make(map[string]int)
-	for i := range data {
-		cell, qe := cellOf[i], qeOf[i]
-		a, ok := accum[cell]
-		if !ok {
-			a = &cellAccum{labelCounts: make(map[string]int)}
-			accum[cell] = a
-		}
-		a.labelCounts[labels[i]]++
-		a.qes = append(a.qes, qe)
-		if labels[i] != cfg.NormalLabel {
-			a.attacks++
-		}
-		allQEs = append(allQEs, qe)
-		labelTotals[labels[i]]++
-	}
+	stats := parallel.MapReduceChunk(cfg.Parallelism, len(data), fitStatsGrain, (*fitStats)(nil),
+		func(lo, hi int) *fitStats {
+			s := &fitStats{
+				accum:       make(map[string]*cellAccum),
+				labelTotals: make(map[string]int),
+				allQEs:      make([]float64, 0, hi-lo),
+			}
+			for i := lo; i < hi; i++ {
+				cell, qe := cellOf[i], qeOf[i]
+				a, ok := s.accum[cell]
+				if !ok {
+					a = &cellAccum{labelCounts: make(map[string]int)}
+					s.accum[cell] = a
+				}
+				a.labelCounts[labels[i]]++
+				a.qes = append(a.qes, qe)
+				if labels[i] != cfg.NormalLabel {
+					a.attacks++
+				}
+				s.allQEs = append(s.allQEs, qe)
+				s.labelTotals[labels[i]]++
+			}
+			return s
+		},
+		mergeFitStats)
+	accum, allQEs, labelTotals := stats.accum, stats.allQEs, stats.labelTotals
 
 	d := &Detector{
 		q:        q,
@@ -255,6 +263,52 @@ func Fit(q Quantizer, data [][]float64, labels []string, cfg Config) (*Detector,
 	return d, nil
 }
 
+// cellAccum is the training evidence gathered for one quantizer cell.
+type cellAccum struct {
+	labelCounts map[string]int
+	qes         []float64
+	attacks     int
+}
+
+// fitStats is one chunk's partial of Fit's statistics fold.
+type fitStats struct {
+	accum       map[string]*cellAccum
+	allQEs      []float64
+	labelTotals map[string]int
+}
+
+// fitStatsGrain is the chunk grain of the fold: constant, so the chunk
+// layout — and with it every per-cell QE list order — depends on the
+// row count only, never the worker count.
+const fitStatsGrain = 4096
+
+// mergeFitStats folds one chunk partial into the accumulator. Called in
+// ascending chunk order, so each cell's QE list and label counts come
+// out exactly as a serial data-order pass would produce them (the map
+// iteration below is unordered, but each cell merges independently).
+func mergeFitStats(acc, part *fitStats) *fitStats {
+	if acc == nil {
+		return part
+	}
+	for cell, pa := range part.accum {
+		a, ok := acc.accum[cell]
+		if !ok {
+			acc.accum[cell] = pa
+			continue
+		}
+		for l, n := range pa.labelCounts {
+			a.labelCounts[l] += n
+		}
+		a.qes = append(a.qes, pa.qes...)
+		a.attacks += pa.attacks
+	}
+	acc.allQEs = append(acc.allQEs, part.allQEs...)
+	for l, n := range part.labelTotals {
+		acc.labelTotals[l] += n
+	}
+	return acc
+}
+
 // uniformDim returns the shared row width of data, or 0 when rows have
 // mixed widths (which the per-row path handles and the flat batch path
 // cannot).
@@ -281,21 +335,23 @@ type fitScratch struct {
 var fitScratchPool = sync.Pool{New: func() any { return &fitScratch{} }}
 
 // fitQuantizeBatch runs Fit's quantization through the quantizer's batch
-// path: workers gather row chunks into pooled flat arenas and quantize
-// each with one batch call. Results are positionally identical to
-// per-row Quantize at every worker count.
+// path: work-stealing workers gather row chunks into per-worker pooled
+// flat arenas (claimed once per call, not per chunk) and quantize each
+// with one batch call. Results are positionally identical to per-row
+// Quantize at every worker count.
 func fitQuantizeBatch(bq BatchQuantizer, data [][]float64, cellOf []string, qeOf []float64, parallelism int) {
 	n, d := len(data), len(data[0])
 	w := parallel.Workers(parallelism, n)
-	chunk := min((n+w-1)/w, classifyChunk)
-	if chunk < 1 {
-		chunk = 1
+	grain := min((n+w-1)/w, classifyChunk)
+	if grain < 1 {
+		grain = 1
 	}
-	chunks := (n + chunk - 1) / chunk
-	parallel.ForEach(parallelism, chunks, func(c int) {
-		lo := c * chunk
-		hi := min(lo+chunk, n)
-		sc := fitScratchPool.Get().(*fitScratch)
+	scratches := make([]*fitScratch, parallel.WorkersGrain(parallelism, n, grain))
+	for i := range scratches {
+		scratches[i] = fitScratchPool.Get().(*fitScratch)
+	}
+	parallel.ForEachChunk(parallelism, n, grain, func(wk, lo, hi int) {
+		sc := scratches[wk]
 		// Pool entries are shared across Fit calls with different row
 		// widths and chunk sizes: each buffer's capacity must be checked
 		// on its own.
@@ -313,8 +369,10 @@ func fitQuantizeBatch(bq BatchQuantizer, data [][]float64, cellOf []string, qeOf
 		for i := lo; i < hi; i++ {
 			cellOf[i], qeOf[i] = cells[i-lo].Cell, cells[i-lo].QE
 		}
-		fitScratchPool.Put(sc)
 	})
+	for _, sc := range scratches {
+		fitScratchPool.Put(sc)
+	}
 }
 
 // majorityLabel returns the label with the highest count, breaking ties
@@ -434,29 +492,40 @@ func (d *Detector) ClassifyBatchAt(flat []float64, n, dim int, out []Prediction,
 	}
 	bq, batch := d.q.(BatchQuantizer)
 	w := parallel.Workers(parallelism, n)
-	chunk := min((n+w-1)/w, classifyChunk)
-	if chunk < 1 {
-		chunk = 1
+	grain := min((n+w-1)/w, classifyChunk)
+	if grain < 1 {
+		grain = 1
 	}
-	chunks := (n + chunk - 1) / chunk
-	parallel.ForEach(parallelism, chunks, func(c int) {
-		lo := c * chunk
-		hi := min(lo+chunk, n)
-		if batch {
-			scratch := cellScratchPool.Get().(*cellScratch)
-			cells := scratch.buf[:hi-lo]
-			bq.QuantizeBatch(flat[lo*dim:hi*dim], hi-lo, dim, cells)
+	if !batch {
+		parallel.ForEachChunk(parallelism, n, grain, func(_, lo, hi int) {
 			for i := lo; i < hi; i++ {
-				out[i] = d.verdict(cells[i-lo].Cell, cells[i-lo].QE)
+				cell, qe := d.q.Quantize(flat[i*dim : (i+1)*dim])
+				out[i] = d.verdict(cell, qe)
 			}
-			cellScratchPool.Put(scratch)
-			return
+		})
+		return nil
+	}
+	// Work-stealing chunks over per-worker scratches: each worker claims
+	// one pooled CellQE buffer for the whole call, so the per-chunk path
+	// touches no pool and no lock.
+	scratches := make([]*cellScratch, parallel.WorkersGrain(parallelism, n, grain))
+	for i := range scratches {
+		scratches[i] = cellScratchPool.Get().(*cellScratch)
+	}
+	parallel.ForEachChunk(parallelism, n, grain, func(wk, lo, hi int) {
+		sc := scratches[wk]
+		if cap(sc.buf) < hi-lo {
+			sc.buf = make([]CellQE, hi-lo)
 		}
+		cells := sc.buf[:hi-lo]
+		bq.QuantizeBatch(flat[lo*dim:hi*dim], hi-lo, dim, cells)
 		for i := lo; i < hi; i++ {
-			cell, qe := d.q.Quantize(flat[i*dim : (i+1)*dim])
-			out[i] = d.verdict(cell, qe)
+			out[i] = d.verdict(cells[i-lo].Cell, cells[i-lo].QE)
 		}
 	})
+	for _, sc := range scratches {
+		cellScratchPool.Put(sc)
+	}
 	return nil
 }
 
@@ -464,6 +533,9 @@ func (d *Detector) ClassifyBatchAt(flat []float64, n, dim int, out []Prediction,
 // fitting (or loading from state): 0 means GOMAXPROCS, 1 forces serial
 // execution. Predictions are identical at every setting.
 func (d *Detector) SetParallelism(p int) { d.cfg.Parallelism = p }
+
+// Parallelism returns the configured worker bound.
+func (d *Detector) Parallelism() int { return d.cfg.Parallelism }
 
 // Score returns the anomaly score of x (higher = more anomalous).
 func (d *Detector) Score(x []float64) float64 { return d.Classify(x).Score }

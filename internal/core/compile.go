@@ -96,6 +96,13 @@ type Compiled struct {
 	// magnitude term of the batch descent's settle margin and overflow
 	// guard. Derived, never serialized.
 	nodeMaxNorm []float64
+	// tile is the GEMM block shape of the batch descent, resolved at
+	// compile/load time from the model's widest codebook and the
+	// machine's core count (vecmath.ResolveTile). Tile size never
+	// affects placements — the expanded form only nominates candidates —
+	// so the resolution is free to chase cache fit. Derived, never
+	// serialized.
+	tile vecmath.TileConfig
 	// arena is the shared weight storage: totalUnits*dim float64s. For a
 	// heap-loaded model it is owned storage; for a zero-copy load (see
 	// ReadCompiledBinaryBytes) it is a read-only view over the caller's
@@ -264,17 +271,28 @@ func (c *Compiled) buildPairTables() {
 
 // buildNormTables precomputes the per-unit squared weight norms and the
 // per-node maxima that feed the blocked batch descent's expanded-form
-// candidate generator. Derived deterministically from the arena.
+// candidate generator, and resolves the descent's GEMM tile shape for
+// this model on this machine (every load path — Compile and both
+// deserializers — funnels through here). Derived deterministically from
+// the arena.
 func (c *Compiled) buildNormTables() {
 	c.norms = vecmath.SquaredNorms(c.arena, c.dim, c.norms[:0])
 	if cap(c.nodeMaxNorm) < len(c.nodes) {
 		c.nodeMaxNorm = make([]float64, len(c.nodes))
 	}
 	c.nodeMaxNorm = c.nodeMaxNorm[:len(c.nodes)]
+	maxUnits := 0
 	for i := range c.nodes {
 		nd := &c.nodes[i]
 		c.nodeMaxNorm[i] = vecmath.MaxOrZero(c.norms[nd.unitBase : nd.unitBase+nd.units])
+		if nd.units > maxUnits {
+			maxUnits = nd.units
+		}
 	}
+	// Sized for the widest codebook of the hierarchy (the root dominates
+	// the descent's GEMM work) under the machine's full worker budget —
+	// the routing pool's steady-state concurrency.
+	c.tile = vecmath.ResolveTile(c.dim, maxUnits, parallel.Resolve(0))
 }
 
 // Dim returns the input dimension.
@@ -855,15 +873,12 @@ type routeScratch struct {
 	scores []float64 // GEMM tile: records×units dots, then expanded distances
 }
 
-// Blocked batch-descent tile constants. routeGemmTile is the record rows
-// per GEMM block inside one node group; routeGemmMin is the smallest
-// per-node group the descent scores through the blocked engine — smaller
-// groups take the scalar screened probe path (bmuMasked), which wins
-// when there is no batch to amortize the block over.
-const (
-	routeGemmTile = 32
-	routeGemmMin  = 8
-)
+// routeGemmMin is the smallest per-node group the descent scores through
+// the blocked engine — smaller groups take the scalar screened probe
+// path (bmuMasked), which wins when there is no batch to amortize the
+// block over. The record rows per GEMM block are no longer a constant:
+// they come from the per-model TileConfig resolved in buildNormTables.
+const routeGemmMin = 8
 
 // RouteTrainedFlat routes every row of the flat row-major batch through
 // the effective codebook into out — the compiled counterpart of
@@ -900,24 +915,27 @@ func (c *Compiled) RouteTrainedFlat(flat []float64, n int, out []Placement, para
 	}
 	// Chunk cap: keeps each worker's duplicate index small enough to stay
 	// cache-resident (duplicate traffic clusters in time, so locality is
-	// preserved), and spreads big batches across workers.
+	// preserved), and spreads big batches across workers. Each worker
+	// claims one pooled scratch for the whole call and chunks are handed
+	// out by the work-stealing chunked scheduler, so the per-chunk path
+	// touches no pool and no lock; placements are per-slot writes,
+	// byte-identical at every worker count.
 	const routeChunk = 2048
 	w := parallel.Workers(parallelism, n)
-	chunk := (n + w - 1) / w
-	if chunk > routeChunk {
-		chunk = routeChunk
+	grain := (n + w - 1) / w
+	if grain > routeChunk {
+		grain = routeChunk
 	}
-	chunks := (n + chunk - 1) / chunk
-	parallel.ForEach(parallelism, chunks, func(ci int) {
-		lo := ci * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		sc := routeScratchPool.Get().(*routeScratch)
-		c.routeTrainedChunk(mat, lo, hi, out, sc)
-		routeScratchPool.Put(sc)
+	scratches := make([]*routeScratch, parallel.WorkersGrain(parallelism, n, grain))
+	for i := range scratches {
+		scratches[i] = routeScratchPool.Get().(*routeScratch)
+	}
+	parallel.ForEachChunk(parallelism, n, grain, func(wk, lo, hi int) {
+		c.routeTrainedChunk(mat, lo, hi, out, scratches[wk])
 	})
+	for _, sc := range scratches {
+		routeScratchPool.Put(sc)
+	}
 	return nil
 }
 
@@ -1013,10 +1031,10 @@ func (c *Compiled) routeTrainedChunk(mat vecmath.Matrix, lo, hi int, out []Place
 }
 
 // routeLevelNode advances one node's record group by one level: the
-// group is scored in routeGemmTile-row GEMM blocks against the node's
-// weight block (or probed scalar when too small), each record's BMU is
-// settled exactly, and records descending into a child are appended to
-// nxt.
+// group is scored in GEMM blocks of the model's resolved tile rows
+// against the node's weight block (or probed scalar when too small),
+// each record's BMU is settled exactly, and records descending into a
+// child are appended to nxt.
 func (c *Compiled) routeLevelNode(mat vecmath.Matrix, lo, ni int, group []int32, xn, pd []float64, cur []int32, out []Placement, nxt []int32, sc *routeScratch) []int32 {
 	nd := &c.nodes[ni]
 	dim := c.dim
@@ -1045,8 +1063,9 @@ func (c *Compiled) routeLevelNode(mat vecmath.Matrix, lo, ni int, group []int32,
 		}
 		units = all
 	}
-	for gLo := 0; gLo < len(group); gLo += routeGemmTile {
-		gHi := gLo + routeGemmTile
+	tileRows := c.tile.Rows()
+	for gLo := 0; gLo < len(group); gLo += tileRows {
+		gHi := gLo + tileRows
 		if gHi > len(group) {
 			gHi = len(group)
 		}

@@ -9,6 +9,7 @@ import (
 	"ghsom/internal/baseline"
 	"ghsom/internal/core"
 	"ghsom/internal/metrics"
+	"ghsom/internal/parallel"
 	"ghsom/internal/preprocess"
 	"ghsom/internal/som"
 )
@@ -50,19 +51,40 @@ func capForModel(enc *Encoded, seed int64) [][]float64 {
 	return preprocess.Gather(enc.TrainX, capIdxForModel(enc, seed))
 }
 
+// evalFoldGrain is the chunk grain of evaluate's classification fold:
+// constant, so the chunk layout depends on the test-set size only and
+// the tallied outcome is identical at every worker count (the confusion
+// counts are exact integers regardless of fold order).
+const evalFoldGrain = 1024
+
 // evaluate runs the fitted detector over the test split and fills the
-// quality and throughput fields.
+// quality and throughput fields. Records classify concurrently on the
+// detector's configured Parallelism: scores and truth are per-slot
+// writes and the confusion tally folds per-chunk partials on the
+// deterministic chunked scheduler.
 func evaluate(name string, det *anomaly.Detector, enc *Encoded, trainSeconds float64) (DetectorResult, error) {
-	var outcome metrics.BinaryOutcome
 	scores := make([]float64, len(enc.TestX))
 	truth := make([]bool, len(enc.TestX))
 	start := time.Now()
-	for i, x := range enc.TestX {
-		p := det.Classify(x)
-		truth[i] = enc.TestLabels[i] != "normal"
-		outcome.AddBinary(truth[i], p.Attack)
-		scores[i] = p.Score
-	}
+	outcome := parallel.MapReduceChunk(det.Parallelism(), len(enc.TestX), evalFoldGrain,
+		metrics.BinaryOutcome{},
+		func(lo, hi int) metrics.BinaryOutcome {
+			var part metrics.BinaryOutcome
+			for i := lo; i < hi; i++ {
+				p := det.Classify(enc.TestX[i])
+				truth[i] = enc.TestLabels[i] != "normal"
+				part.AddBinary(truth[i], p.Attack)
+				scores[i] = p.Score
+			}
+			return part
+		},
+		func(acc, part metrics.BinaryOutcome) metrics.BinaryOutcome {
+			acc.TP += part.TP
+			acc.FP += part.FP
+			acc.TN += part.TN
+			acc.FN += part.FN
+			return acc
+		})
 	elapsed := time.Since(start).Seconds()
 	curve, err := metrics.ROC(scores, truth)
 	if err != nil {

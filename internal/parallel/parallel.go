@@ -23,6 +23,16 @@
 // index-order fold in the caller. MapReduce is deterministic for a fixed
 // (p, n) pair: chunk boundaries depend only on p and n, and partial
 // results are folded in ascending chunk order.
+//
+// The chunked scheduler (ForEachChunk, MapReduceChunk) strengthens that
+// guarantee to every worker count: its chunk layout is a function of (n,
+// grain) only — never of p — chunks are handed to workers by an atomic
+// cursor (work stealing, so skewed chunk costs balance), and
+// MapReduceChunk folds per-chunk partials in ascending chunk order.
+// Because each chunk's partial is computed over the same index range with
+// the same serial order no matter which worker runs it, floating-point
+// reductions built on MapReduceChunk are bit-identical at every
+// Parallelism setting, including 1.
 package parallel
 
 import (
@@ -30,6 +40,22 @@ import (
 	"sync"
 	"sync/atomic"
 )
+
+// CacheLineSize is the assumed coherence granularity used by Padded. 64
+// bytes covers x86-64 and most arm64 cores (Apple silicon uses 128-byte
+// lines; Padded's slot spacing still removes the adjacent-slot sharing
+// that dominates in practice).
+const CacheLineSize = 64
+
+// Padded wraps a value in a full trailing cache line so adjacent elements
+// of a []Padded[T] never share a line through their tails — the
+// accumulator-slot layout of MapReduceChunk and of callers keeping
+// per-worker counters. For slot types at least a cache line wide the pad
+// is redundant but harmless.
+type Padded[T any] struct {
+	V T
+	_ [CacheLineSize]byte
+}
 
 // Resolve maps a Parallelism knob value to a concrete worker budget:
 // p <= 0 selects runtime.GOMAXPROCS(0), any other value is returned as is.
@@ -52,6 +78,121 @@ func Workers(p, n int) int {
 		p = 1
 	}
 	return p
+}
+
+// WorkersGrain resolves the knob p against n jobs whose natural work
+// granule is grain indices (a GEMM tile of rows, a pooled classify
+// chunk): the worker count is additionally clamped so no worker would
+// receive less than one full granule. Workers(p, n) alone oversubscribes
+// small batches — at n=40 rows and p=16 every worker gets under one
+// 32-row GEMM tile and the fan-out costs more than it buys. A grain <= 1
+// degenerates to Workers(p, n).
+func WorkersGrain(p, n, grain int) int {
+	w := Workers(p, n)
+	if grain > 1 {
+		if g := (n + grain - 1) / grain; g < w {
+			w = g
+		}
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Chunks returns the number of fixed-layout chunks ForEachChunk and
+// MapReduceChunk split [0, n) into at the given grain: ceil(n/grain),
+// with grain floored at 1. The layout depends only on (n, grain).
+func Chunks(n, grain int) int {
+	if grain < 1 {
+		grain = 1
+	}
+	return (n + grain - 1) / grain
+}
+
+// ForEachChunk splits [0, n) into fixed chunks of grain indices — chunk c
+// covers [c*grain, min((c+1)*grain, n)), a layout that depends only on
+// (n, grain) — and invokes fn(w, lo, hi) once per chunk on at most
+// WorkersGrain(p, n, grain) workers. Chunks are handed out through an
+// atomic cursor, so uneven per-chunk costs (hierarchy descents of varying
+// depth) balance across workers (work stealing), while w identifies the
+// calling worker in [0, WorkersGrain(p, n, grain)) so callers can keep
+// per-worker scratch arenas without locks or pools on the chunk path.
+// Serial execution (one worker) visits chunks in ascending order with
+// w == 0. fn must be safe for concurrent calls; writes to distinct
+// per-index slots need no further synchronization.
+func ForEachChunk(p, n, grain int, fn func(w, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	chunks := (n + grain - 1) / grain
+	w := WorkersGrain(p, n, grain)
+	if w <= 1 {
+		for c := 0; c < chunks; c++ {
+			hi := (c + 1) * grain
+			if hi > n {
+				hi = n
+			}
+			fn(0, c*grain, hi)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for id := 0; id < w; id++ {
+		go func(id int) {
+			defer wg.Done()
+			for {
+				c := int(cursor.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				hi := (c + 1) * grain
+				if hi > n {
+					hi = n
+				}
+				fn(id, c*grain, hi)
+			}
+		}(id)
+	}
+	wg.Wait()
+}
+
+// MapReduceChunk runs mapFn over the same fixed chunk layout as
+// ForEachChunk — chunk boundaries depend only on (n, grain) — storing
+// each chunk's partial in its own cache-line-padded slot, then folds the
+// partials into zero in ascending chunk order once all chunks complete:
+// reduceFn(...reduceFn(zero, part0)..., partK). Unlike MapReduce (whose
+// chunk layout follows the worker count), the result is bit-identical at
+// EVERY worker count, including serial execution, because each partial is
+// computed over an identical index range in identical serial order and
+// the fold order never changes. This is the scheduler under the
+// floating-point training folds (BMU-class accumulation, MQE sums).
+//
+// Callers bound peak memory by choosing grain: all ceil(n/grain) partials
+// are alive until the fold runs. reduceFn may recycle part's storage into
+// a pool after folding it.
+func MapReduceChunk[T any](p, n, grain int, zero T, mapFn func(lo, hi int) T, reduceFn func(acc, part T) T) T {
+	if n <= 0 {
+		return zero
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	chunks := (n + grain - 1) / grain
+	parts := make([]Padded[T], chunks)
+	ForEachChunk(p, n, grain, func(w, lo, hi int) {
+		parts[lo/grain].V = mapFn(lo, hi)
+	})
+	acc := zero
+	for c := range parts {
+		acc = reduceFn(acc, parts[c].V)
+	}
+	return acc
 }
 
 // ForEach invokes fn(i) exactly once for every i in [0, n), using at most

@@ -129,6 +129,119 @@ func TestMapReduceEmpty(t *testing.T) {
 	}
 }
 
+func TestWorkersGrain(t *testing.T) {
+	cases := []struct {
+		p, n, grain, want int
+	}{
+		{16, 40, 32, 2}, // 40 rows / 32-row tiles: two workers, not 16
+		{16, 1000, 32, 16} /* enough tiles for everyone */, {16, 31, 32, 1},
+		{16, 0, 32, 1},
+		{4, 100, 0, 4}, // grain <= 1 degenerates to Workers
+		{4, 100, 1, 4},
+		{1, 100, 32, 1},
+	}
+	for _, c := range cases {
+		if got := WorkersGrain(c.p, c.n, c.grain); got != c.want {
+			t.Errorf("WorkersGrain(%d, %d, %d) = %d, want %d", c.p, c.n, c.grain, got, c.want)
+		}
+	}
+}
+
+// TestForEachChunkCoversRangeOnce checks every index is covered by exactly
+// one chunk, chunk boundaries follow the fixed (n, grain) layout, and
+// worker ids stay in range, at every worker count.
+func TestForEachChunkCoversRangeOnce(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 8, 0} {
+		for _, n := range []int{0, 1, 5, 64, 1000} {
+			for _, grain := range []int{1, 7, 64, 2000} {
+				counts := make([]int32, n)
+				maxW := WorkersGrain(p, n, grain)
+				var badWorker atomic.Int32
+				badWorker.Store(-1)
+				ForEachChunk(p, n, grain, func(w, lo, hi int) {
+					if w < 0 || w >= maxW {
+						badWorker.Store(int32(w))
+					}
+					if lo%grain != 0 || (hi != n && hi-lo != grain) || hi > n {
+						badWorker.Store(int32(-2))
+					}
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&counts[i], 1)
+					}
+				})
+				if w := badWorker.Load(); w != -1 {
+					t.Fatalf("p=%d n=%d grain=%d: bad worker id or chunk bounds (%d)", p, n, grain, w)
+				}
+				for i, c := range counts {
+					if c != 1 {
+						t.Fatalf("p=%d n=%d grain=%d: index %d visited %d times", p, n, grain, i, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMapReduceChunkBitIdenticalAcrossWorkerCounts is the determinism
+// contract of the chunked scheduler: a floating-point sum whose rounding
+// depends on the grouping must come out bit-identical at every worker
+// count because the chunk layout and fold order never depend on it.
+func TestMapReduceChunkBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	n := 10_000
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = 1.0 / float64(i+1)
+	}
+	sum := func(p, grain int) float64 {
+		return MapReduceChunk(p, n, grain, 0.0,
+			func(lo, hi int) float64 {
+				var s float64
+				for i := lo; i < hi; i++ {
+					s += vals[i]
+				}
+				return s
+			},
+			func(acc, part float64) float64 { return acc + part })
+	}
+	for _, grain := range []int{1, 97, 1024, n} {
+		ref := sum(1, grain)
+		for _, p := range []int{2, 3, 8, 0} {
+			if got := sum(p, grain); got != ref {
+				t.Fatalf("grain=%d p=%d: sum %v differs from serial %v", grain, p, got, ref)
+			}
+		}
+	}
+}
+
+// TestMapReduceChunkFoldOrder verifies ascending-chunk fold order and the
+// fixed chunk layout.
+func TestMapReduceChunkFoldOrder(t *testing.T) {
+	for _, p := range []int{1, 4, 0} {
+		got := MapReduceChunk(p, 100, 16, []int(nil),
+			func(lo, hi int) []int { return []int{lo, hi} },
+			func(acc, part []int) []int { return append(acc, part...) })
+		want := Chunks(100, 16)
+		if len(got) != 2*want {
+			t.Fatalf("p=%d: %d chunks, want %d", p, len(got)/2, want)
+		}
+		for c := 0; c < want; c++ {
+			lo, hi := got[2*c], got[2*c+1]
+			if lo != c*16 || hi != min(lo+16, 100) {
+				t.Fatalf("p=%d: chunk %d spans [%d,%d)", p, c, lo, hi)
+			}
+		}
+	}
+}
+
+func TestMapReduceChunkEmpty(t *testing.T) {
+	got := MapReduceChunk(4, 0, 8, 42,
+		func(lo, hi int) int { t.Fatal("mapFn called on empty range"); return 0 },
+		func(acc, part int) int { return acc + part })
+	if got != 42 {
+		t.Errorf("empty MapReduceChunk = %d, want zero value 42", got)
+	}
+}
+
 // TestMapReduceChunkOrder verifies partials are folded in ascending chunk
 // order — the documented determinism contract.
 func TestMapReduceChunkOrder(t *testing.T) {

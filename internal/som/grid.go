@@ -11,7 +11,6 @@ package som
 import (
 	"errors"
 	"fmt"
-	"sync"
 
 	"ghsom/internal/vecmath"
 )
@@ -45,13 +44,12 @@ type Map struct {
 	// operations, which also reallocate the arena) bumps it. It is the
 	// staleness token of the norm cache below — see Version.
 	version uint64
-	// normMu serializes norm-cache synchronization so concurrent read-only
-	// batch operations (Assign, AssignFlat, MQE) on a trained map stay
-	// race-free. Weight mutation itself requires exclusive access, exactly
-	// as it always has.
-	normMu sync.Mutex
 	// norms caches the per-unit squared weight norms for the blocked BMU
-	// engine, keyed by version.
+	// engine, keyed by version. The cache is an atomic snapshot
+	// (lock-free reads, copy-on-invalidate), so concurrent read-only
+	// batch operations (Assign, AssignFlat, MQE) on a trained map never
+	// serialize on it. Weight mutation itself requires exclusive access,
+	// exactly as it always has.
 	norms vecmath.NormCache
 }
 
@@ -80,12 +78,12 @@ func (m *Map) Version() uint64 { return m.version }
 func (m *Map) touch() { m.version++ }
 
 // syncedNorms returns the up-to-date per-unit squared-norm table. Safe
-// for concurrent callers on a map that is not being mutated.
+// for concurrent callers on a map that is not being mutated: the cache
+// read is a single atomic snapshot load, so the steady-state BMU hot
+// path acquires no lock (concurrent first-touch callers may redundantly
+// recompute and republish the same table, which is benign).
 func (m *Map) syncedNorms() []float64 {
-	m.normMu.Lock()
-	norms := m.norms.Sync(m.flat, m.dim, m.version)
-	m.normMu.Unlock()
-	return norms
+	return m.norms.Sync(m.flat, m.dim, m.version)
 }
 
 // Rows returns the number of grid rows.

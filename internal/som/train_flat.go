@@ -3,6 +3,7 @@ package som
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"ghsom/internal/parallel"
 	"ghsom/internal/vecmath"
@@ -25,9 +26,11 @@ import (
 // O(N·units·dim).
 //
 // Determinism: the per-record BMU searches write only their own output
-// slots and every floating-point reduction (class sums, MQE) runs as a
-// serial fold in view-row order, so training results are bit-for-bit
-// identical at every Parallelism setting.
+// slots and every floating-point reduction (class sums, MQE) runs on the
+// chunked scheduler (parallel.MapReduceChunk), whose chunk layout is a
+// function of the row count only and whose per-chunk partials fold in
+// ascending chunk order — so training results are bit-for-bit identical
+// at every Parallelism setting, including serial execution.
 
 // scheduleFrac returns the training fraction of an epoch for parameter
 // decay: epochs interpolate over Epochs-1 so the final epoch trains
@@ -95,27 +98,43 @@ func (m *Map) neighborhoodTable(dst []float64, radius, scale float64, kernel Ker
 	}
 }
 
+// bmuScratchPool recycles per-worker BMU engine scratches across bmuView
+// calls. Scratches are claimed once per worker per call — never on the
+// per-chunk path — so the steady state has no pool traffic and no
+// cross-worker contention inside the BMU search.
+var bmuScratchPool = sync.Pool{New: func() any { return new(vecmath.BMUScratch) }}
+
 // bmuView computes the BMU index and squared distance of every view row
-// into bmus and d2s (either may be nil) on p workers, through the blocked
-// BMU engine: workers take contiguous view ranges and run the norm-cached
-// expanded-distance kernel (vecmath.ArgMinDistanceBatch) over them, which
-// is bit-for-bit identical to the per-row ArgMinDistance scan. When d2s
-// is nil — the training BMU pass under SkipEpochMQE — the engine skips
-// the canonical distance settle for every unambiguous record. Each chunk
-// writes only its own slots, so results are identical at every worker
-// count.
+// into bmus and d2s (either may be nil), through the blocked BMU engine:
+// work-stealing workers (parallel.ForEachChunk) take GEMM-tile-sized row
+// chunks and run the norm-cached expanded-distance kernel
+// (vecmath.BMUScratch.ArgMinDistanceBatch) over them, which is
+// bit-for-bit identical to the per-row ArgMinDistance scan. The tile
+// shape is resolved per call from the codebook and worker count
+// (vecmath.ResolveTile); the worker count is clamped so no worker gets
+// less than one tile (parallel.WorkersGrain); each worker owns a pooled
+// scratch for the whole call, and the norm-cache read is a lock-free
+// atomic snapshot — no mutex or pool sits on the per-chunk path. When
+// d2s is nil — the training BMU pass under SkipEpochMQE — the engine
+// skips the canonical distance settle for every unambiguous record.
+// Each chunk writes only its own slots, so results are identical at
+// every worker count.
 func (m *Map) bmuView(v vecmath.View, bmus []int, d2s []float64, p int) {
 	n := v.Rows()
 	if n == 0 || (bmus == nil && d2s == nil) {
 		return
 	}
 	norms := m.syncedNorms()
-	w := parallel.Workers(p, n)
-	chunk := (n + w - 1) / w
-	chunks := (n + chunk - 1) / chunk
-	parallel.ForEach(p, chunks, func(c int) {
-		lo := c * chunk
-		hi := min(lo+chunk, n)
+	tile := vecmath.ResolveTile(m.dim, m.Units(), parallel.Workers(p, n))
+	grain := tile.RecRows
+	w := parallel.WorkersGrain(p, n, grain)
+	scratches := make([]*vecmath.BMUScratch, w)
+	for i := range scratches {
+		sc := bmuScratchPool.Get().(*vecmath.BMUScratch)
+		sc.Tile = tile
+		scratches[i] = sc
+	}
+	parallel.ForEachChunk(p, n, grain, func(wk, lo, hi int) {
 		var ob []int
 		var od []float64
 		if bmus != nil {
@@ -124,25 +143,78 @@ func (m *Map) bmuView(v vecmath.View, bmus []int, d2s []float64, p int) {
 		if d2s != nil {
 			od = d2s[lo:hi]
 		}
-		vecmath.ArgMinDistanceBatch(v.Slice(lo, hi), m.flat, norms, ob, od)
+		scratches[wk].ArgMinDistanceBatch(v.Slice(lo, hi), m.flat, norms, ob, od)
 		for i := range ob {
 			if ob[i] < 0 {
 				ob[i] = 0 // degenerate query: keep the BMU contract of unit 0
 			}
 		}
 	})
+	for _, sc := range scratches {
+		bmuScratchPool.Put(sc)
+	}
 }
+
+// classAccum is one chunk's BMU-class partial: per-unit data-row sums and
+// counts. Partials live in cache-line-padded MapReduceChunk slots while
+// workers fill them and are pooled across epochs, so the steady-state
+// fold neither false-shares nor allocates.
+type classAccum struct {
+	sum []float64
+	cnt []int
+}
+
+var classAccumPool = sync.Pool{New: func() any { return new(classAccum) }}
+
+// reset shapes the accumulator for a units×dim map and zeroes it.
+func (a *classAccum) reset(units, dim int) {
+	if cap(a.sum) < units*dim {
+		a.sum = make([]float64, units*dim)
+	} else {
+		a.sum = a.sum[:units*dim]
+		for i := range a.sum {
+			a.sum[i] = 0
+		}
+	}
+	if cap(a.cnt) < units {
+		a.cnt = make([]int, units)
+	} else {
+		a.cnt = a.cnt[:units]
+		for i := range a.cnt {
+			a.cnt[i] = 0
+		}
+	}
+}
+
+// classFoldGrain is the chunk grain of the BMU-class accumulation fold: a
+// pure function of the row count (so the chunk layout never depends on
+// the worker count), bounding live per-chunk class tables at ~64 while
+// keeping batches of up to 2048 rows in one chunk — where the fold is
+// exactly the retired serial row-order accumulation.
+func classFoldGrain(n int) int {
+	g := (n + 63) / 64
+	if g < 2048 {
+		g = 2048
+	}
+	return g
+}
+
+// mqeFoldGrain is the chunk grain of the scalar sqrt-sum folds (epoch
+// MQE): constant, so the layout depends on the row count only.
+const mqeFoldGrain = 8192
 
 // TrainBatchView trains the map with the deterministic batch rule over a
 // flat data view. Each epoch runs one parallel BMU pass, accumulates
-// per-BMU-class sums and counts in a serial view-order fold, and moves
-// every unit to its neighborhood-weighted class mean via one rank-1
-// update per (class, unit) pair. The BMU-pass distances double as the
-// previous epoch's MQE measurement, so no separate quality scan runs
-// inside the epoch loop; unless cfg.SkipEpochMQE is set, one extra
-// distance-only pass after the final epoch completes the stats. Batch
-// training ignores Alpha and Shuffle. Results are bit-for-bit identical
-// at every cfg.Parallelism setting.
+// per-BMU-class sums and counts with a chunked deterministic fold
+// (parallel.MapReduceChunk: fixed row-count-only chunk layout, partials
+// folded in ascending chunk order), and moves every unit to its
+// neighborhood-weighted class mean via one rank-1 update per (class,
+// unit) pair. The BMU-pass distances double as the previous epoch's MQE
+// measurement, so no separate quality scan runs inside the epoch loop;
+// unless cfg.SkipEpochMQE is set, one extra distance-only pass after the
+// final epoch completes the stats. Batch training ignores Alpha and
+// Shuffle. Results are bit-for-bit identical at every cfg.Parallelism
+// setting.
 func (m *Map) TrainBatchView(v vecmath.View, cfg TrainConfig) (TrainStats, error) {
 	if err := cfg.validate(); err != nil {
 		return TrainStats{}, err
@@ -153,13 +225,12 @@ func (m *Map) TrainBatchView(v vecmath.View, cfg TrainConfig) (TrainStats, error
 	radius0 := cfg.effectiveRadius0(m)
 	units, dim, n := m.Units(), m.dim, v.Rows()
 	var (
-		h        = make([]float64, units*units)
-		classSum = make([]float64, units*dim)
-		classCnt = make([]int, units)
-		numer    = make([]float64, dim)
-		bmus     = make([]int, n)
-		d2s      []float64
+		h     = make([]float64, units*units)
+		numer = make([]float64, dim)
+		bmus  = make([]int, n)
+		d2s   []float64
 	)
+	foldGrain := classFoldGrain(n)
 	stats := TrainStats{}
 	if !cfg.SkipEpochMQE {
 		stats.EpochMQE = make([]float64, 0, cfg.Epochs)
@@ -170,25 +241,42 @@ func (m *Map) TrainBatchView(v vecmath.View, cfg TrainConfig) (TrainStats, error
 		m.neighborhoodTable(h, radius, 1, cfg.Kernel, false)
 
 		m.bmuView(v, bmus, d2s, cfg.Parallelism)
-		for i := range classSum {
-			classSum[i] = 0
-		}
-		for i := range classCnt {
-			classCnt[i] = 0
-		}
-		for i := 0; i < n; i++ {
-			c := bmus[i]
-			classCnt[c]++
-			vecmath.AXPYInPlace(classSum[c*dim:(c+1)*dim], 1, v.Row(i))
-		}
+		acc := parallel.MapReduceChunk(cfg.Parallelism, n, foldGrain, (*classAccum)(nil),
+			func(lo, hi int) *classAccum {
+				a := classAccumPool.Get().(*classAccum)
+				a.reset(units, dim)
+				for i := lo; i < hi; i++ {
+					c := bmus[i]
+					a.cnt[c]++
+					vecmath.AXPYInPlace(a.sum[c*dim:(c+1)*dim], 1, v.Row(i))
+				}
+				return a
+			},
+			func(acc, part *classAccum) *classAccum {
+				if acc == nil {
+					return part
+				}
+				vecmath.AXPYInPlace(acc.sum, 1, part.sum)
+				for i, c := range part.cnt {
+					acc.cnt[i] += c
+				}
+				classAccumPool.Put(part)
+				return acc
+			})
+		classSum, classCnt := acc.sum, acc.cnt
 		if epoch > 0 && !cfg.SkipEpochMQE {
 			// This epoch's BMU pass ran against the weights produced by the
 			// previous epoch's update: its distances are exactly the
 			// previous epoch's post-update MQE.
-			var qeSum float64
-			for i := 0; i < n; i++ {
-				qeSum += math.Sqrt(d2s[i])
-			}
+			qeSum := parallel.MapReduceChunk(cfg.Parallelism, n, mqeFoldGrain, 0.0,
+				func(lo, hi int) float64 {
+					var s float64
+					for i := lo; i < hi; i++ {
+						s += math.Sqrt(d2s[i])
+					}
+					return s
+				},
+				func(acc, part float64) float64 { return acc + part })
 			stats.EpochMQE = append(stats.EpochMQE, qeSum/float64(n))
 		}
 
@@ -217,6 +305,7 @@ func (m *Map) TrainBatchView(v vecmath.View, cfg TrainConfig) (TrainStats, error
 				w[d] = numer[d] * inv
 			}
 		}
+		classAccumPool.Put(acc)
 		// The rank-1 updates above rewrote the weight arena: bump the
 		// version so the next epoch's blocked BMU pass resyncs its norm
 		// cache.
@@ -284,7 +373,8 @@ func (m *Map) TrainOnlineView(v vecmath.View, cfg TrainConfig) (TrainStats, erro
 
 // mqeView returns the mean quantization error of the view on p workers,
 // reusing d2s (length >= v.Rows(), or nil to allocate) as distance
-// scratch. The sum folds serially in view-row order.
+// scratch. The sum folds on the chunked deterministic scheduler: the
+// result is bit-identical at every worker count.
 func (m *Map) mqeView(v vecmath.View, p int, d2s []float64) float64 {
 	n := v.Rows()
 	if n == 0 {
@@ -294,10 +384,15 @@ func (m *Map) mqeView(v vecmath.View, p int, d2s []float64) float64 {
 		d2s = make([]float64, n)
 	}
 	m.bmuView(v, nil, d2s, p)
-	var sum float64
-	for i := 0; i < n; i++ {
-		sum += math.Sqrt(d2s[i])
-	}
+	sum := parallel.MapReduceChunk(p, n, mqeFoldGrain, 0.0,
+		func(lo, hi int) float64 {
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += math.Sqrt(d2s[i])
+			}
+			return s
+		},
+		func(acc, part float64) float64 { return acc + part })
 	return sum / float64(n)
 }
 

@@ -3,6 +3,7 @@ package vecmath
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 )
 
 // This file is the blocked BMU search engine: batched best-matching-unit
@@ -31,18 +32,16 @@ import (
 // every input; see TestArgMinDistanceBatchMatchesScalar and
 // FuzzArgMinDistanceBatch.
 
-// Block-shape constants of the engine. gemmRecBlock is the number of
-// record rows ArgMinDistanceBatch scores per tile — the scores scratch is
-// gemmRecBlock×units floats, sized to stay cache-resident for the unit
-// counts GHSOM maps reach. The micro-kernel inside MulBatchT processes 4
-// record rows × 2 weight rows per accumulator group (8 independent
-// accumulator chains: enough to saturate two FMA ports at 4-cycle add
-// latency, while the 14 live values still fit the register file); each
-// loaded record value is reused across 2 weight rows and each weight value
-// across 4 records. Tuning guidance: raise gemmRecBlock if units are few
-// and records many (amortizes the norm pass), lower it if units×8 bytes
-// per row pushes the scores tile out of L2.
-const gemmRecBlock = 32
+// Block shape of the engine: the number of record rows scored per tile
+// is no longer a constant — it is a TileConfig resolved at engine init
+// from the codebook shape and the worker count sharing the cache (see
+// ResolveTile in tile.go; GHSOM_GEMM_TILE overrides it). The scores
+// scratch is RecRows×units floats, sized to stay cache-resident. The
+// micro-kernel inside MulBatchT processes 4 record rows × 2 weight rows
+// per accumulator group (8 independent accumulator chains: enough to
+// saturate two FMA ports at 4-cycle add latency, while the 14 live
+// values still fit the register file); each loaded record value is
+// reused across 2 weight rows and each weight value across 4 records.
 
 // gemmMinBlock is the smallest units×dim codebook the blocked engine
 // engages for; below it (a handful of very short rows) the per-record
@@ -228,49 +227,79 @@ func MaxOrZero(v []float64) float64 {
 	return m
 }
 
-// NormCache is a versioned cache of the per-row squared norms of a flat
-// row-major weight arena, the ‖w‖² term of the expanded-form BMU search.
-// The arena owner holds one counter that it bumps on every weight
-// mutation (see som.Map.Version); Sync recomputes the table if and only
-// if the presented version, dimension, or row count differs from the
-// cached one, which makes a stale cache structurally impossible as long
-// as every mutation bumps the counter — including reallocating growth,
-// where the new arena arrives with a new version. The zero NormCache is
-// ready to use. Not safe for concurrent Sync calls; owners serialize Sync
-// behind their own lock and share the returned slice read-only.
-type NormCache struct {
+// normSnapshot is one immutable generation of a NormCache: the norm
+// table of a specific (version, dim, units) arena state. Snapshots are
+// never mutated after publication — invalidation builds a fresh one —
+// so readers holding a loaded snapshot are always consistent.
+type normSnapshot struct {
 	version uint64
 	dim     int
-	synced  bool
 	norms   []float64
+}
+
+// NormCache is a versioned, read-mostly cache of the per-row squared
+// norms of a flat row-major weight arena — the ‖w‖² term of the
+// expanded-form BMU search. The arena owner holds one counter that it
+// bumps on every weight mutation (see som.Map.Version); Sync recomputes
+// the table if and only if the presented version, dimension, or row
+// count differs from the cached one, which makes a stale cache
+// structurally impossible as long as every mutation bumps the counter —
+// including reallocating growth, where the new arena arrives with a new
+// version.
+//
+// The cache holds one atomic snapshot pointer and copies on invalidate:
+// the steady-state read path (trained model, unchanged version) is one
+// atomic load and three comparisons — no mutex, so any number of
+// concurrent batch searches share the table without contending. On a
+// version change each syncing goroutine builds a private replacement
+// table and publishes it with an atomic store; concurrent syncs of the
+// same state may race to publish, but every candidate snapshot is
+// derived from identical inputs, so whichever lands is correct and the
+// transient duplicate work is bounded by the worker count. Mutating the
+// arena concurrently with Sync remains the caller's race, exactly as it
+// is for the search itself. The zero NormCache is ready to use.
+type NormCache struct {
+	snap atomic.Pointer[normSnapshot]
 }
 
 // Sync returns the squared-norm table of flat's dim-wide rows,
 // recomputing it when version, dim, or the row count differs from the
-// cached state. The returned slice is owned by the cache and valid until
-// the next Sync.
+// cached snapshot. The returned slice is immutable once published:
+// callers may share it read-only across goroutines and it stays valid —
+// and consistent — even if another goroutine invalidates the cache,
+// which installs a fresh table rather than rewriting this one.
 func (c *NormCache) Sync(flat []float64, dim int, version uint64) []float64 {
 	units := 0
 	if dim > 0 {
 		units = len(flat) / dim
 	}
-	if c.synced && c.version == version && c.dim == dim && len(c.norms) == units {
-		return c.norms
+	if s := c.snap.Load(); s != nil && s.version == version && s.dim == dim && len(s.norms) == units {
+		return s.norms
 	}
-	c.norms = SquaredNorms(flat, dim, c.norms[:0])
-	c.version, c.dim, c.synced = version, dim, true
-	return c.norms
+	s := &normSnapshot{version: version, dim: dim, norms: SquaredNorms(flat, dim, nil)}
+	c.snap.Store(s)
+	return s.norms
 }
 
-// bmuBatchScratch is the pooled per-call scratch of ArgMinDistanceBatch:
-// the gemmRecBlock×units expanded-distance tile plus a norm table for
-// callers that pass none.
-type bmuBatchScratch struct {
+// BMUScratch is the per-engine-instance working state of the blocked BMU
+// search: the RecRows×units expanded-distance score tile, a norm table
+// for callers that pass none, and the resolved TileConfig. A scratch is
+// NOT safe for concurrent use; parallel callers give each worker its own
+// (the per-worker arenas of som's bmuView and the routing descent), which
+// keeps the steady-state hot path free of pool and lock traffic. The
+// zero value is ready to use with the default tile.
+type BMUScratch struct {
+	// Tile is the resolved block shape; the zero value selects
+	// DefaultTileRows.
+	Tile   TileConfig
 	scores []float64
 	norms  []float64
 }
 
-var bmuBatchPool = sync.Pool{New: func() any { return &bmuBatchScratch{} }}
+// bmuBatchPool recycles scratches for the package-level
+// ArgMinDistanceBatch entry point, whose callers don't manage worker
+// identity themselves.
+var bmuBatchPool = sync.Pool{New: func() any { return &BMUScratch{} }}
 
 // ArgMinDistanceBatch computes, for every row of x, the index of the
 // nearest dim-wide row of the packed row-major matrix flat and the squared
@@ -296,9 +325,21 @@ var bmuBatchPool = sync.Pool{New: func() any { return &bmuBatchScratch{} }}
 // need the descent edge) run in this mode.
 //
 // The call runs serially; callers parallelize by splitting the view
-// (View.Slice) and the output slices across workers. Steady-state heap
-// allocation is zero: score tiles come from an internal pool.
+// (View.Slice) and the output slices across workers, giving each worker
+// its own BMUScratch (see the method form) so no pool or lock is touched
+// per tile. This package-level form services callers without worker
+// identity from an internal pool. Steady-state heap allocation is zero.
 func ArgMinDistanceBatch(x View, flat []float64, norms []float64, out []int, outDist []float64) {
+	sc := bmuBatchPool.Get().(*BMUScratch)
+	sc.ArgMinDistanceBatch(x, flat, norms, out, outDist)
+	bmuBatchPool.Put(sc)
+}
+
+// ArgMinDistanceBatch is the scratch-owning form of the package-level
+// function: identical contract and bit-identical results, with the score
+// tile, fallback norm table, and tile shape held by s. One scratch per
+// worker is the contention-free steady state of the parallel dataplanes.
+func (s *BMUScratch) ArgMinDistanceBatch(x View, flat []float64, norms []float64, out []int, outDist []float64) {
 	n := x.Rows()
 	if n == 0 {
 		return
@@ -336,18 +377,17 @@ func ArgMinDistanceBatch(x View, flat []float64, norms []float64, out []int, out
 		}
 		return
 	}
-	sc := bmuBatchPool.Get().(*bmuBatchScratch)
 	if norms == nil {
-		sc.norms = SquaredNorms(flat, dim, sc.norms[:0])
-		norms = sc.norms
+		s.norms = SquaredNorms(flat, dim, s.norms[:0])
+		norms = s.norms
 	}
 	maxN := MaxOrZero(norms)
-	tile := gemmRecBlock
+	tile := s.Tile.Rows()
 	if n < tile {
 		tile = n
 	}
-	if cap(sc.scores) < tile*units {
-		sc.scores = make([]float64, tile*units)
+	if cap(s.scores) < tile*units {
+		s.scores = make([]float64, tile*units)
 	}
 	for lo := 0; lo < n; lo += tile {
 		hi := lo + tile
@@ -355,7 +395,7 @@ func ArgMinDistanceBatch(x View, flat []float64, norms []float64, out []int, out
 			hi = n
 		}
 		sub := x.Slice(lo, hi)
-		scores := sc.scores[:(hi-lo)*units]
+		scores := s.scores[:(hi-lo)*units]
 		MulBatchT(sub, flat, scores)
 		for i := 0; i < hi-lo; i++ {
 			xi := sub.Row(i)
@@ -368,7 +408,6 @@ func ArgMinDistanceBatch(x View, flat []float64, norms []float64, out []int, out
 			}
 		}
 	}
-	bmuBatchPool.Put(sc)
 }
 
 // settleRow turns one record's dot-product row into the exact argmin:

@@ -1,0 +1,101 @@
+package vecmath
+
+import (
+	"os"
+	"strconv"
+	"sync"
+)
+
+// TileConfig is the resolved block shape of one blocked BMU engine
+// instance: how many record rows each GEMM score tile spans. It is
+// computed once at engine init (ResolveTile) from the codebook shape and
+// the worker count that will share the cache, instead of the former
+// one-size-fits-all gemmRecBlock constant. The tile NEVER affects
+// results — the expanded form is only a candidate generator and every
+// winner is settled with the canonical kernel — it only moves the
+// compute/traffic balance, so autotuning is always safe.
+type TileConfig struct {
+	// RecRows is the record rows per score tile. Zero means "unresolved";
+	// the engine falls back to DefaultTileRows.
+	RecRows int
+}
+
+// Tile size bounds and defaults of the resolver.
+const (
+	// DefaultTileRows is the tile used when no TileConfig was resolved —
+	// the former fixed gemmRecBlock.
+	DefaultTileRows = 32
+	// minTileRows keeps enough rows per tile for the 4×2 micro-kernel to
+	// amortize its weight loads.
+	minTileRows = 8
+	// maxTileRows caps the scores scratch (maxTileRows×units floats) even
+	// for tiny codebooks, where the norm-pass amortization has long
+	// saturated.
+	maxTileRows = 128
+	// tileBudgetBytes is the per-worker cache budget the resolver fits
+	// the tile working set into — record rows (rows×dim), the score tile
+	// (rows×units), and one streamed pass of the weight block. 256 KiB
+	// targets a private L2 share with room for the weight stream.
+	tileBudgetBytes = 256 << 10
+	// tileSharedBudgetBytes is the budget when multiple workers run
+	// concurrently: SMT siblings share L2 and all cores share L3, so each
+	// worker plans for half the private budget rather than assuming the
+	// whole cache to itself.
+	tileSharedBudgetBytes = tileBudgetBytes / 2
+)
+
+// tileEnvOverride reads the GHSOM_GEMM_TILE escape hatch once: a positive
+// integer forces that many record rows per tile on every engine instance,
+// for A/B measurement on hardware the resolver's cache model mispredicts.
+var tileEnvOverride = sync.OnceValue(func() int {
+	v := os.Getenv("GHSOM_GEMM_TILE")
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		return 0
+	}
+	return n
+})
+
+// ResolveTile returns the GEMM tile for a dim-wide codebook of units rows
+// searched by the given number of concurrent workers (values < 1 are
+// treated as 1). The tile working set — rows×(dim+units) float64s — is
+// fitted into a per-worker cache budget that shrinks when workers share
+// the cache hierarchy, clamped to [8, 128] rows and rounded down to a
+// multiple of 4 (the micro-kernel's record-row group). The
+// GHSOM_GEMM_TILE environment variable overrides the resolved row count
+// wholesale.
+func ResolveTile(dim, units, workers int) TileConfig {
+	if n := tileEnvOverride(); n > 0 {
+		return TileConfig{RecRows: n}
+	}
+	if dim < 1 {
+		dim = 1
+	}
+	if units < 1 {
+		units = 1
+	}
+	budget := tileBudgetBytes
+	if workers > 1 {
+		budget = tileSharedBudgetBytes
+	}
+	rows := budget / ((dim + units) * 8)
+	if rows > maxTileRows {
+		rows = maxTileRows
+	}
+	rows &^= 3 // multiple of 4: full micro-kernel row groups
+	if rows < minTileRows {
+		rows = minTileRows
+	}
+	return TileConfig{RecRows: rows}
+}
+
+// Rows returns the configured tile rows, defaulting an unresolved config.
+func (t TileConfig) Rows() int {
+	if t.RecRows < 1 {
+		return DefaultTileRows
+	}
+	return t.RecRows
+}

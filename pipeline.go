@@ -93,23 +93,29 @@ type Pipeline struct {
 
 // detectChunk is the largest number of records one DetectBatch worker
 // processes per pooled arena; batchChunks shrinks it so a batch always
-// splits across the available workers.
-const detectChunk = 256
+// splits across the available workers. detectGrain is the floor: one
+// GEMM tile of rows, so a small batch never splinters into chunks too
+// thin for the blocked BMU descent to amortize (the oversubscription
+// fix — fan-out below one tile per worker costs more than it buys).
+const (
+	detectChunk = 256
+	detectGrain = vecmath.DefaultTileRows
+)
 
 // batchChunks returns the chunk size and chunk count for an n-record
 // batch at the given Parallelism knob: at most detectChunk records per
-// chunk, and at least one chunk per worker so a modest batch (e.g. one
-// micro-batch of a few hundred records) still spreads across cores.
-// Chunking never affects results — rows are independent — only the
-// worker fan-out.
+// chunk, at least one chunk per worker so a modest batch (e.g. one
+// micro-batch of a few hundred records) still spreads across cores, and
+// never less than detectGrain records per chunk. Chunking never affects
+// results — rows are independent — only the worker fan-out.
 func batchChunks(par, n int) (size, count int) {
-	w := parallel.Workers(par, n)
+	w := parallel.WorkersGrain(par, n, detectGrain)
 	size = (n + w - 1) / w
 	if size > detectChunk {
 		size = detectChunk
 	}
-	if size < 1 {
-		size = 1
+	if size < detectGrain {
+		size = detectGrain
 	}
 	return size, (n + size - 1) / size
 }
