@@ -1,0 +1,135 @@
+package ghsom
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"ghsom/internal/leakcheck"
+)
+
+// ctxTestPipe caches one trained pipeline and its records for the
+// ctx-dataplane tests of this file.
+var ctxTestPipe struct {
+	once sync.Once
+	pipe *Pipeline
+	recs []Record
+	err  error
+}
+
+func testPipelineAndRecords(t *testing.T) (*Pipeline, []Record) {
+	t.Helper()
+	recs := testRecords(t)
+	ctxTestPipe.once.Do(func() {
+		ctxTestPipe.recs = recs
+		ctxTestPipe.pipe, ctxTestPipe.err = TrainPipeline(recs, quickPipelineConfig())
+	})
+	if ctxTestPipe.err != nil {
+		t.Fatal(ctxTestPipe.err)
+	}
+	return ctxTestPipe.pipe, ctxTestPipe.recs
+}
+
+// TestDetectBatchCtxMatchesDetectBatch pins that the ctx-aware entry
+// with a never-canceled (and nil) context is byte-identical to
+// DetectBatch at serial and parallel settings.
+func TestDetectBatchCtxMatchesDetectBatch(t *testing.T) {
+	pipe, recs := testPipelineAndRecords(t)
+	eval := recs[:500]
+	want, err := pipe.DetectBatch(eval, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 3, 0} {
+		pipe.SetParallelism(par)
+		for _, ctx := range []context.Context{nil, context.Background()} {
+			got, err := pipe.DetectBatchCtx(ctx, eval, nil)
+			if err != nil {
+				t.Fatalf("par=%d: %v", par, err)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("par=%d record %d: ctx %+v, plain %+v", par, i, got[i], want[i])
+				}
+			}
+		}
+	}
+	pipe.SetParallelism(0)
+}
+
+// TestDetectBatchCtxCanceledStopsAndDoesNotLeak drives canceled calls —
+// pre-canceled and canceled mid-flight — through the batch dataplane at
+// several parallelism settings and verifies ctx.Err() is reported and no
+// worker goroutines outlive the call.
+func TestDetectBatchCtxCanceledStopsAndDoesNotLeak(t *testing.T) {
+	leakcheck.Check(t)
+	pipe, recs := testPipelineAndRecords(t)
+	big := make([]Record, 0, 8*len(recs))
+	for len(big) < 8*len(recs) {
+		big = append(big, recs...)
+	}
+	for _, par := range []int{1, 4, 0} {
+		pipe.SetParallelism(par)
+		// Pre-canceled: no chunk may run; the canonical error comes back.
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := pipe.DetectBatchCtx(ctx, big, nil); !errors.Is(err, context.Canceled) {
+			t.Fatalf("par=%d pre-canceled err = %v, want context.Canceled", par, err)
+		}
+		// Cancel mid-flight: the call must return promptly, either whole
+		// (nil — the race went to completion) or canceled.
+		ctx2, cancel2 := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() {
+			_, err := pipe.DetectBatchCtx(ctx2, big, nil)
+			done <- err
+		}()
+		cancel2()
+		if err := <-done; err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("par=%d mid-flight err = %v, want nil (already done) or Canceled", par, err)
+		}
+	}
+	pipe.SetParallelism(0)
+}
+
+// TestDetectBatchRejectsNaNPoison pins the inference-side non-finite
+// guard on the record path: a NaN-poisoned numeric feature fails its own
+// record by index instead of silently poisoning the verdict.
+func TestDetectBatchRejectsNaNPoison(t *testing.T) {
+	pipe, recs := testPipelineAndRecords(t)
+	eval := append([]Record(nil), recs[:10]...)
+	eval[4].SrcBytes = -7 // log1p(-7) = NaN after the log transform
+	_, err := pipe.DetectBatch(eval, nil)
+	if err == nil || !strings.Contains(err.Error(), "record 4") || !strings.Contains(err.Error(), "non-finite") {
+		t.Fatalf("err = %v, want non-finite failure naming record 4", err)
+	}
+	// The clean prefix still classifies.
+	if _, err := pipe.DetectBatch(eval[:4], nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDetectColumnarRejectsNaNPoison pins the guard on the wire path: a
+// frame whose raw float64 column carries NaN (inexpressible in JSON, but
+// trivial in the columnar format) fails with the record named.
+func TestDetectColumnarRejectsNaNPoison(t *testing.T) {
+	pipe, recs := testPipelineAndRecords(t)
+	poison := append([]Record(nil), recs[:8]...)
+	poison[5].SameSrvRate = math.NaN()
+	var buf bytes.Buffer
+	if err := WriteColumnarBatch(&buf, poison, ColumnarWriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	var cb ColumnarBatch
+	if err := ReadColumnarBatch(&buf, &cb, DefaultColumnarLimits()); err != nil {
+		t.Fatal(err)
+	}
+	_, err := pipe.DetectColumnar(&cb, nil)
+	if err == nil || !strings.Contains(err.Error(), "record 5") || !strings.Contains(err.Error(), "non-finite") {
+		t.Fatalf("err = %v, want non-finite failure naming record 5", err)
+	}
+}

@@ -30,12 +30,34 @@
 //	               model shape, arena footprint, per-model serve stats.
 //	GET  /stats    JSON batching/latency/throughput counters of the
 //	               model selected by ?model=NAME, plus worker-pool
-//	               gauges (busy/idle workers, queue depth).
-//	GET  /healthz  200 once the initial model is loaded.
+//	               gauges (busy/idle workers, queue depth) and the
+//	               overload counters (admitted, shed, deadline misses,
+//	               quarantined jobs, last error).
+//	GET  /healthz  readiness: 200 once the initial model is loaded and
+//	               the server is not draining; 503 otherwise.
+//	GET  /livez    liveness: 200 for the whole process lifetime,
+//	               including drain.
+//
+// # Overload hardening
+//
+// Admission is bounded and deadline-aware: each request carries an
+// absolute deadline — from the X-GHSOM-Deadline-Ms header, the request
+// context, or the -default-timeout flag — and is rejected up front with
+// 429 + Retry-After when the admission queue is full or the deadline has
+// already passed; jobs whose deadline expires while queued are dropped
+// before any dataplane work is spent on them. One malformed or poisoned
+// record fails only its own request (per-job isolation plus a recover()
+// barrier around the dataplane), never co-batched clients or the
+// process. On SIGTERM/SIGINT the server flips /healthz to 503, stops
+// admitting (503 on new work), drains in-flight batches within
+// -drain-grace, and exits; POST /model hot-swaps complete even during
+// drain. See the README's "Operational hardening" section.
 //
 // With -pprof the stdlib profiling endpoints are mounted under
 // /debug/pprof (CPU, heap, mutex, block) for diagnosing scaling stalls
-// in production; they are off by default.
+// in production; they are off by default. With -faults (or GHSOM_FAULTS)
+// the named fault-injection points of internal/faultinject are armed for
+// chaos drills.
 //
 // Usage:
 //
@@ -56,14 +78,19 @@ import (
 	"net/http"
 	netpprof "net/http/pprof"
 	"os"
+	"os/signal"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"ghsom"
+	"ghsom/internal/faultinject"
 	"ghsom/internal/kdd"
 	"ghsom/internal/parallel"
+	"ghsom/internal/serveq"
 )
 
 func main() {
@@ -84,6 +111,14 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	useMmap := fs.Bool("mmap", false, "mmap the model file: the weight arena serves as views of the page cache instead of heap copies")
 	maxBody := fs.Int64("max-body", defaultMaxBodyBytes, "cap on one /detect request body in bytes (413 beyond)")
 	maxModel := fs.Int64("max-model", defaultMaxModelBytes, "cap on one POST /model envelope in bytes (413 beyond)")
+	queueCap := fs.Int("queue", defaultQueueCap, "admission queue capacity in jobs per model; a full queue sheds with 429")
+	defaultTimeout := fs.Duration("default-timeout", defaultJobTimeout, "deadline given to requests that carry none (X-GHSOM-Deadline-Ms overrides; 0 = no deadline)")
+	drainGrace := fs.Duration("drain-grace", defaultDrainGrace, "bound on draining in-flight work after SIGTERM")
+	readHeaderTimeout := fs.Duration("read-header-timeout", 10*time.Second, "http.Server ReadHeaderTimeout (slowloris guard)")
+	readTimeout := fs.Duration("read-timeout", time.Minute, "http.Server ReadTimeout (whole-request-read bound)")
+	writeTimeout := fs.Duration("write-timeout", 2*time.Minute, "http.Server WriteTimeout (whole-response-write bound)")
+	idleTimeout := fs.Duration("idle-timeout", 2*time.Minute, "http.Server IdleTimeout (keep-alive reap)")
+	faults := fs.String("faults", "", "arm fault-injection points, e.g. 'dataplane-latency=latency:5ms,decode-error=error' (see internal/faultinject)")
 	pprofOn := fs.Bool("pprof", false, "expose /debug/pprof profiling endpoints (CPU, heap, mutex, block profiles)")
 	example := fs.Bool("example", false, "print one example request record as JSON and exit")
 	if err := fs.Parse(args); err != nil {
@@ -101,6 +136,23 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if *maxBody < 1 || *maxModel < 1 {
 		return fmt.Errorf("-max-body and -max-model must be >= 1 byte")
 	}
+	if *queueCap < 1 {
+		return fmt.Errorf("-queue must be >= 1, got %d", *queueCap)
+	}
+	if *defaultTimeout < 0 || *drainGrace <= 0 {
+		return fmt.Errorf("-default-timeout must be >= 0 and -drain-grace positive")
+	}
+	if set, err := faultinject.ArmFromEnv(); err != nil {
+		return err
+	} else if set {
+		fmt.Fprintf(os.Stderr, "ghsom-serve: fault injection armed from %s\n", faultinject.EnvVar)
+	}
+	if *faults != "" {
+		if err := faultinject.Arm(*faults); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "ghsom-serve: fault injection armed from -faults")
+	}
 
 	pipe, err := ghsom.LoadPipelineFile(*modelPath, *useMmap)
 	if err != nil {
@@ -115,22 +167,71 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return serveStdin(pipe, *maxBatch, stdin, stdout)
 	}
 
-	reg := newRegistry(*maxBatch, *flushEvery, *par)
-	reg.maxBody = *maxBody
-	reg.maxModel = *maxModel
-	reg.pprof = *pprofOn
-	defer reg.close()
+	reg := newRegistry(serveConfig{
+		maxBatch:       *maxBatch,
+		flushEvery:     *flushEvery,
+		par:            *par,
+		queueCap:       *queueCap,
+		defaultTimeout: *defaultTimeout,
+		maxBody:        *maxBody,
+		maxModel:       *maxModel,
+		pprof:          *pprofOn,
+	})
 	if _, _, err := reg.swap(defaultModelName, pipe); err != nil {
+		reg.close()
 		return err
 	}
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           reg.mux(),
-		ReadHeaderTimeout: 10 * time.Second,
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
 	}
-	fmt.Fprintf(os.Stderr, "ghsom-serve: listening on %s (batch=%d flush=%v)\n", *addr, *maxBatch, *flushEvery)
-	return srv.ListenAndServe()
+	// SIGTERM/SIGINT begin the drain sequence instead of killing the
+	// process mid-batch: readiness flips to 503, admission closes, and
+	// in-flight work gets -drain-grace to finish.
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "ghsom-serve: listening on %s (batch=%d flush=%v queue=%d timeout=%v)\n",
+		*addr, *maxBatch, *flushEvery, *queueCap, *defaultTimeout)
+	select {
+	case err := <-errCh:
+		reg.close()
+		return err
+	case <-sigCtx.Done():
+		stop() // restore default signal behavior: a second SIGTERM kills
+		fmt.Fprintf(os.Stderr, "ghsom-serve: signal received, draining (grace %v)\n", *drainGrace)
+		return drainAndShutdown(reg, srv.Shutdown, *drainGrace)
+	}
 }
+
+// drainAndShutdown runs the graceful exit sequence: readiness flips to
+// 503 and admission closes (beginDrain), in-flight handlers get grace to
+// finish via the server's Shutdown, then the batchers flush whatever the
+// final drain left and stop. Factored over a shutdown func so tests can
+// drive it against an httptest server.
+func drainAndShutdown(reg *registry, shutdown func(context.Context) error, grace time.Duration) error {
+	reg.beginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	err := shutdown(ctx)
+	reg.close()
+	if err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	return nil
+}
+
+// Admission and lifecycle defaults.
+const (
+	defaultQueueCap   = 256
+	defaultJobTimeout = 30 * time.Second
+	defaultDrainGrace = 15 * time.Second
+)
 
 // defaultModelName is the registry entry served when a request names no
 // model.
@@ -145,17 +246,18 @@ type modelEntry struct {
 	swaps    int
 }
 
-// registry hosts the named models behind the HTTP surface. Lookups take
-// a read lock; loading or swapping a model takes the write lock only to
-// update the map and metadata — the swap itself is one atomic pointer
-// store on the entry's batcher, so detection traffic never blocks on a
-// model upload.
-type registry struct {
-	mu         sync.RWMutex
-	entries    map[string]*modelEntry
+// serveConfig bundles the per-server knobs the registry hands to every
+// batcher it creates.
+type serveConfig struct {
 	maxBatch   int
 	flushEvery time.Duration
 	par        int
+	// queueCap bounds each model's admission queue; beyond it requests
+	// shed with 429 instead of building an unbounded backlog.
+	queueCap int
+	// defaultTimeout is the deadline given to requests that carry none.
+	// Zero means no default deadline.
+	defaultTimeout time.Duration
 	// maxBody and maxModel cap one /detect body and one uploaded
 	// envelope; requests beyond them get 413.
 	maxBody  int64
@@ -164,15 +266,54 @@ type registry struct {
 	pprof bool
 }
 
-func newRegistry(maxBatch int, flushEvery time.Duration, par int) *registry {
-	return &registry{
-		entries:    make(map[string]*modelEntry),
-		maxBatch:   maxBatch,
-		flushEvery: flushEvery,
-		par:        par,
-		maxBody:    defaultMaxBodyBytes,
-		maxModel:   defaultMaxModelBytes,
+// registry hosts the named models behind the HTTP surface. Lookups take
+// a read lock; loading or swapping a model takes the write lock only to
+// update the map and metadata — the swap itself is one atomic pointer
+// store on the entry's batcher, so detection traffic never blocks on a
+// model upload.
+type registry struct {
+	mu      sync.RWMutex
+	entries map[string]*modelEntry
+	cfg     serveConfig
+	// ready flips true when the first model lands; until then /healthz
+	// reports 503 so load balancers do not route to a server that cannot
+	// serve.
+	ready atomic.Bool
+	// draining flips true at the start of the SIGTERM drain sequence:
+	// /healthz reports 503, new detection work sheds with 503, queued
+	// and in-flight work still completes. /livez stays 200 throughout.
+	draining  atomic.Bool
+	drainOnce sync.Once
+}
+
+func newRegistry(cfg serveConfig) *registry {
+	if cfg.queueCap < 1 {
+		cfg.queueCap = defaultQueueCap
 	}
+	if cfg.maxBody < 1 {
+		cfg.maxBody = defaultMaxBodyBytes
+	}
+	if cfg.maxModel < 1 {
+		cfg.maxModel = defaultMaxModelBytes
+	}
+	return &registry{
+		entries: make(map[string]*modelEntry),
+		cfg:     cfg,
+	}
+}
+
+// beginDrain starts the graceful-exit sequence: readiness goes 503 and
+// every model's admission queue closes, so new work sheds while queued
+// and in-flight jobs drain. Idempotent.
+func (reg *registry) beginDrain() {
+	reg.drainOnce.Do(func() {
+		reg.draining.Store(true)
+		reg.mu.RLock()
+		for _, e := range reg.entries {
+			e.batcher.q.CloseAdmission()
+		}
+		reg.mu.RUnlock()
+	})
 }
 
 func (reg *registry) close() {
@@ -214,6 +355,7 @@ func (reg *registry) swap(name string, pipe *ghsom.Pipeline) (view modelView, sw
 		e.batcher.pipe.Store(pipe)
 		e.loadedAt = time.Now()
 		e.swaps++
+		reg.ready.Store(true)
 		return e.view(), true, nil
 	}
 	if len(reg.entries) >= maxRegistryModels {
@@ -221,11 +363,17 @@ func (reg *registry) swap(name string, pipe *ghsom.Pipeline) (view modelView, sw
 	}
 	e := &modelEntry{
 		name:     name,
-		batcher:  newBatcher(pipe, reg.maxBatch, reg.flushEvery, reg.par),
+		batcher:  newBatcher(pipe, reg.cfg),
 		loadedAt: time.Now(),
 	}
-	e.batcher.maxBody = reg.maxBody
+	if reg.draining.Load() {
+		// A swap may land during drain (it must complete — in-flight
+		// upgrades are part of the no-dropped-requests contract), but a
+		// brand-new entry created mid-drain admits nothing.
+		e.batcher.q.CloseAdmission()
+	}
 	reg.entries[name] = e
+	reg.ready.Store(true)
 	return e.view(), false, nil
 }
 
@@ -252,11 +400,26 @@ func (reg *registry) mux() *http.ServeMux {
 	mux.HandleFunc("DELETE /model", reg.handleUnloadModel)
 	mux.HandleFunc("GET /models", reg.handleModels)
 	mux.HandleFunc("GET /stats", reg.handleStats)
+	// /healthz is readiness: load balancers stop routing here while the
+	// initial model loads and the moment a drain begins. /livez is
+	// liveness: the process is up — supervisors must not restart a
+	// draining server that is still finishing in-flight work.
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case reg.draining.Load():
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+		case !reg.ready.Load():
+			http.Error(w, "loading", http.StatusServiceUnavailable)
+		default:
+			w.WriteHeader(http.StatusOK)
+			fmt.Fprintln(w, "ok")
+		}
+	})
+	mux.HandleFunc("GET /livez", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
 	})
-	if reg.pprof {
+	if reg.cfg.pprof {
 		// Opt-in: profiling endpoints leak operational detail, so they are
 		// off unless -pprof is passed. These are the stdlib handlers that
 		// net/http/pprof would install on the default mux.
@@ -285,6 +448,13 @@ func (reg *registry) requestModel(w http.ResponseWriter, r *http.Request) *model
 }
 
 func (reg *registry) handleDetect(w http.ResponseWriter, r *http.Request) {
+	if reg.draining.Load() {
+		// Shed before touching the body: a draining server serves what it
+		// admitted, nothing new. (The closed admission queue would reject
+		// anyway; this path just refuses earlier and cheaper.)
+		writeDetectError(w, serveq.ErrClosed)
+		return
+	}
 	if e := reg.requestModel(w, r); e != nil {
 		e.batcher.handleDetect(w, r)
 	}
@@ -366,12 +536,16 @@ func (reg *registry) handleLoadModel(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("registry full (%d models); DELETE unused entries first", maxRegistryModels), http.StatusConflict)
 		return
 	}
-	pipe, err := ghsom.LoadPipeline(http.MaxBytesReader(w, r.Body, reg.maxModel))
+	if err := faultinject.Hit(faultinject.ModelLoad); err != nil {
+		http.Error(w, fmt.Sprintf("load model: %v", err), http.StatusInternalServerError)
+		return
+	}
+	pipe, err := ghsom.LoadPipeline(http.MaxBytesReader(w, r.Body, reg.cfg.maxModel))
 	if err != nil {
 		http.Error(w, fmt.Sprintf("load model: %v", err), errorStatus(err))
 		return
 	}
-	pipe.SetParallelism(reg.par)
+	pipe.SetParallelism(reg.cfg.par)
 	view, swapped, err := reg.swap(name, pipe)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusConflict)
@@ -427,12 +601,26 @@ func printExample(w io.Writer) error {
 }
 
 // job is one client request moving through the batcher: its records, the
-// predictions written back by the flush, and a done signal.
+// absolute deadline it must finish by (zero = none), the predictions
+// written back by the flush, and a done signal.
 type job struct {
-	records []kdd.Record
-	preds   []ghsom.Prediction
-	err     error
-	done    chan struct{}
+	records  []kdd.Record
+	deadline time.Time
+	preds    []ghsom.Prediction
+	err      error
+	done     chan struct{}
+}
+
+// Deadline implements serveq.Job.
+func (j *job) Deadline() time.Time { return j.deadline }
+
+// context returns a context bounded by the job's deadline, for per-job
+// dataplane retries.
+func (j *job) context() (context.Context, context.CancelFunc) {
+	if j.deadline.IsZero() {
+		return context.Background(), func() {}
+	}
+	return context.WithDeadline(context.Background(), j.deadline)
 }
 
 // serveStats is the monotonically growing counter set behind /stats.
@@ -444,6 +632,13 @@ type serveStats struct {
 	maxBatch   int
 	sumLatency time.Duration
 	maxLatency time.Duration
+	// quarantined counts jobs that failed in the dataplane (poison
+	// records, injected faults, recovered panics) without harming their
+	// co-batched neighbors; lastError keeps the most recent failure for
+	// /stats-level triage.
+	quarantined int64
+	lastError   string
+	lastErrorAt time.Time
 }
 
 func (s *serveStats) record(records int, latency time.Duration) {
@@ -458,6 +653,18 @@ func (s *serveStats) record(records int, latency time.Duration) {
 	if latency > s.maxLatency {
 		s.maxLatency = latency
 	}
+}
+
+// noteError records a dataplane failure; quarantine says whether it
+// condemned a job (deadline misses, for example, are not quarantines).
+func (s *serveStats) noteError(err error, quarantine bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if quarantine {
+		s.quarantined++
+	}
+	s.lastError = err.Error()
+	s.lastErrorAt = time.Now()
 }
 
 // statsView is the marshal-safe derived view served on /stats. The
@@ -482,9 +689,20 @@ type statsView struct {
 	// remainder of the bound, floored at zero.
 	BusyWorkers int64 `json:"busyWorkers"`
 	IdleWorkers int64 `json:"idleWorkers"`
-	// QueueDepth is the number of jobs waiting in the micro-batch
-	// channel, not yet picked up by the flush loop.
+	// QueueDepth is the number of jobs waiting in the admission queue,
+	// not yet picked up by the flush loop; QueueCap is its bound.
 	QueueDepth int `json:"queueDepth"`
+	QueueCap   int `json:"queueCap"`
+	// Overload and hardening counters: admission outcomes from the
+	// bounded deadline-aware queue, plus dataplane quarantines.
+	Admitted        int64  `json:"admitted"`
+	ShedQueueFull   int64  `json:"shedQueueFull"`
+	ShedDeadline    int64  `json:"shedDeadline"`
+	ShedClosed      int64  `json:"shedClosed"`
+	DroppedDeadline int64  `json:"droppedDeadline"`
+	Quarantined     int64  `json:"quarantined"`
+	LastError       string `json:"lastError,omitempty"`
+	LastErrorAt     string `json:"lastErrorAt,omitempty"`
 }
 
 // snapshot derives the rate/mean fields under the lock.
@@ -506,6 +724,11 @@ func (s *serveStats) snapshot() statsView {
 		out.MeanBatchSize = float64(s.records) / float64(s.batches)
 		out.MeanBatchMs = (s.sumLatency / time.Duration(s.batches)).Seconds() * 1e3
 	}
+	out.Quarantined = s.quarantined
+	out.LastError = s.lastError
+	if !s.lastErrorAt.IsZero() {
+		out.LastErrorAt = s.lastErrorAt.UTC().Format(time.RFC3339Nano)
+	}
 	return out
 }
 
@@ -513,28 +736,36 @@ func (s *serveStats) snapshot() statsView {
 // DetectBatch on size or deadline. The pipeline pointer is atomic: a
 // model hot-swap stores a new pipeline, each flush loads the pointer
 // exactly once, so every batch runs whole against one model — requests
-// are never split or torn across a swap.
+// are never split or torn across a swap. Admission is the bounded
+// deadline-aware serveq.Queue: a full queue sheds new work instead of
+// building unbounded backlog, and jobs whose deadline lapses while
+// queued are dropped before costing dataplane time.
 type batcher struct {
-	pipe       atomic.Pointer[ghsom.Pipeline]
-	maxBatch   int
-	flushEvery time.Duration
-	maxBody    int64
-	par        int
-	inflight   atomic.Int64
-	jobs       chan *job
-	quit       chan struct{}
-	wg         sync.WaitGroup
-	stats      serveStats
+	pipe           atomic.Pointer[ghsom.Pipeline]
+	maxBatch       int
+	flushEvery     time.Duration
+	maxBody        int64
+	par            int
+	defaultTimeout time.Duration
+	inflight       atomic.Int64
+	q              *serveq.Queue[*job]
+	quit           chan struct{}
+	wg             sync.WaitGroup
+	stats          serveStats
 }
 
-func newBatcher(pipe *ghsom.Pipeline, maxBatch int, flushEvery time.Duration, par int) *batcher {
+func newBatcher(pipe *ghsom.Pipeline, cfg serveConfig) *batcher {
 	b := &batcher{
-		maxBatch:   maxBatch,
-		flushEvery: flushEvery,
-		maxBody:    defaultMaxBodyBytes,
-		par:        par,
-		jobs:       make(chan *job, 64),
-		quit:       make(chan struct{}),
+		maxBatch:       cfg.maxBatch,
+		flushEvery:     cfg.flushEvery,
+		maxBody:        cfg.maxBody,
+		par:            cfg.par,
+		defaultTimeout: cfg.defaultTimeout,
+		q:              serveq.New[*job](cfg.queueCap),
+		quit:           make(chan struct{}),
+	}
+	if b.maxBody < 1 {
+		b.maxBody = defaultMaxBodyBytes
 	}
 	b.pipe.Store(pipe)
 	b.stats.start = time.Now()
@@ -544,13 +775,14 @@ func newBatcher(pipe *ghsom.Pipeline, maxBatch int, flushEvery time.Duration, pa
 }
 
 func (b *batcher) close() {
+	b.q.CloseAdmission()
 	close(b.quit)
 	b.wg.Wait()
 	// Fail any job that raced past the loop's final drain, so no client
 	// hangs on a batcher that will never flush again.
 	for {
 		select {
-		case j := <-b.jobs:
+		case j := <-b.q.C():
 			j.err = errUnloaded
 			close(j.done)
 		default:
@@ -561,6 +793,10 @@ func (b *batcher) close() {
 
 // errUnloaded is returned to requests that race a model unload.
 var errUnloaded = fmt.Errorf("model unloaded")
+
+// errDeadline is returned to jobs whose deadline lapsed before their
+// batch could serve them.
+var errDeadline = fmt.Errorf("deadline exceeded before detection completed")
 
 // loop is the micro-batching core: it drains the job channel, flushing
 // the pending batch when it reaches maxBatch records or when the oldest
@@ -586,7 +822,13 @@ func (b *batcher) loop() {
 	}
 	for {
 		select {
-		case j := <-b.jobs:
+		case j := <-b.q.C():
+			if !b.q.Alive(j, time.Now()) {
+				// Expired while queued: fail it now, spend nothing on it.
+				j.err = errDeadline
+				close(j.done)
+				continue
+			}
 			pending = append(pending, j)
 			size += len(j.records)
 			if size >= b.maxBatch {
@@ -604,7 +846,7 @@ func (b *batcher) loop() {
 			// Drain whatever arrived before shutdown so no job hangs.
 			for {
 				select {
-				case j := <-b.jobs:
+				case j := <-b.q.C():
 					pending = append(pending, j)
 					size += len(j.records)
 				default:
@@ -616,13 +858,81 @@ func (b *batcher) loop() {
 	}
 }
 
-// flush concatenates the pending jobs into one record batch, runs
-// DetectBatch, and scatters the predictions back per job. A failed merged
+// detectSafe runs one dataplane pass with the panic barrier and the
+// chaos-drill fault points. A panicking batch (poison model state, an
+// injected classify-panic) is converted to an error so the flush loop —
+// and the process — survive it and quarantine only the offending jobs.
+func detectSafe(ctx context.Context, pipe *ghsom.Pipeline, recs []kdd.Record, out []ghsom.Prediction) (preds []ghsom.Prediction, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			preds, err = nil, fmt.Errorf("dataplane panic (job quarantined): %v", r)
+		}
+	}()
+	faultinject.Hit(faultinject.DataplaneLatency)
+	if err := faultinject.Hit(faultinject.ScratchExhausted); err != nil {
+		return nil, err
+	}
+	faultinject.Hit(faultinject.ClassifyPanic)
+	return pipe.DetectBatchCtx(ctx, recs, out)
+}
+
+// detectColumnarSafe is detectSafe for the columnar fast path.
+func detectColumnarSafe(ctx context.Context, pipe *ghsom.Pipeline, cb *kdd.ColumnarBatch, out []ghsom.Prediction) (preds []ghsom.Prediction, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			preds, err = nil, fmt.Errorf("dataplane panic (job quarantined): %v", r)
+		}
+	}()
+	faultinject.Hit(faultinject.DataplaneLatency)
+	if err := faultinject.Hit(faultinject.ScratchExhausted); err != nil {
+		return nil, err
+	}
+	faultinject.Hit(faultinject.ClassifyPanic)
+	return pipe.DetectColumnarCtx(ctx, cb, out)
+}
+
+// batchContext bounds a merged flush by the latest deadline among its
+// jobs — but only when every job has one; a single no-deadline job means
+// the batch must be allowed to run to completion.
+func batchContext(pending []*job) (context.Context, context.CancelFunc) {
+	var latest time.Time
+	for _, j := range pending {
+		if j.deadline.IsZero() {
+			return context.Background(), func() {}
+		}
+		if j.deadline.After(latest) {
+			latest = j.deadline
+		}
+	}
+	return context.WithDeadline(context.Background(), latest)
+}
+
+// flush concatenates the pending jobs into one record batch, runs the
+// dataplane, and scatters the predictions back per job. A failed merged
 // batch must not fail co-batched clients' valid requests (and its record
 // index refers to the concatenated batch, not any one client's payload),
 // so on error every job is retried individually: valid jobs succeed and
-// the bad job gets an error with job-local record indices.
+// the bad job gets an error with job-local record indices. Jobs whose
+// deadline lapsed while pending are failed without dataplane work, and
+// each failure path is quarantined rather than allowed to escape.
 func (b *batcher) flush(pending []*job, size int) {
+	// Re-check deadlines at flush time: a job admitted alive may have
+	// expired while the batch accumulated.
+	now := time.Now()
+	live := pending[:0]
+	for _, j := range pending {
+		if !b.q.Alive(j, now) {
+			size -= len(j.records)
+			j.err = errDeadline
+			close(j.done)
+			continue
+		}
+		live = append(live, j)
+	}
+	pending = live
+	if len(pending) == 0 {
+		return
+	}
 	// One pointer load per flush: the whole merged batch (and its per-job
 	// retries) runs against a single pipeline even if a hot-swap lands
 	// mid-flush.
@@ -633,16 +943,32 @@ func (b *batcher) flush(pending []*job, size int) {
 	}
 	b.inflight.Add(1)
 	defer b.inflight.Add(-1)
+	ctx, cancel := batchContext(pending)
 	start := time.Now()
-	preds, err := pipe.DetectBatch(batch, nil)
+	preds, err := detectSafe(ctx, pipe, batch, nil)
+	cancel()
 	if err != nil {
 		// Only the per-job retries actually serve records, so only they
 		// count toward /stats; the failed merged attempt is discarded.
+		// Each job retries under its own deadline, so one slow or poisoned
+		// neighbor cannot condemn the rest.
 		for _, j := range pending {
+			if !b.q.Alive(j, time.Now()) {
+				j.err = errDeadline
+				close(j.done)
+				continue
+			}
+			jctx, jcancel := j.context()
 			start := time.Now()
-			j.preds, j.err = pipe.DetectBatch(j.records, nil)
+			j.preds, j.err = detectSafe(jctx, pipe, j.records, nil)
+			jcancel()
 			if j.err == nil {
 				b.stats.record(len(j.records), time.Since(start))
+			} else if errors.Is(j.err, context.DeadlineExceeded) {
+				b.stats.noteError(j.err, false)
+				j.err = errDeadline
+			} else {
+				b.stats.noteError(j.err, true)
 			}
 			close(j.done)
 		}
@@ -657,16 +983,14 @@ func (b *batcher) flush(pending []*job, size int) {
 	}
 }
 
-// submit enqueues records and blocks until their batch is flushed or ctx
-// is canceled.
-func (b *batcher) submit(ctx context.Context, records []kdd.Record) ([]ghsom.Prediction, error) {
-	j := &job{records: records, done: make(chan struct{})}
-	select {
-	case b.jobs <- j:
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	case <-b.quit:
-		return nil, errUnloaded
+// submit pushes records through bounded admission and blocks until their
+// batch is flushed, the deadline or ctx expires, or the batcher closes.
+// Admission failures (queue full, past deadline, admission closed) come
+// back immediately as serveq errors — the caller maps them to 429/503.
+func (b *batcher) submit(ctx context.Context, records []kdd.Record, deadline time.Time) ([]ghsom.Prediction, error) {
+	j := &job{records: records, deadline: deadline, done: make(chan struct{})}
+	if err := b.q.Push(j); err != nil {
+		return nil, err
 	}
 	select {
 	case <-j.done:
@@ -695,6 +1019,9 @@ var parserPool = sync.Pool{New: func() any { return kdd.NewRecordParser(nil) }}
 // parser, reporting the line of the first malformed one. Accept/reject
 // behavior matches the json.Decoder loop it replaced.
 func readRecords(r io.Reader, maxRecords int) ([]kdd.Record, error) {
+	if err := faultinject.Hit(faultinject.DecodeError); err != nil {
+		return nil, err
+	}
 	p := parserPool.Get().(*kdd.RecordParser)
 	p.Reset(r)
 	out, err := p.AppendAll(nil, maxRecords)
@@ -714,9 +1041,62 @@ var columnarPool = sync.Pool{New: func() any { return new(kdd.ColumnarBatch) }}
 // path or multiple requests.
 const maxRequestRecords = 100_000
 
+// deadlineHeader lets clients carry an explicit time budget: the value
+// is a positive integer of milliseconds from arrival.
+const deadlineHeader = "X-GHSOM-Deadline-Ms"
+
+// requestDeadline resolves the absolute deadline of one request:
+// X-GHSOM-Deadline-Ms wins, then any deadline on the request context
+// (e.g. a proxy timeout), then the -default-timeout fallback. A zero
+// time means the request runs unbounded.
+func requestDeadline(r *http.Request, def time.Duration) (time.Time, error) {
+	if h := r.Header.Get(deadlineHeader); h != "" {
+		ms, err := strconv.ParseInt(h, 10, 64)
+		if err != nil || ms <= 0 {
+			return time.Time{}, fmt.Errorf("%s: want a positive integer of milliseconds, got %q", deadlineHeader, h)
+		}
+		return time.Now().Add(time.Duration(ms) * time.Millisecond), nil
+	}
+	if dl, ok := r.Context().Deadline(); ok {
+		return dl, nil
+	}
+	if def > 0 {
+		return time.Now().Add(def), nil
+	}
+	return time.Time{}, nil
+}
+
+// writeDetectError maps a detection-path failure to its HTTP response.
+// Load shedding is deliberate and retryable — 429 with Retry-After for
+// overload (full queue, lapsed deadline), 503 for a draining or unloaded
+// server — while dataplane failures (poison records, injected faults,
+// quarantined panics) are the client's 422. A vanished client gets
+// nothing.
+func writeDetectError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, serveq.ErrFull), errors.Is(err, serveq.ErrPastDeadline), errors.Is(err, errDeadline):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.Is(err, serveq.ErrClosed), errors.Is(err, errUnloaded):
+		w.Header().Set("Retry-After", "5")
+		http.Error(w, "server draining or model unloaded: "+err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, context.Canceled):
+		// The client went away; there is no one to write to.
+	default:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	}
+}
+
 func (b *batcher) handleDetect(w http.ResponseWriter, r *http.Request) {
 	if ct, _, err := mime.ParseMediaType(r.Header.Get("Content-Type")); err == nil && ct == kdd.ColumnarContentType {
 		b.handleDetectColumnar(w, r)
+		return
+	}
+	deadline, err := requestDeadline(r, b.defaultTimeout)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	records, err := readRecords(http.MaxBytesReader(w, r.Body, b.maxBody), maxRequestRecords)
@@ -728,9 +1108,9 @@ func (b *batcher) handleDetect(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "empty request: expected NDJSON records", http.StatusBadRequest)
 		return
 	}
-	preds, err := b.submit(r.Context(), records)
+	preds, err := b.submit(r.Context(), records, deadline)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		writeDetectError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -756,6 +1136,22 @@ func (b *batcher) handleDetectColumnar(w http.ResponseWriter, r *http.Request) {
 	// so opt in to full duplex (no-op where unsupported, e.g. HTTP/2,
 	// which is duplex already).
 	_ = http.NewResponseController(w).EnableFullDuplex()
+	// Full duplex makes the body the handler's to finish: close it on
+	// every exit so an early error return (bad frame, shed, poison) never
+	// leaves the connection's reader mid-body — the server's keep-alive
+	// loop would panic on the next request's read and reset the client.
+	defer r.Body.Close()
+	deadline, err := requestDeadline(r, b.defaultTimeout)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	frameCtx := context.Context(nil)
+	if !deadline.IsZero() {
+		var cancel context.CancelFunc
+		frameCtx, cancel = context.WithDeadline(r.Context(), deadline)
+		defer cancel()
+	}
 	body := http.MaxBytesReader(w, r.Body, b.maxBody)
 	cb := columnarPool.Get().(*kdd.ColumnarBatch)
 	defer columnarPool.Put(cb)
@@ -768,6 +1164,14 @@ func (b *batcher) handleDetectColumnar(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	for {
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			// Out of budget: shed remaining frames. Before any output this
+			// is a clean 429; mid-stream the truncated NDJSON ends here.
+			if frames == 0 {
+				writeDetectError(w, errDeadline)
+			}
+			return
+		}
 		err := kdd.ReadColumnarBatch(body, cb, kdd.DefaultColumnarLimits)
 		if err == io.EOF {
 			break
@@ -783,10 +1187,20 @@ func (b *batcher) handleDetectColumnar(w http.ResponseWriter, r *http.Request) {
 		pipe := b.pipe.Load()
 		b.inflight.Add(1)
 		start := time.Now()
-		preds, err = pipe.DetectColumnar(cb, preds)
+		preds, err = detectColumnarSafe(frameCtx, pipe, cb, preds)
 		b.inflight.Add(-1)
 		if err != nil {
-			fail(err.Error(), http.StatusUnprocessableEntity)
+			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				b.stats.noteError(err, false)
+				if frames == 0 {
+					writeDetectError(w, errDeadline)
+				}
+				return
+			}
+			b.stats.noteError(err, true)
+			if frames == 0 {
+				writeDetectError(w, err)
+			}
 			return
 		}
 		b.stats.record(cb.Rows(), time.Since(start))
@@ -816,7 +1230,14 @@ func (b *batcher) statsSnapshot() statsView {
 	if idle := int64(bound) - busy; idle > 0 {
 		out.IdleWorkers = idle
 	}
-	out.QueueDepth = len(b.jobs)
+	out.QueueDepth = b.q.Depth()
+	out.QueueCap = b.q.Cap()
+	qs := b.q.Stats()
+	out.Admitted = qs.Admitted
+	out.ShedQueueFull = qs.RejectedFull
+	out.ShedDeadline = qs.RejectedDeadline
+	out.ShedClosed = qs.RejectedClosed
+	out.DroppedDeadline = qs.DroppedDeadline
 	return out
 }
 

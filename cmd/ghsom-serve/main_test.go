@@ -55,6 +55,19 @@ func testPipeline(t *testing.T) (*ghsom.Pipeline, []kdd.Record) {
 	return servePipe.pipe, servePipe.recs
 }
 
+// testConfig builds a serveConfig with the given batching knobs and
+// production-default caps.
+func testConfig(maxBatch int, flushEvery time.Duration, par int) serveConfig {
+	return serveConfig{
+		maxBatch:   maxBatch,
+		flushEvery: flushEvery,
+		par:        par,
+		queueCap:   defaultQueueCap,
+		maxBody:    defaultMaxBodyBytes,
+		maxModel:   defaultMaxModelBytes,
+	}
+}
+
 // ndjson renders records as one JSON document per line.
 func ndjson(t *testing.T, recs []kdd.Record) []byte {
 	t.Helper()
@@ -96,7 +109,7 @@ func TestBatcherCoalescesAndMatchesDetectAll(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b := newBatcher(pipe, 128, 5*time.Millisecond, 0)
+	b := newBatcher(pipe, testConfig(128, 5*time.Millisecond, 0))
 	defer b.close()
 
 	const jobRecs = 5
@@ -108,7 +121,7 @@ func TestBatcherCoalescesAndMatchesDetectAll(t *testing.T) {
 		wg.Add(1)
 		go func(j int) {
 			defer wg.Done()
-			got[j], errs[j] = b.submit(context.Background(), eval[j*jobRecs:(j+1)*jobRecs])
+			got[j], errs[j] = b.submit(context.Background(), eval[j*jobRecs:(j+1)*jobRecs], time.Time{})
 		}(j)
 	}
 	wg.Wait()
@@ -137,7 +150,7 @@ func TestBatcherCoalescesAndMatchesDetectAll(t *testing.T) {
 func TestBatcherIsolatesBadJob(t *testing.T) {
 	pipe, recs := testPipeline(t)
 	// Large flush window + batch so both jobs coalesce into one flush.
-	b := newBatcher(pipe, 1024, 50*time.Millisecond, 0)
+	b := newBatcher(pipe, testConfig(1024, 50*time.Millisecond, 0))
 	defer b.close()
 
 	good := recs[:20]
@@ -148,8 +161,8 @@ func TestBatcherIsolatesBadJob(t *testing.T) {
 	var goodPreds, badPreds []ghsom.Prediction
 	var goodErr, badErr error
 	wg.Add(2)
-	go func() { defer wg.Done(); goodPreds, goodErr = b.submit(context.Background(), good) }()
-	go func() { defer wg.Done(); badPreds, badErr = b.submit(context.Background(), bad) }()
+	go func() { defer wg.Done(); goodPreds, goodErr = b.submit(context.Background(), good, time.Time{}) }()
+	go func() { defer wg.Done(); badPreds, badErr = b.submit(context.Background(), bad, time.Time{}) }()
 	wg.Wait()
 
 	if goodErr != nil {
@@ -176,7 +189,7 @@ func TestBatcherIsolatesBadJob(t *testing.T) {
 func TestHandleDetectHTTP(t *testing.T) {
 	pipe, recs := testPipeline(t)
 	eval := recs[100:160]
-	b := newBatcher(pipe, 64, 2*time.Millisecond, 0)
+	b := newBatcher(pipe, testConfig(64, 2*time.Millisecond, 0))
 	defer b.close()
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /detect", b.handleDetect)
@@ -324,7 +337,7 @@ func TestRegistryHotSwapUnderLoad(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	reg := newRegistry(64, time.Millisecond, 0)
+	reg := newRegistry(testConfig(64, time.Millisecond, 0))
 	defer reg.close()
 	reg.swap(defaultModelName, pipeA)
 	srv := httptest.NewServer(reg.mux())
@@ -457,7 +470,7 @@ func TestRegistryNamedModels(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	reg := newRegistry(64, time.Millisecond, 0)
+	reg := newRegistry(testConfig(64, time.Millisecond, 0))
 	defer reg.close()
 	reg.swap(defaultModelName, pipeA)
 	srv := httptest.NewServer(reg.mux())
@@ -590,7 +603,7 @@ func columnarBody(t *testing.T, recs []kdd.Record) []byte {
 func TestHandleDetectColumnar(t *testing.T) {
 	pipe, recs := testPipeline(t)
 	eval := recs[300:500]
-	b := newBatcher(pipe, 64, 2*time.Millisecond, 0)
+	b := newBatcher(pipe, testConfig(64, 2*time.Millisecond, 0))
 	defer b.close()
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /detect", b.handleDetect)
@@ -665,7 +678,7 @@ func TestHandleDetectColumnar(t *testing.T) {
 func TestDetectBodyCap413(t *testing.T) {
 	pipe, recs := testPipeline(t)
 	eval := recs[:64]
-	b := newBatcher(pipe, 64, 2*time.Millisecond, 0)
+	b := newBatcher(pipe, testConfig(64, 2*time.Millisecond, 0))
 	b.maxBody = 2048 // tiny cap for the test
 	defer b.close()
 	mux := http.NewServeMux()
@@ -718,8 +731,8 @@ func TestDetectBodyCap413(t *testing.T) {
 // TestModelUploadCap413 pins the -max-model contract on POST /model.
 func TestModelUploadCap413(t *testing.T) {
 	pipe, _ := testPipeline(t)
-	reg := newRegistry(64, time.Millisecond, 0)
-	reg.maxModel = 4096
+	reg := newRegistry(testConfig(64, time.Millisecond, 0))
+	reg.cfg.maxModel = 4096
 	defer reg.close()
 	reg.swap(defaultModelName, pipe)
 	srv := httptest.NewServer(reg.mux())

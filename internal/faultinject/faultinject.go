@@ -1,0 +1,259 @@
+// Package faultinject provides named fault-injection points for chaos
+// testing the serving stack. Points are disarmed by default and cost one
+// atomic load per Hit — effectively a no-op on the hot path — until a
+// spec arms them via Arm, the GHSOM_FAULTS environment variable, or a
+// CLI flag.
+//
+// A spec is a comma-separated list of point=action pairs:
+//
+//	dataplane-latency=latency:5ms     sleep 5ms at every hit
+//	decode-error=error                fail every hit
+//	model-load=error:3                fail the next 3 hits, then pass
+//	classify-panic=panic:1            panic on the next hit, then pass
+//
+// Actions are error, panic, and latency:<duration>; an optional trailing
+// :N bounds how many hits fire (unbounded without it). Unknown point
+// names are rejected at Arm time so a typo cannot silently disarm a
+// chaos run.
+package faultinject
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// The named injection points wired into the serving stack.
+const (
+	// DataplaneLatency delays a micro-batch flush before it enters the
+	// detection dataplane (constrains serve capacity for overload tests).
+	DataplaneLatency = "dataplane-latency"
+	// DecodeError fails request-body record parsing.
+	DecodeError = "decode-error"
+	// ModelLoad fails a POST /model envelope load.
+	ModelLoad = "model-load"
+	// ScratchExhausted simulates inference scratch-pool exhaustion: the
+	// dataplane call fails before any detection work runs.
+	ScratchExhausted = "scratch-exhausted"
+	// ClassifyPanic panics inside the detection dataplane, exercising the
+	// server's per-job panic isolation.
+	ClassifyPanic = "classify-panic"
+)
+
+// EnvVar is the environment variable ArmFromEnv reads a spec from.
+const EnvVar = "GHSOM_FAULTS"
+
+// points is every valid point name; Arm rejects others.
+var points = []string{DataplaneLatency, DecodeError, ModelLoad, ScratchExhausted, ClassifyPanic}
+
+// fault is the armed behavior of one point. remaining < 0 means
+// unbounded.
+type fault struct {
+	latency   time.Duration
+	fail      bool
+	panics    bool
+	remaining atomic.Int64
+	hits      atomic.Int64
+}
+
+// plan is an immutable point→fault table; Arm swaps the whole table
+// atomically so Hit never locks.
+type plan struct {
+	faults map[string]*fault
+}
+
+var (
+	armed   atomic.Bool
+	current atomic.Pointer[plan]
+	// hitCounts survives Disarm so tests can assert after tearing down.
+	hitCounts atomic.Pointer[map[string]*atomic.Int64]
+)
+
+func init() {
+	m := make(map[string]*atomic.Int64, len(points))
+	for _, p := range points {
+		m[p] = new(atomic.Int64)
+	}
+	hitCounts.Store(&m)
+}
+
+// ErrInjected is the error value wrapped by every injected failure.
+type injectedError struct{ point string }
+
+func (e *injectedError) Error() string {
+	return fmt.Sprintf("faultinject: injected fault at %s", e.point)
+}
+
+// IsInjected reports whether err originated from an armed point.
+func IsInjected(err error) bool {
+	_, ok := err.(*injectedError)
+	return ok
+}
+
+// Arm parses spec and arms the listed points, replacing any previous
+// plan. An empty spec disarms. Arm is not meant for concurrent use with
+// itself (tests and startup arm; Hit is the concurrent-safe side).
+func Arm(spec string) error {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		Disarm()
+		return nil
+	}
+	faults := make(map[string]*fault)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, action, ok := strings.Cut(part, "=")
+		if !ok {
+			return fmt.Errorf("faultinject: %q: want point=action", part)
+		}
+		if !validPoint(name) {
+			return fmt.Errorf("faultinject: unknown point %q (valid: %s)", name, strings.Join(points, ", "))
+		}
+		f, err := parseAction(action)
+		if err != nil {
+			return fmt.Errorf("faultinject: point %s: %w", name, err)
+		}
+		faults[name] = f
+	}
+	current.Store(&plan{faults: faults})
+	armed.Store(len(faults) > 0)
+	return nil
+}
+
+// ArmFromEnv arms from the GHSOM_FAULTS environment variable. It reports
+// whether the variable was set (even if parsing failed).
+func ArmFromEnv() (bool, error) {
+	spec, ok := os.LookupEnv(EnvVar)
+	if !ok {
+		return false, nil
+	}
+	return true, Arm(spec)
+}
+
+// Disarm removes every armed point; Hit returns to its no-op fast path.
+func Disarm() {
+	armed.Store(false)
+	current.Store(nil)
+}
+
+// Armed reports whether any point is armed.
+func Armed() bool { return armed.Load() }
+
+// Hit fires the named point: disarmed (the common case) it is one atomic
+// load and returns nil. Armed with latency it sleeps; armed with error
+// it returns an injected error; armed with panic it panics. Bounded
+// points stop firing after their count is spent. Every actual firing is
+// counted for Hits.
+func Hit(point string) error {
+	if !armed.Load() {
+		return nil
+	}
+	p := current.Load()
+	if p == nil {
+		return nil
+	}
+	f := p.faults[point]
+	if f == nil {
+		return nil
+	}
+	if !f.consume() {
+		return nil
+	}
+	countHit(point)
+	if f.latency > 0 {
+		time.Sleep(f.latency)
+	}
+	if f.panics {
+		panic(&injectedError{point: point})
+	}
+	if f.fail {
+		return &injectedError{point: point}
+	}
+	return nil
+}
+
+// consume claims one firing, honoring a bounded count.
+func (f *fault) consume() bool {
+	for {
+		r := f.remaining.Load()
+		if r < 0 {
+			return true // unbounded
+		}
+		if r == 0 {
+			return false
+		}
+		if f.remaining.CompareAndSwap(r, r-1) {
+			return true
+		}
+	}
+}
+
+// Hits reports how many times the named point has actually fired since
+// process start (survives Arm/Disarm cycles).
+func Hits(point string) int64 {
+	m := *hitCounts.Load()
+	if c := m[point]; c != nil {
+		return c.Load()
+	}
+	return 0
+}
+
+func countHit(point string) {
+	m := *hitCounts.Load()
+	if c := m[point]; c != nil {
+		c.Add(1)
+	}
+}
+
+func validPoint(name string) bool {
+	for _, p := range points {
+		if p == name {
+			return true
+		}
+	}
+	return false
+}
+
+// parseAction parses "error", "panic", "latency:<dur>", each with an
+// optional trailing ":N" firing bound.
+func parseAction(action string) (*fault, error) {
+	parts := strings.Split(action, ":")
+	f := &fault{}
+	f.remaining.Store(-1)
+	rest := parts[1:]
+	switch parts[0] {
+	case "error":
+		f.fail = true
+	case "panic":
+		f.panics = true
+	case "latency":
+		if len(rest) == 0 {
+			return nil, fmt.Errorf("latency needs a duration, e.g. latency:5ms")
+		}
+		d, err := time.ParseDuration(rest[0])
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("bad latency duration %q", rest[0])
+		}
+		f.latency = d
+		rest = rest[1:]
+	default:
+		return nil, fmt.Errorf("unknown action %q (want error, panic, or latency:<dur>)", parts[0])
+	}
+	if len(rest) > 1 {
+		return nil, fmt.Errorf("trailing junk in action %q", action)
+	}
+	if len(rest) == 1 {
+		n, err := strconv.ParseInt(rest[0], 10, 64)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad firing count %q", rest[0])
+		}
+		f.remaining.Store(n)
+	}
+	return f, nil
+}

@@ -1,0 +1,145 @@
+package faultinject
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsNil(t *testing.T) {
+	Disarm()
+	if Armed() {
+		t.Fatal("Armed() after Disarm")
+	}
+	for _, p := range points {
+		if err := Hit(p); err != nil {
+			t.Errorf("disarmed Hit(%s) = %v", p, err)
+		}
+	}
+}
+
+func TestArmErrorPoint(t *testing.T) {
+	t.Cleanup(Disarm)
+	if err := Arm("decode-error=error"); err != nil {
+		t.Fatal(err)
+	}
+	if !Armed() {
+		t.Fatal("not armed")
+	}
+	err := Hit(DecodeError)
+	if err == nil || !IsInjected(err) {
+		t.Fatalf("Hit = %v, want injected error", err)
+	}
+	// Other points stay clean.
+	if err := Hit(ModelLoad); err != nil {
+		t.Errorf("unarmed point fired: %v", err)
+	}
+}
+
+func TestBoundedCount(t *testing.T) {
+	t.Cleanup(Disarm)
+	before := Hits(ModelLoad)
+	if err := Arm("model-load=error:2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Hit(ModelLoad); err == nil {
+		t.Fatal("first bounded hit did not fire")
+	}
+	if err := Hit(ModelLoad); err == nil {
+		t.Fatal("second bounded hit did not fire")
+	}
+	if err := Hit(ModelLoad); err != nil {
+		t.Fatalf("third hit fired past bound: %v", err)
+	}
+	if got := Hits(ModelLoad) - before; got != 2 {
+		t.Errorf("Hits delta = %d, want 2", got)
+	}
+}
+
+func TestPanicPoint(t *testing.T) {
+	t.Cleanup(Disarm)
+	if err := Arm("classify-panic=panic:1"); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if r := recover(); r == nil {
+				t.Error("armed panic point did not panic")
+			}
+		}()
+		Hit(ClassifyPanic)
+	}()
+	// Bound spent: no second panic.
+	if err := Hit(ClassifyPanic); err != nil {
+		t.Fatalf("spent panic point: %v", err)
+	}
+}
+
+func TestLatencyPoint(t *testing.T) {
+	t.Cleanup(Disarm)
+	if err := Arm("dataplane-latency=latency:30ms"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Hit(DataplaneLatency); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Errorf("latency point slept %v, want ~30ms", d)
+	}
+}
+
+func TestArmRejectsBadSpecs(t *testing.T) {
+	t.Cleanup(Disarm)
+	for _, spec := range []string{
+		"nope=error",                    // unknown point
+		"decode-error",                  // no action
+		"decode-error=explode",          // unknown action
+		"dataplane-latency=latency",     // missing duration
+		"dataplane-latency=latency:-1s", // negative duration
+		"model-load=error:0",            // zero count
+		"model-load=error:2:3",          // trailing junk
+	} {
+		if err := Arm(spec); err == nil {
+			t.Errorf("Arm(%q) accepted", spec)
+		}
+	}
+	// A bad Arm must not leave a previous plan half-applied into a
+	// confusing state: arming empty disarms.
+	if err := Arm(""); err != nil {
+		t.Fatal(err)
+	}
+	if Armed() {
+		t.Error("empty spec left points armed")
+	}
+}
+
+func TestArmFromEnv(t *testing.T) {
+	t.Cleanup(Disarm)
+	t.Setenv(EnvVar, "decode-error=error:1")
+	set, err := ArmFromEnv()
+	if !set || err != nil {
+		t.Fatalf("ArmFromEnv = %v, %v", set, err)
+	}
+	if err := Hit(DecodeError); err == nil {
+		t.Error("env-armed point did not fire")
+	}
+	t.Setenv(EnvVar, "garbage")
+	if set, err := ArmFromEnv(); !set || err == nil {
+		t.Errorf("bad env spec: set=%v err=%v, want set and error", set, err)
+	}
+}
+
+func TestMultiPointSpec(t *testing.T) {
+	t.Cleanup(Disarm)
+	err := Arm("decode-error=error, dataplane-latency=latency:1ms, classify-panic=panic:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Hit(DecodeError); err == nil || !strings.Contains(err.Error(), DecodeError) {
+		t.Errorf("decode point: %v", err)
+	}
+	if err := Hit(DataplaneLatency); err != nil {
+		t.Errorf("latency point errored: %v", err)
+	}
+}

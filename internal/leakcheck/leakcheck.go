@@ -1,0 +1,73 @@
+// Package leakcheck provides a goroutine-leak assertion for tests:
+// snapshot the goroutine count up front, then verify at cleanup that the
+// count settles back to the baseline. The settle loop retries for a
+// bounded window, since goroutines finishing concurrently with the test
+// (HTTP keep-alive reapers, drained worker pools) need a few scheduler
+// ticks to unwind.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// TB is the subset of testing.TB leakcheck needs, kept small so the
+// package has no test-only dependents beyond the standard library.
+type TB interface {
+	Helper()
+	Cleanup(func())
+	Errorf(format string, args ...any)
+}
+
+// Check snapshots runtime.NumGoroutine and registers a cleanup that
+// fails t if the count has not settled back to the baseline (plus slack)
+// within the settle window. Call it first in a test so its cleanup runs
+// last, after the test's own defers and cleanups have torn servers and
+// pools down.
+func Check(t TB) {
+	t.Helper()
+	CheckSlack(t, 0)
+}
+
+// CheckSlack is Check with an explicit allowance for goroutines the test
+// legitimately leaves behind (e.g. a shared global started lazily).
+func CheckSlack(t TB, slack int) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		if n, ok := Settle(before+slack, 3*time.Second); !ok {
+			t.Errorf("goroutine leak: %d before, %d after settle window\n%s", before, n, stacks())
+		}
+	})
+}
+
+// Settle polls runtime.NumGoroutine until it is <= target or the window
+// expires, returning the final count and whether it settled. Exposed so
+// tests can assert mid-test (e.g. after a drain, before shutdown).
+func Settle(target int, window time.Duration) (int, bool) {
+	deadline := time.Now().Add(window)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= target {
+			return n, true
+		}
+		if time.Now().After(deadline) {
+			return n, false
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// stacks renders all goroutine stacks for the failure message, truncated
+// to keep test logs readable.
+func stacks() string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	s := string(buf[:n])
+	const max = 16 << 10
+	if len(s) > max {
+		s = s[:max] + fmt.Sprintf("\n... (%d bytes truncated)", len(s)-max)
+	}
+	return s
+}

@@ -1,0 +1,153 @@
+package parallel
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// This file adds cancellation-aware variants of the chunked scheduler.
+// The cancellation contract is deliberately coarse: checkpoints sit ONLY
+// between chunks — a chunk that has started always runs to completion —
+// so a call that is never canceled executes the exact same chunked
+// computation tree as ForEachChunk/MapReduceChunk and inherits their
+// bit-identity guarantee at every worker count. A canceled call returns
+// ctx.Err() and the caller must treat all outputs as invalid; no partial
+// result is ever observed as a complete one.
+
+// ForEachChunkErrCtx is ForEachChunk with two additions: fn may fail,
+// and ctx may cancel the loop between chunks. The chunk layout is the
+// fixed (n, grain) layout of ForEachChunk — never a function of the
+// worker count. On fn failure the error of the lowest failing chunk is
+// returned (chunks after an observed failure may be skipped), matching
+// ForEachErr's lowest-index semantics when per-chunk work scans
+// ascending indices. On cancellation with no fn error, ctx.Err() is
+// returned — but only if the cancellation actually cut chunks short:
+// a ctx that fires after the last chunk completed does not fail the
+// call, because the computation is whole. A nil ctx never cancels.
+func ForEachChunkErrCtx(ctx context.Context, p, n, grain int, fn func(w, lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	chunks := (n + grain - 1) / grain
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	canceled := func() bool {
+		if done == nil {
+			return false
+		}
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+	w := WorkersGrain(p, n, grain)
+	if w <= 1 {
+		for c := 0; c < chunks; c++ {
+			if canceled() {
+				return ctx.Err()
+			}
+			hi := (c + 1) * grain
+			if hi > n {
+				hi = n
+			}
+			if err := fn(0, c*grain, hi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		cursor   atomic.Int64
+		cut      atomic.Bool // a checkpoint skipped remaining chunks
+		mu       sync.Mutex
+		firstChk atomic.Int64
+		firstErr error
+	)
+	firstChk.Store(int64(chunks))
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for id := 0; id < w; id++ {
+		go func(id int) {
+			defer wg.Done()
+			for {
+				c := int(cursor.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				if canceled() {
+					cut.Store(true)
+					return
+				}
+				if int64(c) > firstChk.Load() {
+					continue // an earlier chunk failed; skip, but keep draining the cursor
+				}
+				hi := (c + 1) * grain
+				if hi > n {
+					hi = n
+				}
+				if err := fn(id, c*grain, hi); err != nil {
+					mu.Lock()
+					if int64(c) < firstChk.Load() {
+						firstChk.Store(int64(c))
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	if cut.Load() {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// ForEachChunkCtx is ForEachChunk with cancellation checkpoints between
+// chunks: it returns nil exactly when every chunk ran (in which case the
+// results are identical to ForEachChunk's at every worker count), and
+// ctx.Err() when cancellation cut the loop short.
+func ForEachChunkCtx(ctx context.Context, p, n, grain int, fn func(w, lo, hi int)) error {
+	return ForEachChunkErrCtx(ctx, p, n, grain, func(w, lo, hi int) error {
+		fn(w, lo, hi)
+		return nil
+	})
+}
+
+// MapReduceChunkCtx is MapReduceChunk with cancellation checkpoints
+// between chunks. A nil error guarantees the returned value is the full
+// deterministic fold — bit-identical to MapReduceChunk at every worker
+// count; on cancellation the zero value and ctx.Err() are returned and
+// no partial fold escapes.
+func MapReduceChunkCtx[T any](ctx context.Context, p, n, grain int, zero T, mapFn func(lo, hi int) T, reduceFn func(acc, part T) T) (T, error) {
+	if n <= 0 {
+		return zero, nil
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	chunks := (n + grain - 1) / grain
+	parts := make([]Padded[T], chunks)
+	err := ForEachChunkCtx(ctx, p, n, grain, func(w, lo, hi int) {
+		parts[lo/grain].V = mapFn(lo, hi)
+	})
+	if err != nil {
+		return zero, err
+	}
+	acc := zero
+	for c := range parts {
+		acc = reduceFn(acc, parts[c].V)
+	}
+	return acc, nil
+}

@@ -1,0 +1,192 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForEachChunkCtxMatchesForEachChunk proves the uncanceled ctx
+// variant visits the identical chunk layout as ForEachChunk for a sweep
+// of (n, grain, p).
+func TestForEachChunkCtxMatchesForEachChunk(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 64, 1000} {
+		for _, grain := range []int{1, 8, 33} {
+			for _, p := range []int{1, 2, 8} {
+				var mu sync.Mutex
+				plain := map[[2]int]bool{}
+				ForEachChunk(p, n, grain, func(w, lo, hi int) {
+					mu.Lock()
+					plain[[2]int{lo, hi}] = true
+					mu.Unlock()
+				})
+				ctxed := map[[2]int]bool{}
+				err := ForEachChunkCtx(context.Background(), p, n, grain, func(w, lo, hi int) {
+					mu.Lock()
+					ctxed[[2]int{lo, hi}] = true
+					mu.Unlock()
+				})
+				if err != nil {
+					t.Fatalf("n=%d grain=%d p=%d: err %v", n, grain, p, err)
+				}
+				if len(plain) != len(ctxed) {
+					t.Fatalf("n=%d grain=%d p=%d: %d vs %d chunks", n, grain, p, len(plain), len(ctxed))
+				}
+				for k := range plain {
+					if !ctxed[k] {
+						t.Fatalf("n=%d grain=%d p=%d: chunk %v missing", n, grain, p, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestForEachChunkCtxNilCtx pins that a nil ctx is valid and never
+// cancels.
+func TestForEachChunkCtxNilCtx(t *testing.T) {
+	var ran atomic.Int64
+	if err := ForEachChunkCtx(nil, 4, 100, 10, func(w, lo, hi int) { ran.Add(int64(hi - lo)) }); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 100 {
+		t.Fatalf("ran %d indices, want 100", ran.Load())
+	}
+}
+
+// TestForEachChunkCtxPreCanceled: an already-canceled ctx runs no chunks
+// and reports ctx.Err().
+func TestForEachChunkCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, p := range []int{1, 4} {
+		var ran atomic.Int64
+		err := ForEachChunkCtx(ctx, p, 1000, 10, func(w, lo, hi int) { ran.Add(1) })
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("p=%d: err = %v, want Canceled", p, err)
+		}
+		if ran.Load() != 0 {
+			t.Fatalf("p=%d: %d chunks ran under pre-canceled ctx", p, ran.Load())
+		}
+	}
+}
+
+// TestForEachChunkCtxCancelMidway cancels from inside a chunk and checks
+// the loop stops between chunks: started chunks complete, the tail is
+// skipped, and ctx.Err() is returned.
+func TestForEachChunkCtxCancelMidway(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		const n, grain = 1000, 10
+		var ran atomic.Int64
+		var completed atomic.Int64
+		err := ForEachChunkCtx(ctx, p, n, grain, func(w, lo, hi int) {
+			if ran.Add(1) == 5 {
+				cancel()
+			}
+			completed.Add(1) // a started chunk always finishes
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("p=%d: err = %v, want Canceled", p, err)
+		}
+		if c := completed.Load(); c >= n/grain {
+			t.Fatalf("p=%d: all %d chunks ran despite cancellation", p, c)
+		}
+		if ran.Load() != completed.Load() {
+			t.Fatalf("p=%d: %d started != %d completed (a chunk was cut mid-run)", p, ran.Load(), completed.Load())
+		}
+	}
+}
+
+// TestForEachChunkCtxLateCancelIsComplete: cancellation that fires after
+// every chunk completed must not fail the call — the computation is
+// whole.
+func TestForEachChunkCtxLateCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := ForEachChunkCtx(ctx, 1, 100, 10, func(w, lo, hi int) { ran.Add(1) })
+	cancel()
+	if err != nil || ran.Load() != 10 {
+		t.Fatalf("err=%v ran=%d, want nil and 10", err, ran.Load())
+	}
+}
+
+// TestForEachChunkErrCtxLowestChunk checks first-error semantics: the
+// error of the lowest failing chunk wins regardless of worker count.
+func TestForEachChunkErrCtxLowestChunk(t *testing.T) {
+	for _, p := range []int{1, 2, 8} {
+		err := ForEachChunkErrCtx(context.Background(), p, 100, 10, func(w, lo, hi int) error {
+			if lo >= 30 {
+				return fmt.Errorf("chunk at %d", lo)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "chunk at 30" {
+			t.Fatalf("p=%d: err = %v, want chunk at 30", p, err)
+		}
+	}
+}
+
+// TestForEachChunkErrCtxErrorBeatsCancel: when a chunk fails and the ctx
+// is also canceled, the fn error is reported (the caller needs the root
+// cause, not the cascade).
+func TestForEachChunkErrCtxErrorBeatsCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	boom := errors.New("boom")
+	err := ForEachChunkErrCtx(ctx, 4, 100, 10, func(w, lo, hi int) error {
+		if lo == 0 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+// TestMapReduceChunkCtxMatchesMapReduceChunk proves the uncanceled fold
+// is bit-identical to MapReduceChunk at every worker count.
+func TestMapReduceChunkCtxMatchesMapReduceChunk(t *testing.T) {
+	n := 1003
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 1.0 / float64(i+3)
+	}
+	mapFn := func(lo, hi int) float64 {
+		s := 0.0
+		for i := lo; i < hi; i++ {
+			s += xs[i]
+		}
+		return s
+	}
+	add := func(a, b float64) float64 { return a + b }
+	want := MapReduceChunk(1, n, 17, 0.0, mapFn, add)
+	for _, p := range []int{1, 2, 8} {
+		got, err := MapReduceChunkCtx(context.Background(), p, n, 17, 0.0, mapFn, add)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("p=%d: fold %v != %v (not bit-identical)", p, got, want)
+		}
+	}
+}
+
+// TestMapReduceChunkCtxCanceledReturnsZero: no partial fold escapes a
+// canceled call.
+func TestMapReduceChunkCtxCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	got, err := MapReduceChunkCtx(ctx, 4, 1000, 10, 0.0,
+		func(lo, hi int) float64 { return 1 },
+		func(a, b float64) float64 { return a + b })
+	if !errors.Is(err, context.Canceled) || got != 0 {
+		t.Fatalf("got %v, %v; want 0, Canceled", got, err)
+	}
+}

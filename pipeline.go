@@ -1,8 +1,10 @@
 package ghsom
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 
@@ -153,6 +155,16 @@ func encodeScaleRows(enc *kdd.Encoder, scaler *preprocess.MinMaxScaler, records 
 			return fmt.Errorf("record %d: %w", base+r, err)
 		}
 		if scaler != nil {
+			// Inference-side input hygiene (training encodes with a nil
+			// scaler and keeps its historical behavior): a NaN-poisoned
+			// record — e.g. a negative count driven through the log
+			// transform — would survive min-max scaling, poison its
+			// verdict, and break NDJSON response encoding downstream.
+			// Reject it here, naming the record, so the serving layer can
+			// quarantine exactly that job.
+			if err := firstNonFinite(row, len(row), base+r); err != nil {
+				return err
+			}
 			if err := scaler.TransformInPlace(row); err != nil {
 				return fmt.Errorf("record %d: %w", base+r, err)
 			}
@@ -293,16 +305,24 @@ func (p *Pipeline) DetectAll(records []Record) ([]Prediction, error) {
 // every Parallelism setting. On failure the error of the lowest-index bad
 // record is returned and out's contents are unspecified.
 func (p *Pipeline) DetectBatch(records []Record, out []Prediction) ([]Prediction, error) {
+	return p.DetectBatchCtx(nil, records, out)
+}
+
+// DetectBatchCtx is DetectBatch with cancellation: ctx is checked only
+// between chunks (see parallel.ForEachChunkErrCtx), so an uncanceled
+// call executes the identical chunked computation tree as DetectBatch —
+// the bit-identity contract holds — while a canceled call stops
+// mid-fan-out without waiting for the tail chunks and returns ctx.Err()
+// (outputs are then unspecified). A nil ctx never cancels.
+func (p *Pipeline) DetectBatchCtx(ctx context.Context, records []Record, out []Prediction) ([]Prediction, error) {
 	n := len(records)
 	if cap(out) < n {
 		out = make([]Prediction, n)
 	}
 	out = out[:n]
 	d := p.encoder.Dim()
-	chunk, chunks := batchChunks(p.cfg.Parallelism, n)
-	err := parallel.ForEachErr(p.cfg.Parallelism, chunks, func(c int) error {
-		lo := c * chunk
-		hi := min(lo+chunk, n)
+	chunk, _ := batchChunks(p.cfg.Parallelism, n)
+	err := parallel.ForEachChunkErrCtx(ctx, p.cfg.Parallelism, n, chunk, func(w, lo, hi int) error {
 		buf := p.getBuf((hi - lo) * d)
 		defer p.putBuf(buf)
 		flat := buf.flat[:(hi-lo)*d]
@@ -331,6 +351,17 @@ func (p *Pipeline) DetectBatch(records []Record, out []Prediction) ([]Prediction
 // error of the lowest-index bad record is returned and out's contents
 // are unspecified.
 func (p *Pipeline) DetectColumnar(cb *ColumnarBatch, out []Prediction) ([]Prediction, error) {
+	return p.DetectColumnarCtx(nil, cb, out)
+}
+
+// DetectColumnarCtx is DetectColumnar with cancellation checkpoints
+// between chunks, under the same contract as DetectBatchCtx. It also
+// rejects non-finite feature values: unlike NDJSON (where JSON cannot
+// express NaN/Inf), a columnar frame carries raw float64 columns, and a
+// NaN smuggled through would poison the verdict and break the NDJSON
+// response encoding downstream. The failing record's index is named so
+// the serving layer can quarantine exactly that job.
+func (p *Pipeline) DetectColumnarCtx(ctx context.Context, cb *ColumnarBatch, out []Prediction) ([]Prediction, error) {
 	if err := p.encoder.BindColumnar(cb); err != nil {
 		return nil, fmt.Errorf("ghsom: bind columnar frame: %w", err)
 	}
@@ -340,14 +371,15 @@ func (p *Pipeline) DetectColumnar(cb *ColumnarBatch, out []Prediction) ([]Predic
 	}
 	out = out[:n]
 	d := p.encoder.Dim()
-	chunk, chunks := batchChunks(p.cfg.Parallelism, n)
-	err := parallel.ForEachErr(p.cfg.Parallelism, chunks, func(c int) error {
-		lo := c * chunk
-		hi := min(lo+chunk, n)
+	chunk, _ := batchChunks(p.cfg.Parallelism, n)
+	err := parallel.ForEachChunkErrCtx(ctx, p.cfg.Parallelism, n, chunk, func(w, lo, hi int) error {
 		buf := p.getBuf((hi - lo) * d)
 		defer p.putBuf(buf)
 		flat := buf.flat[:(hi-lo)*d]
 		if err := p.encoder.EncodeColumnarRows(cb, lo, hi, flat); err != nil {
+			return err
+		}
+		if err := firstNonFinite(flat, d, lo); err != nil {
 			return err
 		}
 		if err := p.scaler.TransformBatch(flat, d); err != nil {
@@ -359,6 +391,19 @@ func (p *Pipeline) DetectColumnar(cb *ColumnarBatch, out []Prediction) ([]Predic
 		return nil, err
 	}
 	return out, nil
+}
+
+// firstNonFinite scans an encoded chunk for NaN/Inf features, reporting
+// the lowest offending record (base offsets indices into the caller's
+// full batch). One linear pass over values already hot in cache — noise
+// next to the classify descent it guards.
+func firstNonFinite(flat []float64, d, base int) error {
+	for i, v := range flat {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("record %d: non-finite feature value", base+i/d)
+		}
+	}
+	return nil
 }
 
 // Score returns the anomaly score of a record (higher = more anomalous).
