@@ -84,6 +84,11 @@ type point struct {
 	// Efficiency is the parallel efficiency rate(P)/(P·rate(1)) —
 	// 1.0 is perfect linear scaling (scaling points only).
 	Efficiency float64 `json:"efficiency,omitempty"`
+	// Precision is the BMU candidate-generation rung (quant points only).
+	Precision string `json:"precision,omitempty"`
+	// QuantArenaBytes is the shadow-codebook footprint of the rung — the
+	// f64 arena bytes for the f64 baseline (quant points only).
+	QuantArenaBytes int `json:"quantArenaBytes,omitempty"`
 }
 
 // artifact is the document written for each benchmark family.
@@ -109,6 +114,7 @@ func run(args []string) error {
 	routingOut := fs.String("routing-out", "BENCH_routing.json", "routing JSON path (empty = skip)")
 	bmuOut := fs.String("bmu-out", "BENCH_bmu.json", "BMU kernel JSON path (empty = skip)")
 	ingestOut := fs.String("ingest-out", "BENCH_ingest.json", "ingestion dataplane JSON path (empty = skip)")
+	quantOut := fs.String("quant-out", "BENCH_quant.json", "quantized BMU candidate-generation JSON path (empty = skip)")
 	scalingOut := fs.String("scaling-out", "", "multi-core scaling curve JSON path (empty = skip)")
 	pList := fs.String("p", "1,0", "comma-separated parallelism sweep for all bench families (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
@@ -162,6 +168,11 @@ func run(args []string) error {
 			return err
 		}
 		if err := writeArtifact(*ingestOut, doc); err != nil {
+			return err
+		}
+	}
+	if *quantOut != "" {
+		if err := writeArtifact(*quantOut, quantPoints()); err != nil {
 			return err
 		}
 	}
@@ -486,6 +497,80 @@ func bmuPoints() artifact {
 	return doc
 }
 
+// quantShapes is the quantized candidate-generation sweep: the bmuShapes
+// grid widened with a 1024-unit flat codebook, where the int8 rung's
+// bandwidth advantage is the acceptance headline.
+var quantShapes = []struct{ dim, units int }{
+	{8, 4}, {8, 64}, {8, 256}, {8, 1024},
+	{32, 4}, {32, 64}, {32, 256}, {32, 1024},
+	{118, 4}, {118, 64}, {118, 256}, {118, 1024},
+}
+
+// quantPoints measures the blocked BMU engine at each forced
+// candidate-generation rung (f64 baseline, f32 narrowed, i8 shadow
+// codebook) across the dim×units sweep, on the same synthetic uniform
+// data as bmuPoints. Every rung produces bit-identical winners — the
+// points differ only in throughput and in the shadow-arena bytes each
+// rung carries beside the canonical f64 weights.
+func quantPoints() artifact {
+	const n = 2048
+	doc := newArtifact(n)
+	for _, sh := range quantShapes {
+		rng := rand.New(rand.NewSource(42))
+		flat := make([]float64, sh.units*sh.dim)
+		data := make([]float64, n*sh.dim)
+		for i := range flat {
+			flat[i] = rng.Float64()
+		}
+		for i := range data {
+			data[i] = rng.Float64()
+		}
+		mat, err := vecmath.MatrixOver(data, n, sh.dim)
+		if err != nil {
+			panic(err) // static shapes; cannot fail
+		}
+		view := mat.View()
+		norms := vecmath.SquaredNorms(flat, sh.dim, nil)
+		bmus := make([]int, n)
+		d2s := make([]float64, n)
+		for _, prec := range []vecmath.Precision{vecmath.PrecisionF64, vecmath.PrecisionF32, vecmath.PrecisionI8} {
+			prec := prec
+			var qa *vecmath.QuantArena
+			arenaBytes := len(flat) * 8
+			if prec != vecmath.PrecisionF64 {
+				qa = vecmath.BuildQuantArena(flat, sh.dim, prec)
+				if qa != nil {
+					arenaBytes = qa.Bytes()
+				}
+			}
+			for _, par := range parSweep {
+				par := par
+				qp := measure("ArgMinQuant", effectivePar(par), n, 0, func(b *testing.B) {
+					w := parallel.Workers(par, n)
+					chunk := (n + w - 1) / w
+					chunks := (n + chunk - 1) / chunk
+					for i := 0; i < b.N; i++ {
+						parallel.ForEach(par, chunks, func(c int) {
+							lo := c * chunk
+							hi := min(lo+chunk, n)
+							if qa != nil {
+								vecmath.ArgMinDistanceBatchQuant(view.Slice(lo, hi), flat, norms, qa, bmus[lo:hi], d2s[lo:hi])
+							} else {
+								vecmath.ArgMinDistanceBatch(view.Slice(lo, hi), flat, norms, bmus[lo:hi], d2s[lo:hi])
+							}
+						})
+					}
+				})
+				qp.Dim, qp.Units = sh.dim, sh.units
+				qp.Precision = prec.String()
+				qp.QuantArenaBytes = arenaBytes
+				doc.Points = append(doc.Points, qp)
+			}
+		}
+	}
+	return doc
+}
+
 // parSweep is the worker-bound sweep shared by every bench family,
 // overridden by the -p flag. Default: serial and GOMAXPROCS.
 var parSweep = []int{1, 0}
@@ -665,6 +750,9 @@ func writeArtifact(path string, doc artifact) error {
 		if p.Epochs > 0 {
 			fmt.Printf("%-14s P=%-2d %12.0f rec·epochs/sec %10.1f allocs/epoch\n",
 				p.Name, p.Parallelism, p.RecordEpochsPerSec, p.AllocsPerEpoch)
+		} else if p.Precision != "" {
+			fmt.Printf("%-14s P=%-2d dim=%-3d units=%-4d prec=%-4s %12.0f rows/sec %10d arena B\n",
+				p.Name, p.Parallelism, p.Dim, p.Units, p.Precision, p.RecordsPerSec, p.QuantArenaBytes)
 		} else if p.Units > 0 {
 			fmt.Printf("%-14s P=%-2d dim=%-3d units=%-3d %12.0f rows/sec\n",
 				p.Name, p.Parallelism, p.Dim, p.Units, p.RecordsPerSec)

@@ -107,6 +107,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	maxBatch := fs.Int("batch", 256, "micro-batch flush size (records)")
 	flushEvery := fs.Duration("flush", 2*time.Millisecond, "micro-batch flush deadline")
 	par := fs.Int("parallelism", 0, "detection worker bound (0 = GOMAXPROCS)")
+	bmuPrec := fs.String("bmu-precision", "auto", "BMU candidate-generation precision: f64, f32, i8, or auto (verdicts are identical at every setting)")
 	useStdin := fs.Bool("stdin", false, "serve NDJSON records from stdin to stdout instead of HTTP")
 	useMmap := fs.Bool("mmap", false, "mmap the model file: the weight arena serves as views of the page cache instead of heap copies")
 	maxBody := fs.Int64("max-body", defaultMaxBodyBytes, "cap on one /detect request body in bytes (413 beyond)")
@@ -154,11 +155,17 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		fmt.Fprintln(os.Stderr, "ghsom-serve: fault injection armed from -faults")
 	}
 
+	prec, err := ghsom.ParsePrecision(*bmuPrec)
+	if err != nil {
+		return err
+	}
+
 	pipe, err := ghsom.LoadPipelineFile(*modelPath, *useMmap)
 	if err != nil {
 		return err
 	}
 	pipe.SetParallelism(*par)
+	pipe.SetBMUPrecision(prec)
 	if *useMmap {
 		fmt.Fprintf(os.Stderr, "ghsom-serve: model mapped, %d bytes page-cache shared\n", pipe.MappedBytes())
 	}
@@ -171,6 +178,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		maxBatch:       *maxBatch,
 		flushEvery:     *flushEvery,
 		par:            *par,
+		prec:           prec,
 		queueCap:       *queueCap,
 		defaultTimeout: *defaultTimeout,
 		maxBody:        *maxBody,
@@ -252,6 +260,10 @@ type serveConfig struct {
 	maxBatch   int
 	flushEvery time.Duration
 	par        int
+	// prec is the BMU candidate-generation precision applied to every
+	// loaded model (the -bmu-precision flag); a pure performance knob —
+	// verdicts are bit-identical at every setting.
+	prec ghsom.Precision
 	// queueCap bounds each model's admission queue; beyond it requests
 	// shed with 429 instead of building an unbounded backlog.
 	queueCap int
@@ -546,6 +558,7 @@ func (reg *registry) handleLoadModel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	pipe.SetParallelism(reg.cfg.par)
+	pipe.SetBMUPrecision(reg.cfg.prec)
 	view, swapped, err := reg.swap(name, pipe)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusConflict)
@@ -684,6 +697,10 @@ type statsView struct {
 	// WorkerBound is the resolved per-batch worker count (the
 	// -parallelism knob, 0 resolved to GOMAXPROCS).
 	WorkerBound int `json:"workerBound"`
+	// BMUPrecision is the effective candidate-generation rung of the
+	// model's routing descent (the -bmu-precision knob with auto
+	// resolved against the model's widest codebook).
+	BMUPrecision string `json:"bmuPrecision"`
 	// BusyWorkers is the worker count claimed by detect calls executing
 	// right now (in-flight batches × WorkerBound); IdleWorkers is the
 	// remainder of the bound, floored at zero.
@@ -1226,6 +1243,9 @@ func (b *batcher) statsSnapshot() statsView {
 	bound := parallel.Resolve(b.par)
 	busy := b.inflight.Load() * int64(bound)
 	out.WorkerBound = bound
+	if pipe := b.pipe.Load(); pipe != nil {
+		out.BMUPrecision = pipe.BMUPrecision().String()
+	}
 	out.BusyWorkers = busy
 	if idle := int64(bound) - busy; idle > 0 {
 		out.IdleWorkers = idle

@@ -41,6 +41,7 @@ import (
 	"ghsom/internal/core"
 	"ghsom/internal/kdd"
 	"ghsom/internal/trafficgen"
+	"ghsom/internal/vecmath"
 )
 
 // Record is one KDD-99 connection record (41 features plus label).
@@ -71,6 +72,30 @@ func CompileModel(m *Model) *CompiledModel { return core.Compile(m) }
 
 // ModelConfig controls GHSOM training (tau1, tau2, depth caps, ...).
 type ModelConfig = core.Config
+
+// Precision selects the candidate-generation rung of the blocked BMU
+// engine (see ModelConfig.BMUPrecision and Pipeline.SetBMUPrecision).
+// Results are bit-for-bit identical at every setting — reduced-precision
+// shadow arenas only nominate candidates and every winner is settled
+// with the canonical f64 kernel — so the knob is purely a performance
+// control, like Parallelism.
+type Precision = vecmath.Precision
+
+// The candidate-generation precision rungs. PrecisionAuto (the zero
+// value) engages the int8 shadow arena only on codebooks large enough to
+// pay for it; the GHSOM_BMU_PRECISION environment variable (f64, f32,
+// i8, auto) overrides Auto without code changes.
+const (
+	PrecisionAuto = vecmath.PrecisionAuto
+	PrecisionF64  = vecmath.PrecisionF64
+	PrecisionF32  = vecmath.PrecisionF32
+	PrecisionI8   = vecmath.PrecisionI8
+)
+
+// ParsePrecision parses a precision name ("f64", "f32", "i8", "auto",
+// "" for auto) as accepted by the GHSOM_BMU_PRECISION environment
+// variable and the CLI flags.
+func ParsePrecision(s string) (Precision, error) { return vecmath.ParsePrecision(s) }
 
 // Placement identifies where a vector lands in a trained hierarchy.
 type Placement = core.Placement

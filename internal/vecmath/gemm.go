@@ -294,6 +294,15 @@ type BMUScratch struct {
 	Tile   TileConfig
 	scores []float64
 	norms  []float64
+
+	// Quantized candidate-generation working state (see
+	// ArgMinDistanceBatchQuant in quant.go): per-tile record codes /
+	// narrowed rows plus the per-row scale and residual-norm tables the
+	// int8 settle margin consumes.
+	xq       []int8
+	x32      []float32
+	rowScale []float64
+	rowResid []float64
 }
 
 // bmuBatchPool recycles scratches for the package-level
@@ -432,6 +441,15 @@ func settleRow(xi, flat, norms []float64, maxN float64, dots []float64, dim int,
 		}
 	}
 	thr := minD + ExpandSettleRel*(xn+maxN)
+	return settleCandidates(xi, flat, dots, thr, dim, needDist)
+}
+
+// settleCandidates is the exact-settle tail shared by every candidate
+// generator (f64, f32, int8): judge the expanded distances in dots
+// against the already-widened threshold, short-circuiting the unique
+// candidate in index-only mode, and fall back to the scalar scan when
+// no candidate survives (NaN-saturated rows).
+func settleCandidates(xi, flat, dots []float64, thr float64, dim int, needDist bool) (int, float64) {
 	if !needDist {
 		// Index-only mode: count the candidates; a unique one needs no
 		// canonical judging.

@@ -1,0 +1,86 @@
+//go:build amd64
+
+package vecmath
+
+import "math"
+
+// dotQ8BlockAVX computes one record row against groups*4 consecutive
+// int8 weight rows (stride > 0, stride%16 == 0), exact int32
+// accumulation widened to float64 in out[0 : groups*4]. AVX2; callers
+// must check useAVX.
+//
+//go:noescape
+func dotQ8BlockAVX(x, codes *int8, stride, groups int, out *float64)
+
+// dotF32BlockAVX computes one narrowed record row against groups*4
+// consecutive float32 weight rows (stride > 0, stride%8 == 0), FMA
+// accumulation widened to float64 in out[0 : groups*4]. AVX2+FMA;
+// callers must check useAVX.
+//
+//go:noescape
+func dotF32BlockAVX(x, codes *float32, stride, groups int, out *float64)
+
+// rescaleMinQ8AVX rescales n raw int8 dots into expanded distances in
+// place and folds per-lane minima into lanes[0..3] (n > 0, n%4 == 0).
+// AVX2; callers must check useAVX.
+//
+//go:noescape
+func rescaleMinQ8AVX(dots, norms, scales *float64, n int, xn, xs2 float64, lanes *float64)
+
+// mulBatchQ8 dispatches the int8 dot block: the AVX2 micro-kernel when
+// the padded arena shape fits its alignment (whole 16-code chunks,
+// whole 4-unit groups — both accumulate the same exact int32 sums, so
+// the paths are bit-identical), the portable kernel otherwise.
+func mulBatchQ8(xq, codes []int8, out []float64, n, units, dim int) {
+	if !useAVX || dim <= 0 || dim&15 != 0 || units <= 0 || units&3 != 0 {
+		mulBatchQ8Generic(xq, codes, out, n, units, dim)
+		return
+	}
+	groups := units >> 2
+	for r := 0; r < n; r++ {
+		dotQ8BlockAVX(&xq[r*dim], &codes[0], dim, groups, &out[r*units])
+	}
+}
+
+// mulBatchF32 dispatches the float32 dot block the same way. The asm
+// and portable kernels associate the float32 sums differently, which
+// the rung's settle slack (F32DotErrBound covers any order) absorbs —
+// final BMU results remain bit-identical either way.
+func mulBatchF32(x32, w32 []float32, out []float64, n, units, dim int) {
+	if !useAVX || dim <= 0 || dim&7 != 0 || units <= 0 || units&3 != 0 {
+		mulBatchF32Generic(x32, w32, out, n, units, dim)
+		return
+	}
+	groups := units >> 2
+	for r := 0; r < n; r++ {
+		dotF32BlockAVX(&x32[r*dim], &w32[0], dim, groups, &out[r*units])
+	}
+}
+
+// rescaleMinQ8 turns one record's raw int8 dots into expanded distances
+// in place and returns their minimum (NaN entries ignored): the AVX2
+// pass over whole 4-unit groups plus a scalar tail. The two paths may
+// round a distance differently by a few ULP; the settle margin covers
+// that (see rescaleMinQ8AVX).
+func rescaleMinQ8(dots, norms, scales []float64, xn, xs float64) float64 {
+	minD := math.Inf(1)
+	i := 0
+	if n4 := len(norms) &^ 3; useAVX && n4 > 0 {
+		lanes := [4]float64{minD, minD, minD, minD}
+		rescaleMinQ8AVX(&dots[0], &norms[0], &scales[0], n4, xn, 2*xs, &lanes[0])
+		for _, v := range lanes {
+			if v < minD {
+				minD = v
+			}
+		}
+		i = n4
+	}
+	for ; i < len(norms); i++ {
+		d := xn + norms[i] - 2*(xs*scales[i]*dots[i])
+		dots[i] = d
+		if d < minD {
+			minD = d
+		}
+	}
+	return minD
+}

@@ -1,0 +1,237 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func dotQ8BlockAVX(x, codes *int8, stride, groups int, out *float64)
+//
+// One quantized record row against groups*4 consecutive weight rows of
+// the int8 shadow arena: out[4g+k] = sum x[j]*codes[(4g+k)*stride+j]
+// over j in [0, stride), stride a positive multiple of 16. Each 16-code
+// chunk is sign-extended to int16 lanes (VPMOVSXBW), multiplied and
+// pairwise-summed into int32 lanes (VPMADDWD — products are at most
+// 127*127, so a pair stays far inside int32 range), and accumulated per
+// lane; the int32 lane sums stay exact for any stride below ~2^24 and
+// are converted exactly to float64 on store (VCVTDQ2PD). Keeping the
+// group loop in here amortizes call and address-setup overhead that
+// otherwise rivals the dot work itself at small strides.
+TEXT ·dotQ8BlockAVX(SB), NOSPLIT, $0-40
+	MOVQ x+0(FP), SI
+	MOVQ codes+8(FP), DI
+	MOVQ stride+16(FP), BX
+	MOVQ groups+24(FP), R13
+	MOVQ out+32(FP), DX
+
+group:
+	// Weight row pointers for this 4-unit group.
+	MOVQ DI, R8
+	LEAQ (DI)(BX*1), R9
+	LEAQ (DI)(BX*2), R10
+	LEAQ (R9)(BX*2), R11
+
+	VPXOR Y0, Y0, Y0
+	VPXOR Y1, Y1, Y1
+	VPXOR Y2, Y2, Y2
+	VPXOR Y3, Y3, Y3
+
+	XORQ AX, AX // byte offset into the rows
+	MOVQ BX, CX // codes remaining
+
+inner:
+	VPMOVSXBW (SI)(AX*1), Y8 // 16 record codes -> int16 lanes
+
+	VPMOVSXBW (R8)(AX*1), Y9
+	VPMADDWD  Y8, Y9, Y9
+	VPADDD    Y9, Y0, Y0
+
+	VPMOVSXBW (R9)(AX*1), Y10
+	VPMADDWD  Y8, Y10, Y10
+	VPADDD    Y10, Y1, Y1
+
+	VPMOVSXBW (R10)(AX*1), Y11
+	VPMADDWD  Y8, Y11, Y11
+	VPADDD    Y11, Y2, Y2
+
+	VPMOVSXBW (R11)(AX*1), Y12
+	VPMADDWD  Y8, Y12, Y12
+	VPADDD    Y12, Y3, Y3
+
+	ADDQ $16, AX
+	SUBQ $16, CX
+	JNZ  inner
+
+	// Reduce each accumulator's 8 int32 lanes to one sum, then widen the
+	// four sums to float64 (exact) and store.
+	VEXTRACTI128 $1, Y0, X8
+	VPADDD       X8, X0, X0
+	VPSHUFD      $0x4E, X0, X8
+	VPADDD       X8, X0, X0
+	VPSHUFD      $0xB1, X0, X8
+	VPADDD       X8, X0, X0
+	VCVTDQ2PD    X0, X0
+	VMOVSD       X0, (DX)
+
+	VEXTRACTI128 $1, Y1, X8
+	VPADDD       X8, X1, X1
+	VPSHUFD      $0x4E, X1, X8
+	VPADDD       X8, X1, X1
+	VPSHUFD      $0xB1, X1, X8
+	VPADDD       X8, X1, X1
+	VCVTDQ2PD    X1, X1
+	VMOVSD       X1, 8(DX)
+
+	VEXTRACTI128 $1, Y2, X8
+	VPADDD       X8, X2, X2
+	VPSHUFD      $0x4E, X2, X8
+	VPADDD       X8, X2, X2
+	VPSHUFD      $0xB1, X2, X8
+	VPADDD       X8, X2, X2
+	VCVTDQ2PD    X2, X2
+	VMOVSD       X2, 16(DX)
+
+	VEXTRACTI128 $1, Y3, X8
+	VPADDD       X8, X3, X3
+	VPSHUFD      $0x4E, X3, X8
+	VPADDD       X8, X3, X3
+	VPSHUFD      $0xB1, X3, X8
+	VPADDD       X8, X3, X3
+	VCVTDQ2PD    X3, X3
+	VMOVSD       X3, 24(DX)
+
+	LEAQ (DI)(BX*4), DI // next 4 weight rows
+	ADDQ $32, DX        // next 4 outputs
+	DECQ R13
+	JNZ  group
+
+	VZEROUPPER
+	RET
+
+// func dotF32BlockAVX(x, codes *float32, stride, groups int, out *float64)
+//
+// The float32 shape of dotQ8BlockAVX: one narrowed record row against
+// groups*4 consecutive weight rows, stride a positive multiple of 8,
+// FMA accumulation in 8 float32 lanes per weight row, the four sums
+// widened exactly to float64 on store. The association differs from the
+// portable kernel's, which the f32 rung's error model explicitly
+// permits (F32DotErrBound covers any summation order).
+TEXT ·dotF32BlockAVX(SB), NOSPLIT, $0-40
+	MOVQ x+0(FP), SI
+	MOVQ codes+8(FP), DI
+	MOVQ stride+16(FP), BX
+	MOVQ groups+24(FP), R13
+	MOVQ out+32(FP), DX
+
+	// Byte stride of one weight row.
+	MOVQ BX, R14
+	SHLQ $2, R14
+
+f32group:
+	MOVQ DI, R8
+	LEAQ (DI)(R14*1), R9
+	LEAQ (DI)(R14*2), R10
+	LEAQ (R9)(R14*2), R11
+
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+
+	XORQ AX, AX
+	MOVQ BX, CX
+
+f32inner:
+	VMOVUPS (SI)(AX*1), Y8
+
+	VMOVUPS     (R8)(AX*1), Y9
+	VFMADD231PS Y9, Y8, Y0
+
+	VMOVUPS     (R9)(AX*1), Y10
+	VFMADD231PS Y10, Y8, Y1
+
+	VMOVUPS     (R10)(AX*1), Y11
+	VFMADD231PS Y11, Y8, Y2
+
+	VMOVUPS     (R11)(AX*1), Y12
+	VFMADD231PS Y12, Y8, Y3
+
+	ADDQ $32, AX
+	SUBQ $8, CX
+	JNZ  f32inner
+
+	// Reduce each accumulator's 8 float32 lanes, widen to float64, store.
+	VEXTRACTF128 $1, Y0, X8
+	VADDPS       X8, X0, X0
+	VHADDPS      X0, X0, X0
+	VHADDPS      X0, X0, X0
+	VCVTSS2SD    X0, X0, X0
+	VMOVSD       X0, (DX)
+
+	VEXTRACTF128 $1, Y1, X8
+	VADDPS       X8, X1, X1
+	VHADDPS      X1, X1, X1
+	VHADDPS      X1, X1, X1
+	VCVTSS2SD    X1, X1, X1
+	VMOVSD       X1, 8(DX)
+
+	VEXTRACTF128 $1, Y2, X8
+	VADDPS       X8, X2, X2
+	VHADDPS      X2, X2, X2
+	VHADDPS      X2, X2, X2
+	VCVTSS2SD    X2, X2, X2
+	VMOVSD       X2, 16(DX)
+
+	VEXTRACTF128 $1, Y3, X8
+	VADDPS       X8, X3, X3
+	VHADDPS      X3, X3, X3
+	VHADDPS      X3, X3, X3
+	VCVTSS2SD    X3, X3, X3
+	VMOVSD       X3, 24(DX)
+
+	LEAQ (DI)(R14*4), DI
+	ADDQ $32, DX
+	DECQ R13
+	JNZ  f32group
+
+	VZEROUPPER
+	RET
+
+// func rescaleMinQ8AVX(dots, norms, scales *float64, n int, xn, xs2 float64, lanes *float64)
+//
+// The int8 settle's rescale pass, 4 units wide: for u in [0, n) (n a
+// positive multiple of 4), dots[u] = xn + norms[u] - (xs2*scales[u])*dots[u],
+// accumulating per-lane minima into lanes[0..3] (caller-initialized,
+// typically +Inf). VMINPD keeps the running lane on a NaN distance,
+// matching the scalar loop's NaN-ignoring comparison; the caller folds
+// the four lanes and any tail. Rounding here may differ from the scalar
+// expression by a few ULP, which the settle margin's ExpandSettleRel
+// term dwarfs — candidate sets may shift at the margin's edge but the
+// canonical settle keeps final winners bit-identical.
+TEXT ·rescaleMinQ8AVX(SB), NOSPLIT, $0-56
+	MOVQ dots+0(FP), SI
+	MOVQ norms+8(FP), DI
+	MOVQ scales+16(FP), R8
+	MOVQ n+24(FP), CX
+	MOVQ lanes+48(FP), DX
+
+	VBROADCASTSD xn+32(FP), Y4
+	VBROADCASTSD xs2+40(FP), Y5
+	VMOVUPD      (DX), Y6
+
+	XORQ AX, AX
+
+rmloop:
+	VMOVUPD (SI)(AX*8), Y0 // dots
+	VMOVUPD (DI)(AX*8), Y1 // norms
+	VMOVUPD (R8)(AX*8), Y2 // scales
+	VMULPD  Y5, Y2, Y2     // xs2*scale
+	VMULPD  Y0, Y2, Y2     // *dot
+	VADDPD  Y1, Y4, Y0     // xn + norm
+	VSUBPD  Y2, Y0, Y0     // d
+	VMOVUPD Y0, (SI)(AX*8)
+	VMINPD  Y6, Y0, Y6     // min(d, acc); NaN d keeps acc
+	ADDQ    $4, AX
+	SUBQ    $4, CX
+	JNZ     rmloop
+
+	VMOVUPD Y6, (DX)
+	VZEROUPPER
+	RET

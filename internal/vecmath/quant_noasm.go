@@ -1,0 +1,27 @@
+//go:build !amd64
+
+package vecmath
+
+import "math"
+
+func mulBatchQ8(xq, codes []int8, out []float64, n, units, dim int) {
+	mulBatchQ8Generic(xq, codes, out, n, units, dim)
+}
+
+func mulBatchF32(x32, w32 []float32, out []float64, n, units, dim int) {
+	mulBatchF32Generic(x32, w32, out, n, units, dim)
+}
+
+// rescaleMinQ8 turns one record's raw int8 dots into expanded distances
+// in place and returns their minimum (NaN entries ignored).
+func rescaleMinQ8(dots, norms, scales []float64, xn, xs float64) float64 {
+	minD := math.Inf(1)
+	for i := range norms {
+		d := xn + norms[i] - 2*(xs*scales[i]*dots[i])
+		dots[i] = d
+		if d < minD {
+			minD = d
+		}
+	}
+	return minD
+}

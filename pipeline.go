@@ -515,6 +515,21 @@ func (p *Pipeline) SetParallelism(par int) {
 	p.detector.SetParallelism(par)
 }
 
+// SetBMUPrecision adjusts the candidate-generation precision of the
+// compiled model's routing descent on an already trained or loaded
+// pipeline (loaded pipelines default to PrecisionAuto — like
+// Parallelism, the knob is an execution detail never serialized into
+// envelopes). Verdicts are bit-for-bit identical at every setting; see
+// vecmath.Precision. Not safe to call concurrently with inference.
+func (p *Pipeline) SetBMUPrecision(prec vecmath.Precision) {
+	p.cfg.Model.BMUPrecision = prec
+	p.compiled.SetBMUPrecision(prec)
+}
+
+// BMUPrecision returns the effective candidate-generation rung of the
+// pipeline's compiled model (auto resolved against its widest codebook).
+func (p *Pipeline) BMUPrecision() vecmath.Precision { return p.compiled.BMUPrecision() }
+
 // Stream wraps the pipeline's detector for online use with the given
 // rolling-window alarm configuration.
 func (p *Pipeline) Stream(cfg anomaly.StreamConfig) (*anomaly.Stream, error) {
