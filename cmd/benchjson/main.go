@@ -31,6 +31,8 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -40,10 +42,12 @@ import (
 	"time"
 
 	"ghsom"
+	"ghsom/internal/cluster"
 	"ghsom/internal/core"
 	"ghsom/internal/eval"
 	"ghsom/internal/kdd"
 	"ghsom/internal/parallel"
+	"ghsom/internal/serve"
 	"ghsom/internal/som"
 	"ghsom/internal/trafficgen"
 	"ghsom/internal/vecmath"
@@ -116,6 +120,7 @@ func run(args []string) error {
 	ingestOut := fs.String("ingest-out", "BENCH_ingest.json", "ingestion dataplane JSON path (empty = skip)")
 	quantOut := fs.String("quant-out", "BENCH_quant.json", "quantized BMU candidate-generation JSON path (empty = skip)")
 	scalingOut := fs.String("scaling-out", "", "multi-core scaling curve JSON path (empty = skip)")
+	clusterOut := fs.String("cluster-out", "", "distributed serving tier JSON path (empty = skip)")
 	pList := fs.String("p", "1,0", "comma-separated parallelism sweep for all bench families (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -182,6 +187,15 @@ func run(args []string) error {
 			return err
 		}
 		if err := writeArtifact(*scalingOut, doc); err != nil {
+			return err
+		}
+	}
+	if *clusterOut != "" {
+		doc, err := clusterPoints(records)
+		if err != nil {
+			return err
+		}
+		if err := writeArtifact(*clusterOut, doc); err != nil {
 			return err
 		}
 	}
@@ -719,6 +733,113 @@ func routingPoints(records []ghsom.Record) (artifact, error) {
 				}
 			}),
 		)
+	}
+	return doc, nil
+}
+
+// clusterPoints measures the distributed serving tier over in-process
+// replicas: one direct-to-replica HTTP baseline ("ServeDirect") against
+// the gateway fronting 1–3 replicas ("Gateway-r1".."Gateway-r3"), all on
+// the same NDJSON workload with concurrent clients. The r1 point minus
+// the direct point is the coordinator's routing overhead; r2/r3 show the
+// fan-out headroom. Parallelism reports the replica count for gateway
+// points.
+func clusterPoints(records []ghsom.Record) (artifact, error) {
+	pipe, err := ghsom.TrainPipeline(records, pipelineConfig(0))
+	if err != nil {
+		return artifact{}, err
+	}
+	const batch = 256
+	kddRecs := make([]kdd.Record, batch)
+	for i := range kddRecs {
+		kddRecs[i] = kdd.Record(records[i%len(records)])
+	}
+	var body bytes.Buffer
+	enc := json.NewEncoder(&body)
+	for i := range kddRecs {
+		if err := enc.Encode(&kddRecs[i]); err != nil {
+			return artifact{}, err
+		}
+	}
+	payload := body.Bytes()
+
+	startReplicas := func(n int) ([]*serve.Registry, []*httptest.Server, []string, error) {
+		regs := make([]*serve.Registry, n)
+		srvs := make([]*httptest.Server, n)
+		urls := make([]string, n)
+		for i := 0; i < n; i++ {
+			regs[i] = serve.NewRegistry(serve.Config{
+				Instance:   fmt.Sprintf("bench-replica-%d", i),
+				MaxBatch:   256,
+				FlushEvery: time.Millisecond,
+			})
+			if _, _, err := regs[i].Swap(serve.DefaultModelName, pipe); err != nil {
+				return nil, nil, nil, err
+			}
+			srvs[i] = httptest.NewServer(regs[i].Mux())
+			urls[i] = srvs[i].URL
+		}
+		return regs, srvs, urls, nil
+	}
+	post := func(b *testing.B, client *http.Client, target string) {
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				resp, err := client.Post(target+"/detect", "application/x-ndjson", bytes.NewReader(payload))
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					b.Errorf("status %d", resp.StatusCode)
+					return
+				}
+			}
+		})
+	}
+
+	doc := newArtifact(len(records))
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 64}}
+	defer client.CloseIdleConnections()
+
+	// Baseline: the client talks to one replica with no coordinator.
+	regs, srvs, urls, err := startReplicas(1)
+	if err != nil {
+		return artifact{}, err
+	}
+	doc.Points = append(doc.Points, measure("ServeDirect", 1, batch, 0, func(b *testing.B) {
+		post(b, client, urls[0])
+	}))
+	srvs[0].Close()
+	regs[0].Close()
+
+	for n := 1; n <= 3; n++ {
+		regs, srvs, urls, err := startReplicas(n)
+		if err != nil {
+			return artifact{}, err
+		}
+		gw, err := cluster.New(cluster.Config{
+			Replicas:    urls,
+			Instance:    "bench-gateway",
+			Replication: n,
+			HealthEvery: 250 * time.Millisecond,
+		})
+		if err != nil {
+			return artifact{}, err
+		}
+		gw.CheckNow()
+		front := httptest.NewServer(gw.Handler())
+		doc.Points = append(doc.Points, measure(fmt.Sprintf("Gateway-r%d", n), n, batch, 0, func(b *testing.B) {
+			post(b, client, front.URL)
+		}))
+		front.Close()
+		gw.Close()
+		client.CloseIdleConnections()
+		for i := range srvs {
+			srvs[i].Close()
+			regs[i].Close()
+		}
 	}
 	return doc, nil
 }

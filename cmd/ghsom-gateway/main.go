@@ -1,0 +1,182 @@
+// Command ghsom-gateway is the fault-tolerant coordinator in front of a
+// fleet of ghsom-serve replicas (internal/cluster). It exposes the same
+// HTTP surface as one replica — POST /detect (NDJSON or columnar),
+// POST/DELETE /model, GET /models, /stats, /healthz, /livez — and routes
+// each request to healthy fleet members:
+//
+//   - Models shard over the fleet by consistent hashing with -replication
+//     copies; /detect for a model only ever goes to its shard.
+//   - An active health checker (-health-every) consumes each replica's
+//     /healthz and /livez, so draining or dead replicas stop receiving
+//     traffic within one probe period.
+//   - Failed or shed requests retry on another shard member with
+//     exponential backoff and jitter, honoring the replica's Retry-After
+//     hint as a floor and never retrying past the request's deadline
+//     budget (X-GHSOM-Deadline-Ms, re-encoded per hop with the time that
+//     is actually left).
+//   - A per-replica circuit breaker (-breaker-threshold consecutive
+//     failures, -breaker-cooldown) sheds a misbehaving replica fast and
+//     re-admits it via half-open probe requests.
+//   - With -hedge, a slow first attempt is raced against a second shard
+//     member; detects are idempotent, so the first whole response wins.
+//   - Degradation is per shard: a model whose replicas are all down sheds
+//     with 503 + Retry-After while every other shard keeps serving.
+//
+// POST /model fans the envelope out to every replica and verifies each
+// one lists the model afterward; GET /stats is a cluster rollup
+// (gateway routing counters, per-replica health/breaker state, and the
+// fleet's aggregated detection counters).
+//
+// Usage:
+//
+//	ghsom-gateway -replicas http://10.0.0.1:8741,http://10.0.0.2:8741,http://10.0.0.3:8741
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ghsom/internal/cluster"
+	"ghsom/internal/faultinject"
+	"ghsom/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "ghsom-gateway:", err)
+		os.Exit(1)
+	}
+}
+
+// defaultInstance derives the gateway identity when -instance is not
+// given: hostname:port of the listen address.
+func defaultInstance(addr string) string {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		port = addr
+	}
+	if host == "" || host == "0.0.0.0" || host == "::" {
+		if h, err := os.Hostname(); err == nil {
+			host = h
+		} else {
+			host = "localhost"
+		}
+	}
+	return net.JoinHostPort(host, port)
+}
+
+// parseReplicas splits the -replicas list, trimming blanks.
+func parseReplicas(list string) []string {
+	var out []string
+	for _, u := range strings.Split(list, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+func run(args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("ghsom-gateway", flag.ContinueOnError)
+	replicaList := fs.String("replicas", "", "comma-separated base URLs of the ghsom-serve fleet (required)")
+	addr := fs.String("addr", ":8740", "HTTP listen address")
+	instance := fs.String("instance", "", "gateway identity surfaced in X-GHSOM-Instance (default hostname:port)")
+	replication := fs.Int("replication", 2, "replicas per model shard")
+	retries := fs.Int("retries", 3, "retry budget per request beyond the first attempt")
+	retryBase := fs.Duration("retry-base", 25*time.Millisecond, "initial retry backoff (doubles per attempt, jittered)")
+	retryMax := fs.Duration("retry-max", 2*time.Second, "retry backoff cap")
+	hedge := fs.Duration("hedge", 0, "hedge delay: race a second replica if the first has not answered in this long (0 = off)")
+	healthEvery := fs.Duration("health-every", time.Second, "active health-check period")
+	probeTimeout := fs.Duration("probe-timeout", 2*time.Second, "health probe timeout")
+	breakerThreshold := fs.Int("breaker-threshold", 3, "consecutive failures that open a replica's circuit breaker")
+	breakerCooldown := fs.Duration("breaker-cooldown", 2*time.Second, "open-breaker cooldown before half-open probes")
+	defaultTimeout := fs.Duration("default-timeout", serve.DefaultJobTimeout, "deadline given to requests that carry none (0 = no deadline)")
+	maxBody := fs.Int64("max-body", serve.DefaultMaxBodyBytes, "cap on one /detect request body in bytes")
+	maxModel := fs.Int64("max-model", serve.DefaultMaxModelBytes, "cap on one POST /model envelope in bytes")
+	readHeaderTimeout := fs.Duration("read-header-timeout", 10*time.Second, "http.Server ReadHeaderTimeout (slowloris guard)")
+	faults := fs.String("faults", "", "arm fault-injection points, e.g. 'dial-error=error:3' (see internal/faultinject)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	replicas := parseReplicas(*replicaList)
+	if len(replicas) == 0 {
+		return errors.New("-replicas is required (comma-separated ghsom-serve base URLs)")
+	}
+	if *replication < 1 {
+		return fmt.Errorf("-replication must be >= 1, got %d", *replication)
+	}
+	if *retries < 0 {
+		return fmt.Errorf("-retries must be >= 0, got %d", *retries)
+	}
+	if set, err := faultinject.ArmFromEnv(); err != nil {
+		return err
+	} else if set {
+		fmt.Fprintf(stderr, "ghsom-gateway: fault injection armed from %s\n", faultinject.EnvVar)
+	}
+	if *faults != "" {
+		if err := faultinject.Arm(*faults); err != nil {
+			return err
+		}
+		fmt.Fprintln(stderr, "ghsom-gateway: fault injection armed from -faults")
+	}
+	if *instance == "" {
+		*instance = defaultInstance(*addr)
+	}
+
+	gw, err := cluster.New(cluster.Config{
+		Replicas:         replicas,
+		Instance:         *instance,
+		Replication:      *replication,
+		MaxRetries:       *retries,
+		RetryBase:        *retryBase,
+		RetryMax:         *retryMax,
+		Hedge:            *hedge,
+		HealthEvery:      *healthEvery,
+		ProbeTimeout:     *probeTimeout,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		DefaultTimeout:   *defaultTimeout,
+		MaxBody:          *maxBody,
+		MaxModel:         *maxModel,
+	})
+	if err != nil {
+		return err
+	}
+	defer gw.Close()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           gw.Handler(),
+		ReadHeaderTimeout: *readHeaderTimeout,
+	}
+	errc := make(chan error, 1)
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errc <- err
+		}
+	}()
+	fmt.Fprintf(stderr, "ghsom-gateway: instance %s listening on %s, fronting %d replicas (replication %d)\n",
+		*instance, *addr, len(replicas), *replication)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Fprintf(stderr, "ghsom-gateway: %v, shutting down\n", sig)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return srv.Shutdown(ctx)
+}

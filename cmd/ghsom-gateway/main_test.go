@@ -1,0 +1,47 @@
+package main
+
+import (
+	"io"
+	"os"
+	"reflect"
+	"testing"
+)
+
+func TestParseReplicas(t *testing.T) {
+	got := parseReplicas(" http://a:1 , ,http://b:2,")
+	want := []string{"http://a:1", "http://b:2"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("parseReplicas = %v, want %v", got, want)
+	}
+	if parseReplicas("") != nil {
+		t.Error("empty list should parse to nil")
+	}
+}
+
+func TestDefaultInstance(t *testing.T) {
+	host, err := os.Hostname()
+	if err != nil {
+		t.Skip("no hostname")
+	}
+	if got := defaultInstance(":8740"); got != host+":8740" {
+		t.Errorf("defaultInstance(\":8740\") = %q, want %q", got, host+":8740")
+	}
+	if got := defaultInstance("10.0.0.9:8740"); got != "10.0.0.9:8740" {
+		t.Errorf("defaultInstance passthrough = %q", got)
+	}
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	if err := run(nil, io.Discard); err == nil {
+		t.Error("run without -replicas succeeded")
+	}
+	if err := run([]string{"-replicas", "http://a:1", "-replication", "0"}, io.Discard); err == nil {
+		t.Error("zero -replication accepted")
+	}
+	if err := run([]string{"-replicas", "http://a:1", "-retries", "-1"}, io.Discard); err == nil {
+		t.Error("negative -retries accepted")
+	}
+	if err := run([]string{"-replicas", "http://a:1", "-faults", "no-such-point=error"}, io.Discard); err == nil {
+		t.Error("bad -faults spec accepted")
+	}
+}

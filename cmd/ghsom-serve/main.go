@@ -30,13 +30,18 @@
 //	               model shape, arena footprint, per-model serve stats.
 //	GET  /stats    JSON batching/latency/throughput counters of the
 //	               model selected by ?model=NAME, plus worker-pool
-//	               gauges (busy/idle workers, queue depth) and the
-//	               overload counters (admitted, shed, deadline misses,
-//	               quarantined jobs, last error).
+//	               gauges (busy/idle workers, queue depth, queue-wait
+//	               aggregates) and the overload counters (admitted,
+//	               shed, deadline misses, quarantined jobs, last error).
 //	GET  /healthz  readiness: 200 once the initial model is loaded and
 //	               the server is not draining; 503 otherwise.
 //	GET  /livez    liveness: 200 for the whole process lifetime,
 //	               including drain.
+//
+// Every response carries X-GHSOM-Instance: the server's stable identity
+// (-instance, default hostname:port), so coordinators such as
+// ghsom-gateway can attribute replies and health transitions to
+// replicas.
 //
 // # Overload hardening
 //
@@ -45,13 +50,16 @@
 // context, or the -default-timeout flag — and is rejected up front with
 // 429 + Retry-After when the admission queue is full or the deadline has
 // already passed; jobs whose deadline expires while queued are dropped
-// before any dataplane work is spent on them. One malformed or poisoned
-// record fails only its own request (per-job isolation plus a recover()
-// barrier around the dataplane), never co-batched clients or the
-// process. On SIGTERM/SIGINT the server flips /healthz to 503, stops
-// admitting (503 on new work), drains in-flight batches within
-// -drain-grace, and exits; POST /model hot-swaps complete even during
-// drain. See the README's "Operational hardening" section.
+// before any dataplane work is spent on them. The Retry-After hint is
+// derived from observed queue pressure (estimated backlog drain time,
+// clamped to [1, 30] seconds), so clients — and the gateway's backoff —
+// wait proportionally to real load. One malformed or poisoned record
+// fails only its own request (per-job isolation plus a recover() barrier
+// around the dataplane), never co-batched clients or the process. On
+// SIGTERM/SIGINT the server flips /healthz to 503, stops admitting (503
+// on new work), drains in-flight batches within -drain-grace, and exits;
+// POST /model hot-swaps complete even during drain. See the README's
+// "Operational hardening" section.
 //
 // With -pprof the stdlib profiling endpoints are mounted under
 // /debug/pprof (CPU, heap, mutex, block) for diagnosing scaling stalls
@@ -70,27 +78,20 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
-	"mime"
+	"net"
 	"net/http"
-	netpprof "net/http/pprof"
 	"os"
 	"os/signal"
-	"sort"
-	"strconv"
-	"sync"
-	"sync/atomic"
 	"syscall"
 	"time"
 
 	"ghsom"
 	"ghsom/internal/faultinject"
 	"ghsom/internal/kdd"
-	"ghsom/internal/parallel"
-	"ghsom/internal/serveq"
+	"ghsom/internal/serve"
 )
 
 func main() {
@@ -100,21 +101,40 @@ func main() {
 	}
 }
 
+// defaultInstance derives the stable instance identity when -instance is
+// not given: hostname:port of the listen address, so two replicas on one
+// host stay distinguishable.
+func defaultInstance(addr string) string {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		port = addr
+	}
+	if host == "" || host == "0.0.0.0" || host == "::" {
+		if h, err := os.Hostname(); err == nil {
+			host = h
+		} else {
+			host = "localhost"
+		}
+	}
+	return net.JoinHostPort(host, port)
+}
+
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("ghsom-serve", flag.ContinueOnError)
 	modelPath := fs.String("model", "model.bin", "trained pipeline file")
 	addr := fs.String("addr", ":8741", "HTTP listen address")
+	instance := fs.String("instance", "", "stable instance identity surfaced in X-GHSOM-Instance and /stats (default hostname:port)")
 	maxBatch := fs.Int("batch", 256, "micro-batch flush size (records)")
 	flushEvery := fs.Duration("flush", 2*time.Millisecond, "micro-batch flush deadline")
 	par := fs.Int("parallelism", 0, "detection worker bound (0 = GOMAXPROCS)")
 	bmuPrec := fs.String("bmu-precision", "auto", "BMU candidate-generation precision: f64, f32, i8, or auto (verdicts are identical at every setting)")
 	useStdin := fs.Bool("stdin", false, "serve NDJSON records from stdin to stdout instead of HTTP")
 	useMmap := fs.Bool("mmap", false, "mmap the model file: the weight arena serves as views of the page cache instead of heap copies")
-	maxBody := fs.Int64("max-body", defaultMaxBodyBytes, "cap on one /detect request body in bytes (413 beyond)")
-	maxModel := fs.Int64("max-model", defaultMaxModelBytes, "cap on one POST /model envelope in bytes (413 beyond)")
-	queueCap := fs.Int("queue", defaultQueueCap, "admission queue capacity in jobs per model; a full queue sheds with 429")
-	defaultTimeout := fs.Duration("default-timeout", defaultJobTimeout, "deadline given to requests that carry none (X-GHSOM-Deadline-Ms overrides; 0 = no deadline)")
-	drainGrace := fs.Duration("drain-grace", defaultDrainGrace, "bound on draining in-flight work after SIGTERM")
+	maxBody := fs.Int64("max-body", serve.DefaultMaxBodyBytes, "cap on one /detect request body in bytes (413 beyond)")
+	maxModel := fs.Int64("max-model", serve.DefaultMaxModelBytes, "cap on one POST /model envelope in bytes (413 beyond)")
+	queueCap := fs.Int("queue", serve.DefaultQueueCap, "admission queue capacity in jobs per model; a full queue sheds with 429")
+	defaultTimeout := fs.Duration("default-timeout", serve.DefaultJobTimeout, "deadline given to requests that carry none (X-GHSOM-Deadline-Ms overrides; 0 = no deadline)")
+	drainGrace := fs.Duration("drain-grace", serve.DefaultDrainGrace, "bound on draining in-flight work after SIGTERM")
 	readHeaderTimeout := fs.Duration("read-header-timeout", 10*time.Second, "http.Server ReadHeaderTimeout (slowloris guard)")
 	readTimeout := fs.Duration("read-timeout", time.Minute, "http.Server ReadTimeout (whole-request-read bound)")
 	writeTimeout := fs.Duration("write-timeout", 2*time.Minute, "http.Server WriteTimeout (whole-response-write bound)")
@@ -174,24 +194,28 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return serveStdin(pipe, *maxBatch, stdin, stdout)
 	}
 
-	reg := newRegistry(serveConfig{
-		maxBatch:       *maxBatch,
-		flushEvery:     *flushEvery,
-		par:            *par,
-		prec:           prec,
-		queueCap:       *queueCap,
-		defaultTimeout: *defaultTimeout,
-		maxBody:        *maxBody,
-		maxModel:       *maxModel,
-		pprof:          *pprofOn,
+	if *instance == "" {
+		*instance = defaultInstance(*addr)
+	}
+	reg := serve.NewRegistry(serve.Config{
+		Instance:       *instance,
+		MaxBatch:       *maxBatch,
+		FlushEvery:     *flushEvery,
+		Parallelism:    *par,
+		Precision:      prec,
+		QueueCap:       *queueCap,
+		DefaultTimeout: *defaultTimeout,
+		MaxBody:        *maxBody,
+		MaxModel:       *maxModel,
+		Pprof:          *pprofOn,
 	})
-	if _, _, err := reg.swap(defaultModelName, pipe); err != nil {
-		reg.close()
+	if _, _, err := reg.Swap(serve.DefaultModelName, pipe); err != nil {
+		reg.Close()
 		return err
 	}
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           reg.mux(),
+		Handler:           reg.Mux(),
 		ReadHeaderTimeout: *readHeaderTimeout,
 		ReadTimeout:       *readTimeout,
 		WriteTimeout:      *writeTimeout,
@@ -204,11 +228,11 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "ghsom-serve: listening on %s (batch=%d flush=%v queue=%d timeout=%v)\n",
-		*addr, *maxBatch, *flushEvery, *queueCap, *defaultTimeout)
+	fmt.Fprintf(os.Stderr, "ghsom-serve: %s listening on %s (batch=%d flush=%v queue=%d timeout=%v)\n",
+		*instance, *addr, *maxBatch, *flushEvery, *queueCap, *defaultTimeout)
 	select {
 	case err := <-errCh:
-		reg.close()
+		reg.Close()
 		return err
 	case <-sigCtx.Done():
 		stop() // restore default signal behavior: a second SIGTERM kills
@@ -218,386 +242,20 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 }
 
 // drainAndShutdown runs the graceful exit sequence: readiness flips to
-// 503 and admission closes (beginDrain), in-flight handlers get grace to
+// 503 and admission closes (BeginDrain), in-flight handlers get grace to
 // finish via the server's Shutdown, then the batchers flush whatever the
 // final drain left and stop. Factored over a shutdown func so tests can
 // drive it against an httptest server.
-func drainAndShutdown(reg *registry, shutdown func(context.Context) error, grace time.Duration) error {
-	reg.beginDrain()
+func drainAndShutdown(reg *serve.Registry, shutdown func(context.Context) error, grace time.Duration) error {
+	reg.BeginDrain()
 	ctx, cancel := context.WithTimeout(context.Background(), grace)
 	defer cancel()
 	err := shutdown(ctx)
-	reg.close()
+	reg.Close()
 	if err != nil {
 		return fmt.Errorf("drain: %w", err)
 	}
 	return nil
-}
-
-// Admission and lifecycle defaults.
-const (
-	defaultQueueCap   = 256
-	defaultJobTimeout = 30 * time.Second
-	defaultDrainGrace = 15 * time.Second
-)
-
-// defaultModelName is the registry entry served when a request names no
-// model.
-const defaultModelName = "default"
-
-// modelEntry is one hosted model: its micro-batcher (whose pipeline
-// pointer hot-swaps atomically) plus registry metadata.
-type modelEntry struct {
-	name     string
-	batcher  *batcher
-	loadedAt time.Time
-	swaps    int
-}
-
-// serveConfig bundles the per-server knobs the registry hands to every
-// batcher it creates.
-type serveConfig struct {
-	maxBatch   int
-	flushEvery time.Duration
-	par        int
-	// prec is the BMU candidate-generation precision applied to every
-	// loaded model (the -bmu-precision flag); a pure performance knob —
-	// verdicts are bit-identical at every setting.
-	prec ghsom.Precision
-	// queueCap bounds each model's admission queue; beyond it requests
-	// shed with 429 instead of building an unbounded backlog.
-	queueCap int
-	// defaultTimeout is the deadline given to requests that carry none.
-	// Zero means no default deadline.
-	defaultTimeout time.Duration
-	// maxBody and maxModel cap one /detect body and one uploaded
-	// envelope; requests beyond them get 413.
-	maxBody  int64
-	maxModel int64
-	// pprof exposes /debug/pprof on the mux when set (-pprof flag).
-	pprof bool
-}
-
-// registry hosts the named models behind the HTTP surface. Lookups take
-// a read lock; loading or swapping a model takes the write lock only to
-// update the map and metadata — the swap itself is one atomic pointer
-// store on the entry's batcher, so detection traffic never blocks on a
-// model upload.
-type registry struct {
-	mu      sync.RWMutex
-	entries map[string]*modelEntry
-	cfg     serveConfig
-	// ready flips true when the first model lands; until then /healthz
-	// reports 503 so load balancers do not route to a server that cannot
-	// serve.
-	ready atomic.Bool
-	// draining flips true at the start of the SIGTERM drain sequence:
-	// /healthz reports 503, new detection work sheds with 503, queued
-	// and in-flight work still completes. /livez stays 200 throughout.
-	draining  atomic.Bool
-	drainOnce sync.Once
-}
-
-func newRegistry(cfg serveConfig) *registry {
-	if cfg.queueCap < 1 {
-		cfg.queueCap = defaultQueueCap
-	}
-	if cfg.maxBody < 1 {
-		cfg.maxBody = defaultMaxBodyBytes
-	}
-	if cfg.maxModel < 1 {
-		cfg.maxModel = defaultMaxModelBytes
-	}
-	return &registry{
-		entries: make(map[string]*modelEntry),
-		cfg:     cfg,
-	}
-}
-
-// beginDrain starts the graceful-exit sequence: readiness goes 503 and
-// every model's admission queue closes, so new work sheds while queued
-// and in-flight jobs drain. Idempotent.
-func (reg *registry) beginDrain() {
-	reg.drainOnce.Do(func() {
-		reg.draining.Store(true)
-		reg.mu.RLock()
-		for _, e := range reg.entries {
-			e.batcher.q.CloseAdmission()
-		}
-		reg.mu.RUnlock()
-	})
-}
-
-func (reg *registry) close() {
-	// Take the entries out of the map before closing them, so a DELETE
-	// handler racing shutdown cannot find an entry whose batcher is
-	// already closed and close it a second time.
-	reg.mu.Lock()
-	entries := reg.entries
-	reg.entries = make(map[string]*modelEntry)
-	reg.mu.Unlock()
-	for _, e := range entries {
-		e.batcher.close()
-	}
-}
-
-// get returns the named entry, or nil when absent.
-func (reg *registry) get(name string) *modelEntry {
-	reg.mu.RLock()
-	defer reg.mu.RUnlock()
-	return reg.entries[name]
-}
-
-// maxRegistryModels caps the number of hosted models: each entry pins a
-// pipeline and a batcher goroutine, so an unbounded registry would let a
-// deploy loop with unique names exhaust memory. Stale entries are
-// removed with DELETE /model.
-const maxRegistryModels = 32
-
-// swap installs pipe under name: an existing entry's pipeline pointer is
-// replaced atomically (in-flight batches finish on the old pipeline, the
-// next flush uses the new one — no request is dropped or torn); a new
-// name gets a fresh batcher, unless the registry is at capacity. The
-// returned view is snapshotted under the lock; swapped reports whether
-// the entry already existed.
-func (reg *registry) swap(name string, pipe *ghsom.Pipeline) (view modelView, swapped bool, err error) {
-	reg.mu.Lock()
-	defer reg.mu.Unlock()
-	if e, ok := reg.entries[name]; ok {
-		e.batcher.pipe.Store(pipe)
-		e.loadedAt = time.Now()
-		e.swaps++
-		reg.ready.Store(true)
-		return e.view(), true, nil
-	}
-	if len(reg.entries) >= maxRegistryModels {
-		return modelView{}, false, fmt.Errorf("registry full (%d models); DELETE unused entries first", maxRegistryModels)
-	}
-	e := &modelEntry{
-		name:     name,
-		batcher:  newBatcher(pipe, reg.cfg),
-		loadedAt: time.Now(),
-	}
-	if reg.draining.Load() {
-		// A swap may land during drain (it must complete — in-flight
-		// upgrades are part of the no-dropped-requests contract), but a
-		// brand-new entry created mid-drain admits nothing.
-		e.batcher.q.CloseAdmission()
-	}
-	reg.entries[name] = e
-	reg.ready.Store(true)
-	return e.view(), false, nil
-}
-
-// remove unloads the named entry, shutting its batcher down after
-// in-flight jobs drain. Returns false when the name is unknown.
-func (reg *registry) remove(name string) bool {
-	reg.mu.Lock()
-	e, ok := reg.entries[name]
-	delete(reg.entries, name)
-	reg.mu.Unlock()
-	if ok {
-		// Outside the lock: close drains pending jobs through one last
-		// flush, which must not block other registry traffic.
-		e.batcher.close()
-	}
-	return ok
-}
-
-// mux builds the HTTP surface over the registry.
-func (reg *registry) mux() *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /detect", reg.handleDetect)
-	mux.HandleFunc("POST /model", reg.handleLoadModel)
-	mux.HandleFunc("DELETE /model", reg.handleUnloadModel)
-	mux.HandleFunc("GET /models", reg.handleModels)
-	mux.HandleFunc("GET /stats", reg.handleStats)
-	// /healthz is readiness: load balancers stop routing here while the
-	// initial model loads and the moment a drain begins. /livez is
-	// liveness: the process is up — supervisors must not restart a
-	// draining server that is still finishing in-flight work.
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		switch {
-		case reg.draining.Load():
-			http.Error(w, "draining", http.StatusServiceUnavailable)
-		case !reg.ready.Load():
-			http.Error(w, "loading", http.StatusServiceUnavailable)
-		default:
-			w.WriteHeader(http.StatusOK)
-			fmt.Fprintln(w, "ok")
-		}
-	})
-	mux.HandleFunc("GET /livez", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
-	if reg.cfg.pprof {
-		// Opt-in: profiling endpoints leak operational detail, so they are
-		// off unless -pprof is passed. These are the stdlib handlers that
-		// net/http/pprof would install on the default mux.
-		mux.HandleFunc("GET /debug/pprof/", netpprof.Index)
-		mux.HandleFunc("GET /debug/pprof/cmdline", netpprof.Cmdline)
-		mux.HandleFunc("GET /debug/pprof/profile", netpprof.Profile)
-		mux.HandleFunc("GET /debug/pprof/symbol", netpprof.Symbol)
-		mux.HandleFunc("GET /debug/pprof/trace", netpprof.Trace)
-	}
-	return mux
-}
-
-// requestModel resolves the ?model= selector (default "default"),
-// writing a 404 when the name is unknown.
-func (reg *registry) requestModel(w http.ResponseWriter, r *http.Request) *modelEntry {
-	name := r.URL.Query().Get("model")
-	if name == "" {
-		name = defaultModelName
-	}
-	e := reg.get(name)
-	if e == nil {
-		http.Error(w, fmt.Sprintf("unknown model %q", name), http.StatusNotFound)
-		return nil
-	}
-	return e
-}
-
-func (reg *registry) handleDetect(w http.ResponseWriter, r *http.Request) {
-	if reg.draining.Load() {
-		// Shed before touching the body: a draining server serves what it
-		// admitted, nothing new. (The closed admission queue would reject
-		// anyway; this path just refuses earlier and cheaper.)
-		writeDetectError(w, serveq.ErrClosed)
-		return
-	}
-	if e := reg.requestModel(w, r); e != nil {
-		e.batcher.handleDetect(w, r)
-	}
-}
-
-func (reg *registry) handleStats(w http.ResponseWriter, r *http.Request) {
-	if e := reg.requestModel(w, r); e != nil {
-		e.batcher.handleStats(w, r)
-	}
-}
-
-// defaultMaxModelBytes and defaultMaxBodyBytes are the -max-model and
-// -max-body defaults: caps on one uploaded envelope and one /detect
-// request body.
-const (
-	defaultMaxModelBytes = 1 << 30
-	defaultMaxBodyBytes  = 64 << 20
-)
-
-// errorStatus maps a request-parsing failure to its HTTP status: bodies
-// that blew through a MaxBytesReader cap are 413 (the client should not
-// retry the same payload), everything else is a 400.
-func errorStatus(err error) int {
-	var tooLarge *http.MaxBytesError
-	if errors.As(err, &tooLarge) {
-		return http.StatusRequestEntityTooLarge
-	}
-	return http.StatusBadRequest
-}
-
-// modelView is the JSON shape of one registry entry on /models and
-// POST /model responses.
-type modelView struct {
-	Name            string    `json:"name"`
-	EnvelopeVersion int       `json:"envelopeVersion"`
-	LoadedAt        time.Time `json:"loadedAt"`
-	Swaps           int       `json:"swaps"`
-	Nodes           int       `json:"nodes"`
-	Units           int       `json:"units"`
-	MaxDepth        int       `json:"maxDepth"`
-	ArenaBytes      int       `json:"arenaBytes"`
-	TableBytes      int       `json:"tableBytes"`
-	Stats           statsView `json:"stats"`
-}
-
-func (e *modelEntry) view() modelView {
-	pipe := e.batcher.pipe.Load()
-	c := pipe.Compiled()
-	st := c.Stats()
-	return modelView{
-		Name:            e.name,
-		EnvelopeVersion: pipe.EnvelopeVersion(),
-		LoadedAt:        e.loadedAt,
-		Swaps:           e.swaps,
-		Nodes:           st.Maps,
-		Units:           st.Units,
-		MaxDepth:        st.MaxDepth,
-		ArenaBytes:      c.ArenaBytes(),
-		TableBytes:      c.TableBytes(),
-		Stats:           e.batcher.statsSnapshot(),
-	}
-}
-
-// handleLoadModel reads a pipeline envelope from the request body and
-// installs it under ?name= (default "default"), hot-swapping any
-// existing entry without interrupting in-flight traffic.
-func (reg *registry) handleLoadModel(w http.ResponseWriter, r *http.Request) {
-	name := r.URL.Query().Get("name")
-	if name == "" {
-		name = defaultModelName
-	}
-	// Cheap pre-check before parsing a potentially huge envelope; the
-	// authoritative capacity check in swap still guards the race.
-	reg.mu.RLock()
-	_, exists := reg.entries[name]
-	full := len(reg.entries) >= maxRegistryModels
-	reg.mu.RUnlock()
-	if !exists && full {
-		http.Error(w, fmt.Sprintf("registry full (%d models); DELETE unused entries first", maxRegistryModels), http.StatusConflict)
-		return
-	}
-	if err := faultinject.Hit(faultinject.ModelLoad); err != nil {
-		http.Error(w, fmt.Sprintf("load model: %v", err), http.StatusInternalServerError)
-		return
-	}
-	pipe, err := ghsom.LoadPipeline(http.MaxBytesReader(w, r.Body, reg.cfg.maxModel))
-	if err != nil {
-		http.Error(w, fmt.Sprintf("load model: %v", err), errorStatus(err))
-		return
-	}
-	pipe.SetParallelism(reg.cfg.par)
-	pipe.SetBMUPrecision(reg.cfg.prec)
-	view, swapped, err := reg.swap(name, pipe)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusConflict)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	if !swapped {
-		w.WriteHeader(http.StatusCreated)
-	}
-	json.NewEncoder(w).Encode(view)
-}
-
-// handleUnloadModel removes the ?name= entry from the registry, draining
-// its batcher. The default model cannot be unloaded (swap it instead),
-// so the server always has a model to serve.
-func (reg *registry) handleUnloadModel(w http.ResponseWriter, r *http.Request) {
-	name := r.URL.Query().Get("name")
-	if name == "" || name == defaultModelName {
-		http.Error(w, "cannot unload the default model; POST /model to replace it", http.StatusBadRequest)
-		return
-	}
-	if !reg.remove(name) {
-		http.Error(w, fmt.Sprintf("unknown model %q", name), http.StatusNotFound)
-		return
-	}
-	w.WriteHeader(http.StatusNoContent)
-}
-
-// handleModels lists the registry, sorted by name for stable output.
-func (reg *registry) handleModels(w http.ResponseWriter, r *http.Request) {
-	reg.mu.RLock()
-	views := make([]modelView, 0, len(reg.entries))
-	for _, e := range reg.entries {
-		views = append(views, e.view())
-	}
-	reg.mu.RUnlock()
-	sort.Slice(views, func(i, j int) bool { return views[i].Name < views[j].Name })
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(views)
 }
 
 // printExample emits a canonical normal connection record clients can
@@ -613,658 +271,13 @@ func printExample(w io.Writer) error {
 	return enc.Encode(rec)
 }
 
-// job is one client request moving through the batcher: its records, the
-// absolute deadline it must finish by (zero = none), the predictions
-// written back by the flush, and a done signal.
-type job struct {
-	records  []kdd.Record
-	deadline time.Time
-	preds    []ghsom.Prediction
-	err      error
-	done     chan struct{}
-}
-
-// Deadline implements serveq.Job.
-func (j *job) Deadline() time.Time { return j.deadline }
-
-// context returns a context bounded by the job's deadline, for per-job
-// dataplane retries.
-func (j *job) context() (context.Context, context.CancelFunc) {
-	if j.deadline.IsZero() {
-		return context.Background(), func() {}
-	}
-	return context.WithDeadline(context.Background(), j.deadline)
-}
-
-// serveStats is the monotonically growing counter set behind /stats.
-type serveStats struct {
-	mu         sync.Mutex
+// stdinStats is the minimal batch accounting behind the stdin path's
+// exit summary; the HTTP path's full counter set lives in internal/serve.
+type stdinStats struct {
 	start      time.Time
 	batches    int64
 	records    int64
-	maxBatch   int
 	sumLatency time.Duration
-	maxLatency time.Duration
-	// quarantined counts jobs that failed in the dataplane (poison
-	// records, injected faults, recovered panics) without harming their
-	// co-batched neighbors; lastError keeps the most recent failure for
-	// /stats-level triage.
-	quarantined int64
-	lastError   string
-	lastErrorAt time.Time
-}
-
-func (s *serveStats) record(records int, latency time.Duration) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.batches++
-	s.records += int64(records)
-	if records > s.maxBatch {
-		s.maxBatch = records
-	}
-	s.sumLatency += latency
-	if latency > s.maxLatency {
-		s.maxLatency = latency
-	}
-}
-
-// noteError records a dataplane failure; quarantine says whether it
-// condemned a job (deadline misses, for example, are not quarantines).
-func (s *serveStats) noteError(err error, quarantine bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if quarantine {
-		s.quarantined++
-	}
-	s.lastError = err.Error()
-	s.lastErrorAt = time.Now()
-}
-
-// statsView is the marshal-safe derived view served on /stats. The
-// worker-pool gauges (WorkerBound, BusyWorkers, IdleWorkers, QueueDepth)
-// are point-in-time snapshots for diagnosing scaling stalls: a saturated
-// queue with idle workers points at batching latency, busy workers with
-// a deep queue at CPU saturation.
-type statsView struct {
-	Batches       int64   `json:"batches"`
-	Records       int64   `json:"records"`
-	MaxBatchSize  int     `json:"maxBatchSize"`
-	UptimeSec     float64 `json:"uptimeSec"`
-	RecordsPerSec float64 `json:"recordsPerSec"`
-	MeanBatchSize float64 `json:"meanBatchSize"`
-	MeanBatchMs   float64 `json:"meanBatchLatencyMs"`
-	MaxBatchMs    float64 `json:"maxBatchLatencyMs"`
-	// WorkerBound is the resolved per-batch worker count (the
-	// -parallelism knob, 0 resolved to GOMAXPROCS).
-	WorkerBound int `json:"workerBound"`
-	// BMUPrecision is the effective candidate-generation rung of the
-	// model's routing descent (the -bmu-precision knob with auto
-	// resolved against the model's widest codebook).
-	BMUPrecision string `json:"bmuPrecision"`
-	// BusyWorkers is the worker count claimed by detect calls executing
-	// right now (in-flight batches × WorkerBound); IdleWorkers is the
-	// remainder of the bound, floored at zero.
-	BusyWorkers int64 `json:"busyWorkers"`
-	IdleWorkers int64 `json:"idleWorkers"`
-	// QueueDepth is the number of jobs waiting in the admission queue,
-	// not yet picked up by the flush loop; QueueCap is its bound.
-	QueueDepth int `json:"queueDepth"`
-	QueueCap   int `json:"queueCap"`
-	// Overload and hardening counters: admission outcomes from the
-	// bounded deadline-aware queue, plus dataplane quarantines.
-	Admitted        int64  `json:"admitted"`
-	ShedQueueFull   int64  `json:"shedQueueFull"`
-	ShedDeadline    int64  `json:"shedDeadline"`
-	ShedClosed      int64  `json:"shedClosed"`
-	DroppedDeadline int64  `json:"droppedDeadline"`
-	Quarantined     int64  `json:"quarantined"`
-	LastError       string `json:"lastError,omitempty"`
-	LastErrorAt     string `json:"lastErrorAt,omitempty"`
-}
-
-// snapshot derives the rate/mean fields under the lock.
-func (s *serveStats) snapshot() statsView {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := statsView{
-		Batches:      s.batches,
-		Records:      s.records,
-		MaxBatchSize: s.maxBatch,
-		MaxBatchMs:   s.maxLatency.Seconds() * 1e3,
-	}
-	up := time.Since(s.start)
-	out.UptimeSec = up.Seconds()
-	if up > 0 {
-		out.RecordsPerSec = float64(s.records) / up.Seconds()
-	}
-	if s.batches > 0 {
-		out.MeanBatchSize = float64(s.records) / float64(s.batches)
-		out.MeanBatchMs = (s.sumLatency / time.Duration(s.batches)).Seconds() * 1e3
-	}
-	out.Quarantined = s.quarantined
-	out.LastError = s.lastError
-	if !s.lastErrorAt.IsZero() {
-		out.LastErrorAt = s.lastErrorAt.UTC().Format(time.RFC3339Nano)
-	}
-	return out
-}
-
-// batcher accumulates jobs into micro-batches and flushes them through
-// DetectBatch on size or deadline. The pipeline pointer is atomic: a
-// model hot-swap stores a new pipeline, each flush loads the pointer
-// exactly once, so every batch runs whole against one model — requests
-// are never split or torn across a swap. Admission is the bounded
-// deadline-aware serveq.Queue: a full queue sheds new work instead of
-// building unbounded backlog, and jobs whose deadline lapses while
-// queued are dropped before costing dataplane time.
-type batcher struct {
-	pipe           atomic.Pointer[ghsom.Pipeline]
-	maxBatch       int
-	flushEvery     time.Duration
-	maxBody        int64
-	par            int
-	defaultTimeout time.Duration
-	inflight       atomic.Int64
-	q              *serveq.Queue[*job]
-	quit           chan struct{}
-	wg             sync.WaitGroup
-	stats          serveStats
-}
-
-func newBatcher(pipe *ghsom.Pipeline, cfg serveConfig) *batcher {
-	b := &batcher{
-		maxBatch:       cfg.maxBatch,
-		flushEvery:     cfg.flushEvery,
-		maxBody:        cfg.maxBody,
-		par:            cfg.par,
-		defaultTimeout: cfg.defaultTimeout,
-		q:              serveq.New[*job](cfg.queueCap),
-		quit:           make(chan struct{}),
-	}
-	if b.maxBody < 1 {
-		b.maxBody = defaultMaxBodyBytes
-	}
-	b.pipe.Store(pipe)
-	b.stats.start = time.Now()
-	b.wg.Add(1)
-	go b.loop()
-	return b
-}
-
-func (b *batcher) close() {
-	b.q.CloseAdmission()
-	close(b.quit)
-	b.wg.Wait()
-	// Fail any job that raced past the loop's final drain, so no client
-	// hangs on a batcher that will never flush again.
-	for {
-		select {
-		case j := <-b.q.C():
-			j.err = errUnloaded
-			close(j.done)
-		default:
-			return
-		}
-	}
-}
-
-// errUnloaded is returned to requests that race a model unload.
-var errUnloaded = fmt.Errorf("model unloaded")
-
-// errDeadline is returned to jobs whose deadline lapsed before their
-// batch could serve them.
-var errDeadline = fmt.Errorf("deadline exceeded before detection completed")
-
-// loop is the micro-batching core: it drains the job channel, flushing
-// the pending batch when it reaches maxBatch records or when the oldest
-// pending job has waited flushEvery.
-func (b *batcher) loop() {
-	defer b.wg.Done()
-	var (
-		pending []*job
-		size    int
-		timer   *time.Timer
-		timeout <-chan time.Time
-	)
-	flush := func() {
-		if timer != nil {
-			timer.Stop()
-			timer, timeout = nil, nil
-		}
-		if len(pending) == 0 {
-			return
-		}
-		b.flush(pending, size)
-		pending, size = nil, 0
-	}
-	for {
-		select {
-		case j := <-b.q.C():
-			if !b.q.Alive(j, time.Now()) {
-				// Expired while queued: fail it now, spend nothing on it.
-				j.err = errDeadline
-				close(j.done)
-				continue
-			}
-			pending = append(pending, j)
-			size += len(j.records)
-			if size >= b.maxBatch {
-				flush()
-				continue
-			}
-			if timer == nil {
-				timer = time.NewTimer(b.flushEvery)
-				timeout = timer.C
-			}
-		case <-timeout:
-			timer, timeout = nil, nil
-			flush()
-		case <-b.quit:
-			// Drain whatever arrived before shutdown so no job hangs.
-			for {
-				select {
-				case j := <-b.q.C():
-					pending = append(pending, j)
-					size += len(j.records)
-				default:
-					flush()
-					return
-				}
-			}
-		}
-	}
-}
-
-// detectSafe runs one dataplane pass with the panic barrier and the
-// chaos-drill fault points. A panicking batch (poison model state, an
-// injected classify-panic) is converted to an error so the flush loop —
-// and the process — survive it and quarantine only the offending jobs.
-func detectSafe(ctx context.Context, pipe *ghsom.Pipeline, recs []kdd.Record, out []ghsom.Prediction) (preds []ghsom.Prediction, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			preds, err = nil, fmt.Errorf("dataplane panic (job quarantined): %v", r)
-		}
-	}()
-	faultinject.Hit(faultinject.DataplaneLatency)
-	if err := faultinject.Hit(faultinject.ScratchExhausted); err != nil {
-		return nil, err
-	}
-	faultinject.Hit(faultinject.ClassifyPanic)
-	return pipe.DetectBatchCtx(ctx, recs, out)
-}
-
-// detectColumnarSafe is detectSafe for the columnar fast path.
-func detectColumnarSafe(ctx context.Context, pipe *ghsom.Pipeline, cb *kdd.ColumnarBatch, out []ghsom.Prediction) (preds []ghsom.Prediction, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			preds, err = nil, fmt.Errorf("dataplane panic (job quarantined): %v", r)
-		}
-	}()
-	faultinject.Hit(faultinject.DataplaneLatency)
-	if err := faultinject.Hit(faultinject.ScratchExhausted); err != nil {
-		return nil, err
-	}
-	faultinject.Hit(faultinject.ClassifyPanic)
-	return pipe.DetectColumnarCtx(ctx, cb, out)
-}
-
-// batchContext bounds a merged flush by the latest deadline among its
-// jobs — but only when every job has one; a single no-deadline job means
-// the batch must be allowed to run to completion.
-func batchContext(pending []*job) (context.Context, context.CancelFunc) {
-	var latest time.Time
-	for _, j := range pending {
-		if j.deadline.IsZero() {
-			return context.Background(), func() {}
-		}
-		if j.deadline.After(latest) {
-			latest = j.deadline
-		}
-	}
-	return context.WithDeadline(context.Background(), latest)
-}
-
-// flush concatenates the pending jobs into one record batch, runs the
-// dataplane, and scatters the predictions back per job. A failed merged
-// batch must not fail co-batched clients' valid requests (and its record
-// index refers to the concatenated batch, not any one client's payload),
-// so on error every job is retried individually: valid jobs succeed and
-// the bad job gets an error with job-local record indices. Jobs whose
-// deadline lapsed while pending are failed without dataplane work, and
-// each failure path is quarantined rather than allowed to escape.
-func (b *batcher) flush(pending []*job, size int) {
-	// Re-check deadlines at flush time: a job admitted alive may have
-	// expired while the batch accumulated.
-	now := time.Now()
-	live := pending[:0]
-	for _, j := range pending {
-		if !b.q.Alive(j, now) {
-			size -= len(j.records)
-			j.err = errDeadline
-			close(j.done)
-			continue
-		}
-		live = append(live, j)
-	}
-	pending = live
-	if len(pending) == 0 {
-		return
-	}
-	// One pointer load per flush: the whole merged batch (and its per-job
-	// retries) runs against a single pipeline even if a hot-swap lands
-	// mid-flush.
-	pipe := b.pipe.Load()
-	batch := make([]kdd.Record, 0, size)
-	for _, j := range pending {
-		batch = append(batch, j.records...)
-	}
-	b.inflight.Add(1)
-	defer b.inflight.Add(-1)
-	ctx, cancel := batchContext(pending)
-	start := time.Now()
-	preds, err := detectSafe(ctx, pipe, batch, nil)
-	cancel()
-	if err != nil {
-		// Only the per-job retries actually serve records, so only they
-		// count toward /stats; the failed merged attempt is discarded.
-		// Each job retries under its own deadline, so one slow or poisoned
-		// neighbor cannot condemn the rest.
-		for _, j := range pending {
-			if !b.q.Alive(j, time.Now()) {
-				j.err = errDeadline
-				close(j.done)
-				continue
-			}
-			jctx, jcancel := j.context()
-			start := time.Now()
-			j.preds, j.err = detectSafe(jctx, pipe, j.records, nil)
-			jcancel()
-			if j.err == nil {
-				b.stats.record(len(j.records), time.Since(start))
-			} else if errors.Is(j.err, context.DeadlineExceeded) {
-				b.stats.noteError(j.err, false)
-				j.err = errDeadline
-			} else {
-				b.stats.noteError(j.err, true)
-			}
-			close(j.done)
-		}
-		return
-	}
-	b.stats.record(len(batch), time.Since(start))
-	off := 0
-	for _, j := range pending {
-		j.preds = preds[off : off+len(j.records)]
-		off += len(j.records)
-		close(j.done)
-	}
-}
-
-// submit pushes records through bounded admission and blocks until their
-// batch is flushed, the deadline or ctx expires, or the batcher closes.
-// Admission failures (queue full, past deadline, admission closed) come
-// back immediately as serveq errors — the caller maps them to 429/503.
-func (b *batcher) submit(ctx context.Context, records []kdd.Record, deadline time.Time) ([]ghsom.Prediction, error) {
-	j := &job{records: records, deadline: deadline, done: make(chan struct{})}
-	if err := b.q.Push(j); err != nil {
-		return nil, err
-	}
-	select {
-	case <-j.done:
-		return j.preds, j.err
-	case <-ctx.Done():
-		return nil, ctx.Err()
-	case <-b.quit:
-		// The batcher is shutting down. The job may still have been
-		// served by the final drain — report that result if it is
-		// already in; otherwise tell the client the model went away.
-		select {
-		case <-j.done:
-			return j.preds, j.err
-		default:
-			return nil, errUnloaded
-		}
-	}
-}
-
-// parserPool recycles NDJSON record parsers (and their internal buffers
-// and string-interning tables) across requests, so the legacy ingestion
-// path costs near-zero steady-state allocation too.
-var parserPool = sync.Pool{New: func() any { return kdd.NewRecordParser(nil) }}
-
-// readRecords parses NDJSON records with the pooled allocation-lean
-// parser, reporting the line of the first malformed one. Accept/reject
-// behavior matches the json.Decoder loop it replaced.
-func readRecords(r io.Reader, maxRecords int) ([]kdd.Record, error) {
-	if err := faultinject.Hit(faultinject.DecodeError); err != nil {
-		return nil, err
-	}
-	p := parserPool.Get().(*kdd.RecordParser)
-	p.Reset(r)
-	out, err := p.AppendAll(nil, maxRecords)
-	p.Reset(nil) // drop the body reference before pooling
-	parserPool.Put(p)
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
-}
-
-// columnarPool recycles decoded-frame buffers across columnar requests.
-var columnarPool = sync.Pool{New: func() any { return new(kdd.ColumnarBatch) }}
-
-// maxRequestRecords bounds one HTTP request body by record count (the
-// raw size is bounded by -max-body); bulk scoring belongs on the stdin
-// path or multiple requests.
-const maxRequestRecords = 100_000
-
-// deadlineHeader lets clients carry an explicit time budget: the value
-// is a positive integer of milliseconds from arrival.
-const deadlineHeader = "X-GHSOM-Deadline-Ms"
-
-// requestDeadline resolves the absolute deadline of one request:
-// X-GHSOM-Deadline-Ms wins, then any deadline on the request context
-// (e.g. a proxy timeout), then the -default-timeout fallback. A zero
-// time means the request runs unbounded.
-func requestDeadline(r *http.Request, def time.Duration) (time.Time, error) {
-	if h := r.Header.Get(deadlineHeader); h != "" {
-		ms, err := strconv.ParseInt(h, 10, 64)
-		if err != nil || ms <= 0 {
-			return time.Time{}, fmt.Errorf("%s: want a positive integer of milliseconds, got %q", deadlineHeader, h)
-		}
-		return time.Now().Add(time.Duration(ms) * time.Millisecond), nil
-	}
-	if dl, ok := r.Context().Deadline(); ok {
-		return dl, nil
-	}
-	if def > 0 {
-		return time.Now().Add(def), nil
-	}
-	return time.Time{}, nil
-}
-
-// writeDetectError maps a detection-path failure to its HTTP response.
-// Load shedding is deliberate and retryable — 429 with Retry-After for
-// overload (full queue, lapsed deadline), 503 for a draining or unloaded
-// server — while dataplane failures (poison records, injected faults,
-// quarantined panics) are the client's 422. A vanished client gets
-// nothing.
-func writeDetectError(w http.ResponseWriter, err error) {
-	switch {
-	case errors.Is(err, serveq.ErrFull), errors.Is(err, serveq.ErrPastDeadline), errors.Is(err, errDeadline):
-		w.Header().Set("Retry-After", "1")
-		http.Error(w, err.Error(), http.StatusTooManyRequests)
-	case errors.Is(err, serveq.ErrClosed), errors.Is(err, errUnloaded):
-		w.Header().Set("Retry-After", "5")
-		http.Error(w, "server draining or model unloaded: "+err.Error(), http.StatusServiceUnavailable)
-	case errors.Is(err, context.Canceled):
-		// The client went away; there is no one to write to.
-	default:
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusUnprocessableEntity)
-		json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
-	}
-}
-
-func (b *batcher) handleDetect(w http.ResponseWriter, r *http.Request) {
-	if ct, _, err := mime.ParseMediaType(r.Header.Get("Content-Type")); err == nil && ct == kdd.ColumnarContentType {
-		b.handleDetectColumnar(w, r)
-		return
-	}
-	deadline, err := requestDeadline(r, b.defaultTimeout)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	records, err := readRecords(http.MaxBytesReader(w, r.Body, b.maxBody), maxRequestRecords)
-	if err != nil {
-		http.Error(w, err.Error(), errorStatus(err))
-		return
-	}
-	if len(records) == 0 {
-		http.Error(w, "empty request: expected NDJSON records", http.StatusBadRequest)
-		return
-	}
-	preds, err := b.submit(r.Context(), records, deadline)
-	if err != nil {
-		writeDetectError(w, err)
-		return
-	}
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	enc := json.NewEncoder(w)
-	for i := range preds {
-		if err := enc.Encode(&preds[i]); err != nil {
-			return // client went away mid-response
-		}
-	}
-}
-
-// handleDetectColumnar is the wire-format fast path: each GHSOMWB1 frame
-// in the body is already a formed batch, so it skips the micro-batcher
-// and runs whole through DetectColumnar — column runs decoded straight
-// into the pipeline's pooled flat matrix, no intermediate Record structs
-// — against one atomically-loaded pipeline per frame. Predictions stream
-// out as NDJSON in record order, frame by frame. Errors on the first
-// frame map to a status code (400/413/422); once output has begun a
-// malformed trailing frame just ends the response.
-func (b *batcher) handleDetectColumnar(w http.ResponseWriter, r *http.Request) {
-	// The HTTP/1 server closes the request body on the first response
-	// write; a multi-frame body interleaves reads with prediction writes,
-	// so opt in to full duplex (no-op where unsupported, e.g. HTTP/2,
-	// which is duplex already).
-	_ = http.NewResponseController(w).EnableFullDuplex()
-	// Full duplex makes the body the handler's to finish: close it on
-	// every exit so an early error return (bad frame, shed, poison) never
-	// leaves the connection's reader mid-body — the server's keep-alive
-	// loop would panic on the next request's read and reset the client.
-	defer r.Body.Close()
-	deadline, err := requestDeadline(r, b.defaultTimeout)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	frameCtx := context.Context(nil)
-	if !deadline.IsZero() {
-		var cancel context.CancelFunc
-		frameCtx, cancel = context.WithDeadline(r.Context(), deadline)
-		defer cancel()
-	}
-	body := http.MaxBytesReader(w, r.Body, b.maxBody)
-	cb := columnarPool.Get().(*kdd.ColumnarBatch)
-	defer columnarPool.Put(cb)
-	enc := json.NewEncoder(w)
-	var preds []ghsom.Prediction
-	frames, total := 0, 0
-	fail := func(msg string, code int) {
-		if frames == 0 {
-			http.Error(w, msg, code)
-		}
-	}
-	for {
-		if !deadline.IsZero() && !time.Now().Before(deadline) {
-			// Out of budget: shed remaining frames. Before any output this
-			// is a clean 429; mid-stream the truncated NDJSON ends here.
-			if frames == 0 {
-				writeDetectError(w, errDeadline)
-			}
-			return
-		}
-		err := kdd.ReadColumnarBatch(body, cb, kdd.DefaultColumnarLimits)
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			fail(fmt.Sprintf("frame %d: %v", frames+1, err), errorStatus(err))
-			return
-		}
-		if total += cb.Rows(); total > maxRequestRecords {
-			fail(fmt.Sprintf("request exceeds %d records", maxRequestRecords), http.StatusBadRequest)
-			return
-		}
-		pipe := b.pipe.Load()
-		b.inflight.Add(1)
-		start := time.Now()
-		preds, err = detectColumnarSafe(frameCtx, pipe, cb, preds)
-		b.inflight.Add(-1)
-		if err != nil {
-			if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-				b.stats.noteError(err, false)
-				if frames == 0 {
-					writeDetectError(w, errDeadline)
-				}
-				return
-			}
-			b.stats.noteError(err, true)
-			if frames == 0 {
-				writeDetectError(w, err)
-			}
-			return
-		}
-		b.stats.record(cb.Rows(), time.Since(start))
-		if frames == 0 {
-			w.Header().Set("Content-Type", "application/x-ndjson")
-		}
-		frames++
-		for i := range preds {
-			if err := enc.Encode(&preds[i]); err != nil {
-				return // client went away mid-response
-			}
-		}
-	}
-	if frames == 0 {
-		http.Error(w, "empty request: expected columnar frames", http.StatusBadRequest)
-	}
-}
-
-// statsSnapshot derives the counter view and overlays the point-in-time
-// worker-pool gauges.
-func (b *batcher) statsSnapshot() statsView {
-	out := b.stats.snapshot()
-	bound := parallel.Resolve(b.par)
-	busy := b.inflight.Load() * int64(bound)
-	out.WorkerBound = bound
-	if pipe := b.pipe.Load(); pipe != nil {
-		out.BMUPrecision = pipe.BMUPrecision().String()
-	}
-	out.BusyWorkers = busy
-	if idle := int64(bound) - busy; idle > 0 {
-		out.IdleWorkers = idle
-	}
-	out.QueueDepth = b.q.Depth()
-	out.QueueCap = b.q.Cap()
-	qs := b.q.Stats()
-	out.Admitted = qs.Admitted
-	out.ShedQueueFull = qs.RejectedFull
-	out.ShedDeadline = qs.RejectedDeadline
-	out.ShedClosed = qs.RejectedClosed
-	out.DroppedDeadline = qs.DroppedDeadline
-	return out
-}
-
-func (b *batcher) handleStats(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	snap := b.statsSnapshot()
-	json.NewEncoder(w).Encode(&snap)
 }
 
 // serveStdin is the single-producer dataplane: NDJSON records are read
@@ -1279,8 +292,7 @@ func serveStdin(pipe *ghsom.Pipeline, maxBatch int, stdin io.Reader, stdout io.W
 	enc := json.NewEncoder(out)
 	batch := make([]kdd.Record, 0, maxBatch)
 	var preds []ghsom.Prediction
-	var stats serveStats
-	stats.start = time.Now()
+	stats := stdinStats{start: time.Now()}
 	line := 0
 	flush := func() error {
 		if len(batch) == 0 {
@@ -1292,7 +304,9 @@ func serveStdin(pipe *ghsom.Pipeline, maxBatch int, stdin io.Reader, stdout io.W
 		if err != nil {
 			return fmt.Errorf("detect batch ending at record %d: %w", line, err)
 		}
-		stats.record(len(batch), time.Since(start))
+		stats.batches++
+		stats.records += int64(len(batch))
+		stats.sumLatency += time.Since(start)
 		for i := range preds {
 			if err := enc.Encode(&preds[i]); err != nil {
 				return err
@@ -1320,8 +334,14 @@ func serveStdin(pipe *ghsom.Pipeline, maxBatch int, stdin io.Reader, stdout io.W
 	if err := flush(); err != nil {
 		return err
 	}
-	snap := stats.snapshot()
+	var rps, meanMs float64
+	if up := time.Since(stats.start); up > 0 {
+		rps = float64(stats.records) / up.Seconds()
+	}
+	if stats.batches > 0 {
+		meanMs = (stats.sumLatency / time.Duration(stats.batches)).Seconds() * 1e3
+	}
 	fmt.Fprintf(os.Stderr, "ghsom-serve: %d records in %d batches, %.0f records/sec, mean batch %.2fms\n",
-		snap.Records, snap.Batches, snap.RecordsPerSec, snap.MeanBatchMs)
+		stats.records, stats.batches, rps, meanMs)
 	return nil
 }

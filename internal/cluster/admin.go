@@ -1,0 +1,359 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"ghsom/internal/serve"
+)
+
+// PushResult is one replica's outcome of a fan-out model load or
+// unload, including the post-push verification against its GET /models.
+type PushResult struct {
+	Replica  string `json:"replica"`
+	Instance string `json:"instance,omitempty"`
+	Status   int    `json:"status,omitempty"`
+	Error    string `json:"error,omitempty"`
+	// Verified is true once GET /models on the replica confirmed the
+	// pushed model is (or, for unload, is no longer) registered.
+	Verified bool             `json:"verified"`
+	View     *serve.ModelView `json:"view,omitempty"`
+}
+
+// PushSummary is the gateway's response to a fan-out model operation.
+type PushSummary struct {
+	Model    string       `json:"model"`
+	Replicas []PushResult `json:"replicas"`
+	OK       bool         `json:"ok"`
+}
+
+// handleLoadModel distributes a model envelope to every fleet member:
+// the body is buffered once, pushed to each replica's POST /model
+// concurrently, and each push is verified by reading the replica's
+// GET /models back. Partial success is reported per replica with 502 so
+// the operator retries; detection traffic keeps flowing either way.
+func (g *Gateway) handleLoadModel(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		name = serve.DefaultModelName
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, g.cfg.MaxModel))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+		return
+	}
+	results := g.fanOut(func(rep *replica) PushResult {
+		res := PushResult{Replica: rep.url, Instance: rep.instanceName()}
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
+			rep.url+"/model?name="+url.QueryEscape(name), bytes.NewReader(body))
+		if err != nil {
+			res.Error = err.Error()
+			return res
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		resp, err := g.client.Do(req)
+		if err != nil {
+			res.Error = err.Error()
+			return res
+		}
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		res.Status = resp.StatusCode
+		// 200 is a hot-swap of an existing entry, 201 a fresh load.
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+			res.Error = string(bytes.TrimSpace(raw))
+			return res
+		}
+		var view serve.ModelView
+		if json.Unmarshal(raw, &view) == nil {
+			res.View = &view
+		}
+		// Verification: the replica must list the model back.
+		if view, ok, err := g.replicaModel(r.Context(), rep, name); err != nil {
+			res.Error = fmt.Sprintf("verify: %v", err)
+		} else if !ok {
+			res.Error = fmt.Sprintf("verify: model %q not listed after push", name)
+		} else {
+			res.Verified = true
+			res.View = view
+		}
+		return res
+	})
+	writeSummary(w, name, results)
+}
+
+// handleUnloadModel fans a DELETE /model out to the fleet, verifying
+// each replica no longer lists the model.
+func (g *Gateway) handleUnloadModel(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		http.Error(w, "name required", http.StatusBadRequest)
+		return
+	}
+	results := g.fanOut(func(rep *replica) PushResult {
+		res := PushResult{Replica: rep.url, Instance: rep.instanceName()}
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodDelete,
+			rep.url+"/model?name="+url.QueryEscape(name), nil)
+		if err != nil {
+			res.Error = err.Error()
+			return res
+		}
+		resp, err := g.client.Do(req)
+		if err != nil {
+			res.Error = err.Error()
+			return res
+		}
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+		res.Status = resp.StatusCode
+		// 404 is success for an unload: the model is not there.
+		if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusNotFound {
+			res.Error = string(bytes.TrimSpace(raw))
+			return res
+		}
+		if _, ok, err := g.replicaModel(r.Context(), rep, name); err != nil {
+			res.Error = fmt.Sprintf("verify: %v", err)
+		} else if ok {
+			res.Error = fmt.Sprintf("verify: model %q still listed after unload", name)
+		} else {
+			res.Verified = true
+		}
+		return res
+	})
+	writeSummary(w, name, results)
+}
+
+// fanOut runs one operation against every replica concurrently,
+// preserving fleet order in the results.
+func (g *Gateway) fanOut(op func(*replica) PushResult) []PushResult {
+	results := make([]PushResult, len(g.replicas))
+	var wg sync.WaitGroup
+	for i, rep := range g.replicas {
+		wg.Add(1)
+		go func(i int, rep *replica) {
+			defer wg.Done()
+			results[i] = op(rep)
+		}(i, rep)
+	}
+	wg.Wait()
+	return results
+}
+
+// replicaModel reads one replica's GET /models and reports whether it
+// lists the named model.
+func (g *Gateway) replicaModel(ctx context.Context, rep *replica, name string) (*serve.ModelView, bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.url+"/models", nil)
+	if err != nil {
+		return nil, false, err
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false, fmt.Errorf("GET /models: %s", resp.Status)
+	}
+	var views []serve.ModelView
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4<<20)).Decode(&views); err != nil {
+		return nil, false, err
+	}
+	for i := range views {
+		if views[i].Name == name {
+			return &views[i], true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+func writeSummary(w http.ResponseWriter, model string, results []PushResult) {
+	sum := PushSummary{Model: model, Replicas: results, OK: true}
+	for _, r := range results {
+		if !r.Verified {
+			sum.OK = false
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if !sum.OK {
+		w.WriteHeader(http.StatusBadGateway)
+	}
+	json.NewEncoder(w).Encode(&sum)
+}
+
+// ReplicaModels is one replica's model listing in the aggregated
+// GET /models view.
+type ReplicaModels struct {
+	Replica  string            `json:"replica"`
+	Instance string            `json:"instance,omitempty"`
+	Error    string            `json:"error,omitempty"`
+	Models   []serve.ModelView `json:"models,omitempty"`
+}
+
+// handleModels aggregates every replica's model listing.
+func (g *Gateway) handleModels(w http.ResponseWriter, r *http.Request) {
+	out := make([]ReplicaModels, len(g.replicas))
+	var wg sync.WaitGroup
+	for i, rep := range g.replicas {
+		wg.Add(1)
+		go func(i int, rep *replica) {
+			defer wg.Done()
+			out[i] = ReplicaModels{Replica: rep.url, Instance: rep.instanceName()}
+			req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, rep.url+"/models", nil)
+			if err != nil {
+				out[i].Error = err.Error()
+				return
+			}
+			resp, err := g.client.Do(req)
+			if err != nil {
+				out[i].Error = err.Error()
+				return
+			}
+			defer resp.Body.Close()
+			if err := json.NewDecoder(io.LimitReader(resp.Body, 4<<20)).Decode(&out[i].Models); err != nil {
+				out[i].Error = err.Error()
+			}
+		}(i, rep)
+	}
+	wg.Wait()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// ReplicaStatus is one fleet member's row in the cluster rollup: the
+// gateway's view of it (health, breaker, routing counters, balancer
+// signals) plus the replica's own live StatsView when reachable.
+type ReplicaStatus struct {
+	Replica           string  `json:"replica"`
+	Instance          string  `json:"instance,omitempty"`
+	Health            string  `json:"health"`
+	HealthTransitions int64   `json:"healthTransitions"`
+	Breaker           string  `json:"breaker"`
+	BreakerOpens      int64   `json:"breakerOpens"`
+	Sent              int64   `json:"sent"`
+	Failed            int64   `json:"failed"`
+	QueueDepth        int64   `json:"queueDepth"`
+	QueueWaitMeanMs   float64 `json:"queueWaitMeanMs"`
+
+	Stats      *serve.StatsView `json:"stats,omitempty"`
+	StatsError string           `json:"statsError,omitempty"`
+}
+
+// AggregateStats sums the detection counters across reachable replicas.
+type AggregateStats struct {
+	Replicas        int   `json:"replicas"`
+	Routable        int   `json:"routable"`
+	Batches         int64 `json:"batches"`
+	Records         int64 `json:"records"`
+	Admitted        int64 `json:"admitted"`
+	ShedQueueFull   int64 `json:"shedQueueFull"`
+	ShedDeadline    int64 `json:"shedDeadline"`
+	ShedClosed      int64 `json:"shedClosed"`
+	DroppedDeadline int64 `json:"droppedDeadline"`
+	Quarantined     int64 `json:"quarantined"`
+}
+
+// Rollup is the gateway's GET /stats document: gateway-level routing
+// counters, the per-replica fleet view, and the aggregate.
+type Rollup struct {
+	Instance    string `json:"instance,omitempty"`
+	Replication int    `json:"replication"`
+
+	Requests      int64 `json:"requests"`
+	Retries       int64 `json:"retries"`
+	Hedges        int64 `json:"hedges"`
+	HedgeWins     int64 `json:"hedgeWins"`
+	ShedNoReplica int64 `json:"shedNoReplica"`
+	DeadlineStops int64 `json:"deadlineStops"`
+
+	Replicas  []ReplicaStatus `json:"replicaStatus"`
+	Aggregate AggregateStats  `json:"aggregate"`
+}
+
+// Rollup builds the cluster stats document, scraping each replica's
+// live /stats concurrently (model query passed through).
+func (g *Gateway) Rollup(ctx context.Context, model string) Rollup {
+	now := time.Now()
+	roll := Rollup{
+		Instance:      g.cfg.Instance,
+		Replication:   g.cfg.Replication,
+		Requests:      g.requests.Load(),
+		Retries:       g.retries.Load(),
+		Hedges:        g.hedges.Load(),
+		HedgeWins:     g.hedgeWins.Load(),
+		ShedNoReplica: g.shedNoReplica.Load(),
+		DeadlineStops: g.deadlineStops.Load(),
+		Replicas:      make([]ReplicaStatus, len(g.replicas)),
+	}
+	var wg sync.WaitGroup
+	for i, rep := range g.replicas {
+		wg.Add(1)
+		go func(i int, rep *replica) {
+			defer wg.Done()
+			breakerState, opens := rep.breaker.snapshot(now)
+			st := ReplicaStatus{
+				Replica:           rep.url,
+				Instance:          rep.instanceName(),
+				Health:            healthStateName(int(rep.health.Load())),
+				HealthTransitions: rep.transitions.Load(),
+				Breaker:           breakerState,
+				BreakerOpens:      opens,
+				Sent:              rep.sent.Load(),
+				Failed:            rep.failed.Load(),
+				QueueDepth:        rep.queueDepth.Load(),
+				QueueWaitMeanMs:   rep.queueWaitMs.load(),
+			}
+			target := rep.url + "/stats"
+			if model != "" {
+				target += "?model=" + url.QueryEscape(model)
+			}
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, target, nil)
+			if err == nil {
+				if resp, err := g.probeClient.Do(req); err != nil {
+					st.StatsError = err.Error()
+				} else {
+					var snap serve.StatsView
+					if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&snap); err != nil {
+						st.StatsError = err.Error()
+					} else {
+						st.Stats = &snap
+					}
+					resp.Body.Close()
+				}
+			}
+			roll.Replicas[i] = st
+		}(i, rep)
+	}
+	wg.Wait()
+	roll.Aggregate.Replicas = len(g.replicas)
+	for i, rep := range g.replicas {
+		if rep.routable() {
+			roll.Aggregate.Routable++
+		}
+		if s := roll.Replicas[i].Stats; s != nil {
+			roll.Aggregate.Batches += s.Batches
+			roll.Aggregate.Records += s.Records
+			roll.Aggregate.Admitted += s.Admitted
+			roll.Aggregate.ShedQueueFull += s.ShedQueueFull
+			roll.Aggregate.ShedDeadline += s.ShedDeadline
+			roll.Aggregate.ShedClosed += s.ShedClosed
+			roll.Aggregate.DroppedDeadline += s.DroppedDeadline
+			roll.Aggregate.Quarantined += s.Quarantined
+		}
+	}
+	return roll
+}
+
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	roll := g.Rollup(r.Context(), r.URL.Query().Get("model"))
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(&roll)
+}

@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker states. The breaker trips per replica on consecutive
+// request-level failures (transport errors, 5xx other than deliberate
+// shedding), distinct from the health checker's view: health marks what
+// the replica says about itself, the breaker marks what requests through
+// it actually experienced.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func breakerStateName(s int) string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is a per-replica circuit breaker: closed passes traffic and
+// counts consecutive failures; at threshold it opens and sheds for the
+// cooldown; after the cooldown it half-opens and admits exactly one
+// probe request at a time — a probe success closes the breaker, a probe
+// failure re-opens it for another cooldown.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	state     int
+	fails     int
+	openedAt  time.Time
+	probing   bool
+	// opens counts closed/half-open → open transitions for the rollup.
+	opens int64
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	if threshold < 1 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 2 * time.Second
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether a request may go through right now. In half-open
+// (entered automatically once the cooldown elapses) only one in-flight
+// probe is admitted; probe reports whether this request is it, so the
+// caller must settle it via success or failure.
+func (b *breaker) allow(now time.Time) (ok, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true, false
+	case breakerOpen:
+		if now.Sub(b.openedAt) < b.cooldown {
+			return false, false
+		}
+		b.state = breakerHalfOpen
+		b.probing = false
+		fallthrough
+	default: // half-open
+		if b.probing {
+			return false, false
+		}
+		b.probing = true
+		return true, true
+	}
+}
+
+// success settles a request that completed acceptably: a half-open probe
+// success closes the breaker; in closed state the failure streak resets.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	if b.state == breakerHalfOpen {
+		b.state = breakerClosed
+		b.probing = false
+	}
+}
+
+// failure settles a request that failed at the transport or server
+// level: a half-open probe failure re-opens immediately; in closed state
+// the streak grows and opens the breaker at threshold.
+func (b *breaker) failure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = now
+		b.probing = false
+		b.opens++
+	case breakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = now
+			b.opens++
+		}
+	case breakerOpen:
+		// A straggler failure from before the open; nothing to do.
+	}
+}
+
+// snapshot returns the display state (open flips to half-open once the
+// cooldown has elapsed, matching what allow would do) and the open
+// count.
+func (b *breaker) snapshot(now time.Time) (state string, opens int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := b.state
+	if s == breakerOpen && now.Sub(b.openedAt) >= b.cooldown {
+		s = breakerHalfOpen
+	}
+	return breakerStateName(s), b.opens
+}

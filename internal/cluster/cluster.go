@@ -1,0 +1,204 @@
+// Package cluster is the fault-tolerant distributed serving tier behind
+// cmd/ghsom-gateway: a coordinator fronting N ghsom-serve replicas with
+// per-model consistent-hash sharding, configurable replication, active
+// health checking, bounded deadline-aware retries with a per-replica
+// circuit breaker, optional hedged requests, and graceful per-shard
+// degradation. Model distribution rides the replicas' existing
+// POST /model API (fan-out push with per-replica verification), and
+// GET /stats rolls the fleet up into one document.
+//
+// The gateway never invents verdicts: /detect bodies (NDJSON or
+// columnar frames) pass through opaquely to exactly one replica, and a
+// response is only committed to the client once it arrived whole — a
+// replica dying mid-response costs a retry, never a torn stream.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ghsom/internal/faultinject"
+	"ghsom/internal/serve"
+)
+
+func floatBits(v float64) uint64     { return math.Float64bits(v) }
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }
+
+// Replica health states as seen by the active checker.
+const (
+	healthUnknown = iota
+	healthHealthy
+	healthLoading
+	healthDraining
+	healthDead
+)
+
+func healthStateName(s int) string {
+	switch s {
+	case healthHealthy:
+		return "healthy"
+	case healthLoading:
+		return "loading"
+	case healthDraining:
+		return "draining"
+	case healthDead:
+		return "dead"
+	default:
+		return "unknown"
+	}
+}
+
+// replica is one ghsom-serve member: its base URL, the health state the
+// checker last observed, its circuit breaker, and the balancer signals
+// scraped from its /stats.
+type replica struct {
+	url      string
+	instance atomic.Pointer[string]
+	health   atomic.Int32
+	// transitions counts health-state changes (for the rollup; a flapping
+	// replica shows a high count).
+	transitions atomic.Int64
+	breaker     *breaker
+	// queueWaitMs and queueDepth are the last /stats scrape's backlog
+	// signals; the balancer prefers the least-backlogged shard member.
+	queueWaitMs atomicFloat
+	queueDepth  atomic.Int64
+	// sent/failed count requests the gateway routed to this replica.
+	sent   atomic.Int64
+	failed atomic.Int64
+}
+
+// atomicFloat is a float64 carried in a uint64 cell.
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) store(v float64) { f.bits.Store(floatBits(v)) }
+func (f *atomicFloat) load() float64   { return floatFromBits(f.bits.Load()) }
+
+// setHealth stores the observed state, counting the transition.
+func (r *replica) setHealth(s int32) {
+	if r.health.Swap(s) != s {
+		r.transitions.Add(1)
+	}
+}
+
+// routable reports whether the balancer may send detection work here:
+// the checker saw it healthy (unknown counts as routable until the first
+// probe lands, so a fresh gateway does not shed while the checker warms
+// up).
+func (r *replica) routable() bool {
+	s := r.health.Load()
+	return s == healthHealthy || s == healthUnknown
+}
+
+func (r *replica) instanceName() string {
+	if p := r.instance.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// checkOnce probes one replica: GET /healthz classifies it (ok, loading,
+// draining, dead on transport failure), and — when reachable — a /stats
+// scrape refreshes the balancer's backlog signals. The instance identity
+// comes from the X-GHSOM-Instance response header.
+func (r *replica) checkOnce(client *http.Client) {
+	resp, err := client.Get(r.url + "/healthz")
+	if err != nil {
+		r.setHealth(healthDead)
+		return
+	}
+	if inst := resp.Header.Get(serve.InstanceHeader); inst != "" && r.instanceName() != inst {
+		r.instance.Store(&inst)
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		r.setHealth(healthHealthy)
+	case strings.Contains(string(body), "draining"):
+		r.setHealth(healthDraining)
+	case strings.Contains(string(body), "loading"):
+		r.setHealth(healthLoading)
+	default:
+		// Readiness failed for a reason the server did not name; check
+		// liveness to distinguish a sick process from a dead one.
+		if lresp, err := client.Get(r.url + "/livez"); err != nil {
+			r.setHealth(healthDead)
+		} else {
+			io.Copy(io.Discard, lresp.Body)
+			lresp.Body.Close()
+			r.setHealth(healthDraining)
+		}
+		return
+	}
+	// Backlog scrape for the balancer. Note each scrape consumes the
+	// replica's queue-wait window ("since last scrape" semantics).
+	sresp, err := client.Get(r.url + "/stats")
+	if err != nil {
+		return
+	}
+	defer sresp.Body.Close()
+	var snap serve.StatsView
+	if json.NewDecoder(io.LimitReader(sresp.Body, 1<<20)).Decode(&snap) == nil {
+		r.queueWaitMs.store(snap.QueueWaitMeanMs)
+		r.queueDepth.Store(int64(snap.QueueDepth))
+	}
+}
+
+// healthLoop drives the active checker: every period, every replica is
+// probed concurrently until stop closes.
+func (g *Gateway) healthLoop() {
+	defer g.wg.Done()
+	ticker := time.NewTicker(g.cfg.HealthEvery)
+	defer ticker.Stop()
+	for {
+		g.checkAll()
+		select {
+		case <-ticker.C:
+		case <-g.stop:
+			return
+		}
+	}
+}
+
+func (g *Gateway) checkAll() {
+	var wg sync.WaitGroup
+	for _, rep := range g.replicas {
+		wg.Add(1)
+		go func(rep *replica) {
+			defer wg.Done()
+			rep.checkOnce(g.probeClient)
+		}(rep)
+	}
+	wg.Wait()
+}
+
+// faultTransport wires the network-layer fault-injection points into
+// every gateway→replica request: dial-error fails before bytes are sent,
+// slow-replica delays in flight, dropped-response discards a response
+// that actually arrived — the three failure shapes the retry/breaker
+// path must absorb.
+type faultTransport struct{ base http.RoundTripper }
+
+func (t faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if err := faultinject.Hit(faultinject.DialError); err != nil {
+		return nil, err
+	}
+	faultinject.Hit(faultinject.SlowReplica)
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if err := faultinject.Hit(faultinject.DroppedResponse); err != nil {
+		resp.Body.Close()
+		return nil, fmt.Errorf("response dropped: %w", err)
+	}
+	return resp, nil
+}

@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// vnodesPerReplica is the virtual-node count each replica contributes to
+// the hash ring. 64 points per replica keeps the shard assignment within
+// a few percent of uniform for small fleets while keeping ring rebuilds
+// (only on membership change) cheap.
+const vnodesPerReplica = 64
+
+// ringPoint is one virtual node: a position on the 64-bit hash circle
+// owned by a replica.
+type ringPoint struct {
+	hash uint64
+	rep  *replica
+}
+
+// ring is a consistent-hash ring over the member replicas. Model names
+// hash onto the circle and walk clockwise collecting distinct replicas,
+// so adding or removing one replica only remaps the shards adjacent to
+// its points instead of reshuffling every model.
+type ring struct {
+	points []ringPoint
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer. FNV-1a diffuses trailing bytes
+// poorly — strings sharing a prefix ("replica#01", "replica#02", …) hash
+// into one tight band, which collapses the ring into per-replica arcs —
+// so every hash is passed through a full avalanche before it becomes a
+// circle position.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// newRing builds the ring from the member set. Deterministic for a given
+// membership: the same replicas always own the same shards, so every
+// gateway instance fronting the fleet routes identically.
+func newRing(reps []*replica) *ring {
+	r := &ring{points: make([]ringPoint, 0, len(reps)*vnodesPerReplica)}
+	for _, rep := range reps {
+		base := hash64(rep.url)
+		for v := 0; v < vnodesPerReplica; v++ {
+			r.points = append(r.points, ringPoint{
+				hash: mix64(base + uint64(v)*0x9e3779b97f4a7c15),
+				rep:  rep,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r
+}
+
+// shard returns the n distinct replicas owning the named model: the
+// first n unique owners encountered walking clockwise from the model's
+// hash. Order is the preference order — the first entry is the shard's
+// primary for that model.
+func (r *ring) shard(model string, n int) []*replica {
+	if len(r.points) == 0 || n < 1 {
+		return nil
+	}
+	start := sort.Search(len(r.points), func(i int) bool {
+		return r.points[i].hash >= hash64(model)
+	})
+	seen := make(map[*replica]bool, n)
+	out := make([]*replica, 0, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.rep] {
+			seen[p.rep] = true
+			out = append(out, p.rep)
+		}
+	}
+	return out
+}

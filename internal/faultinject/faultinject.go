@@ -41,13 +41,22 @@ const (
 	// ClassifyPanic panics inside the detection dataplane, exercising the
 	// server's per-job panic isolation.
 	ClassifyPanic = "classify-panic"
+	// DialError fails a gateway→replica request before any bytes are
+	// sent, simulating a dead host or refused connection.
+	DialError = "dial-error"
+	// SlowReplica delays a gateway→replica request in flight, simulating
+	// a straggler for hedging and tail-latency drills.
+	SlowReplica = "slow-replica"
+	// DroppedResponse discards a replica's response after it was received,
+	// simulating a connection torn down mid-response.
+	DroppedResponse = "dropped-response"
 )
 
 // EnvVar is the environment variable ArmFromEnv reads a spec from.
 const EnvVar = "GHSOM_FAULTS"
 
 // points is every valid point name; Arm rejects others.
-var points = []string{DataplaneLatency, DecodeError, ModelLoad, ScratchExhausted, ClassifyPanic}
+var points = []string{DataplaneLatency, DecodeError, ModelLoad, ScratchExhausted, ClassifyPanic, DialError, SlowReplica, DroppedResponse}
 
 // fault is the armed behavior of one point. remaining < 0 means
 // unbounded.

@@ -1,4 +1,4 @@
-package main
+package serve
 
 // Chaos suite: drives the server through overload, drain, poison storms,
 // and injected dataplane faults, asserting the hardening contract — every
@@ -8,6 +8,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -41,14 +42,14 @@ func predsEqual(preds, want []ghsom.Prediction) bool {
 }
 
 // fetchStats decodes /stats for the default model.
-func fetchStats(t *testing.T, url string) statsView {
+func fetchStats(t *testing.T, url string) StatsView {
 	t.Helper()
 	resp, err := http.Get(url + "/stats")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var snap statsView
+	var snap StatsView
 	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
 		t.Fatal(err)
 	}
@@ -72,14 +73,14 @@ func TestChaosOverloadShedsCleanly(t *testing.T) {
 	}
 
 	cfg := testConfig(64, 2*time.Millisecond, 0)
-	cfg.queueCap = 2 // tiny: overload must shed, not queue
-	cfg.defaultTimeout = 5 * time.Second
-	reg := newRegistry(cfg)
-	defer reg.close()
-	if _, _, err := reg.swap(defaultModelName, pipe); err != nil {
+	cfg.QueueCap = 2 // tiny: overload must shed, not queue
+	cfg.DefaultTimeout = 5 * time.Second
+	reg := NewRegistry(cfg)
+	defer reg.Close()
+	if _, _, err := reg.Swap(DefaultModelName, pipe); err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(reg.mux())
+	srv := httptest.NewServer(reg.Mux())
 	defer srv.Close()
 	t.Cleanup(http.DefaultClient.CloseIdleConnections)
 	t.Cleanup(faultinject.Disarm)
@@ -140,7 +141,7 @@ func TestChaosOverloadShedsCleanly(t *testing.T) {
 		t.Errorf("no request was served under overload: %v", counts)
 	}
 	if counts[http.StatusTooManyRequests] == 0 {
-		t.Errorf("2x overload against a %d-deep queue shed nothing: %v", cfg.queueCap, counts)
+		t.Errorf("2x overload against a %d-deep queue shed nothing: %v", cfg.QueueCap, counts)
 	}
 
 	// Phase two: 1ms budgets against a 20ms dataplane — admitted jobs
@@ -153,7 +154,7 @@ func TestChaosOverloadShedsCleanly(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		req.Header.Set(deadlineHeader, "1")
+		req.Header.Set(DeadlineHeader, "1")
 		resp, err := http.DefaultClient.Do(req)
 		if err != nil {
 			t.Fatal(err)
@@ -206,12 +207,12 @@ func TestSwapUnderDrain(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	reg := newRegistry(testConfig(64, 2*time.Millisecond, 0))
-	defer reg.close()
-	if _, _, err := reg.swap(defaultModelName, pipeA); err != nil {
+	reg := NewRegistry(testConfig(64, 2*time.Millisecond, 0))
+	defer reg.Close()
+	if _, _, err := reg.Swap(DefaultModelName, pipeA); err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(reg.mux())
+	srv := httptest.NewServer(reg.Mux())
 	defer srv.Close()
 	t.Cleanup(http.DefaultClient.CloseIdleConnections)
 
@@ -271,7 +272,7 @@ func TestSwapUnderDrain(t *testing.T) {
 
 	// Let some load land on model A, then begin the drain.
 	time.Sleep(10 * time.Millisecond)
-	reg.beginDrain()
+	reg.BeginDrain()
 
 	// A hot-swap arriving mid-drain is part of the contract: it must
 	// complete (200, swaps=1) even though detection admission is closed.
@@ -283,7 +284,7 @@ func TestSwapUnderDrain(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var swapped modelView
+	var swapped ModelView
 	if err := json.NewDecoder(resp.Body).Decode(&swapped); err != nil {
 		t.Fatal(err)
 	}
@@ -303,7 +304,8 @@ func TestSwapUnderDrain(t *testing.T) {
 		t.Error("no request observed the draining 503")
 	}
 
-	// Readiness reflects the drain; liveness does not.
+	// Readiness reflects the drain; liveness does not. /stats reports the
+	// drain to upstream coordinators.
 	for path, want := range map[string]int{"/healthz": http.StatusServiceUnavailable, "/livez": http.StatusOK} {
 		resp, err := http.Get(srv.URL + path)
 		if err != nil {
@@ -315,11 +317,18 @@ func TestSwapUnderDrain(t *testing.T) {
 			t.Errorf("%s during drain = %d, want %d", path, resp.StatusCode, want)
 		}
 	}
+	if snap := fetchStats(t, srv.URL); !snap.Draining {
+		t.Error("stats do not report draining mid-drain")
+	}
 
-	// The full drain sequence concludes within grace.
-	if err := drainAndShutdown(reg, srv.Config.Shutdown, 5*time.Second); err != nil {
+	// The full drain sequence (the same steps cmd/ghsom-serve runs on
+	// SIGTERM) concludes within grace.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Config.Shutdown(ctx); err != nil {
 		t.Fatalf("drain did not conclude cleanly: %v", err)
 	}
+	reg.Close()
 }
 
 // TestPoisonStormIsolation co-batches poison requests (undecodable
@@ -486,9 +495,9 @@ func TestPanicIsolation(t *testing.T) {
 // throughout.
 func TestHealthzLifecycle(t *testing.T) {
 	pipe, _ := testPipeline(t)
-	reg := newRegistry(testConfig(64, 2*time.Millisecond, 0))
-	defer reg.close()
-	srv := httptest.NewServer(reg.mux())
+	reg := NewRegistry(testConfig(64, 2*time.Millisecond, 0))
+	defer reg.Close()
+	srv := httptest.NewServer(reg.Mux())
 	defer srv.Close()
 	t.Cleanup(http.DefaultClient.CloseIdleConnections)
 
@@ -510,14 +519,14 @@ func TestHealthzLifecycle(t *testing.T) {
 		t.Errorf("pre-model /livez = %d, want 200", status)
 	}
 
-	if _, _, err := reg.swap(defaultModelName, pipe); err != nil {
+	if _, _, err := reg.Swap(DefaultModelName, pipe); err != nil {
 		t.Fatal(err)
 	}
 	if status, _ := get("/healthz"); status != http.StatusOK {
 		t.Errorf("serving /healthz = %d, want 200", status)
 	}
 
-	reg.beginDrain()
+	reg.BeginDrain()
 	if status, body := get("/healthz"); status != http.StatusServiceUnavailable || body != "draining" {
 		t.Errorf("draining /healthz = %d %q, want 503 draining", status, body)
 	}
@@ -542,13 +551,13 @@ func TestFaultInjectionSmoke(t *testing.T) {
 	}
 	eval := recs[:16]
 	cfg := testConfig(64, 2*time.Millisecond, 0)
-	cfg.defaultTimeout = 5 * time.Second
-	reg := newRegistry(cfg)
-	defer reg.close()
-	if _, _, err := reg.swap(defaultModelName, pipe); err != nil {
+	cfg.DefaultTimeout = 5 * time.Second
+	reg := NewRegistry(cfg)
+	defer reg.Close()
+	if _, _, err := reg.Swap(DefaultModelName, pipe); err != nil {
 		t.Fatal(err)
 	}
-	srv := httptest.NewServer(reg.mux())
+	srv := httptest.NewServer(reg.Mux())
 	defer srv.Close()
 	t.Cleanup(http.DefaultClient.CloseIdleConnections)
 	t.Cleanup(faultinject.Disarm)

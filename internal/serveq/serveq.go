@@ -12,6 +12,7 @@ package serveq
 
 import (
 	"errors"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -61,6 +62,15 @@ type Queue[T Job] struct {
 	rejectedDeadline atomic.Int64
 	rejectedClosed   atomic.Int64
 	droppedDeadline  atomic.Int64
+
+	// Queue-wait aggregates since the last TakeWaitStats scrape. The
+	// consumer reports each dequeued job's wait via ObserveWait; a stats
+	// scrape drains the window. A mutex (not atomics) because observation
+	// happens once per dequeue, far off the per-record hot path.
+	waitMu    sync.Mutex
+	waitCount int64
+	waitSum   time.Duration
+	waitMax   time.Duration
 }
 
 // New returns a queue holding at most capacity pending jobs (floored at
@@ -115,6 +125,49 @@ func (q *Queue[T]) Alive(j T, now time.Time) bool {
 		return false
 	}
 	return true
+}
+
+// WaitStats aggregates observed queue waits — the time jobs spent
+// between admission and dequeue — over one scrape window.
+type WaitStats struct {
+	// Count is the number of waits observed in the window.
+	Count int64
+	// Max is the longest observed wait.
+	Max time.Duration
+	// Mean is the arithmetic mean wait.
+	Mean time.Duration
+}
+
+// ObserveWait records one dequeued job's queue wait. Consumers call it
+// when they pull a job off C, so the aggregates reflect real backlog:
+// a balancer fronting several queues can prefer the one whose jobs wait
+// least.
+func (q *Queue[T]) ObserveWait(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	q.waitMu.Lock()
+	q.waitCount++
+	q.waitSum += d
+	if d > q.waitMax {
+		q.waitMax = d
+	}
+	q.waitMu.Unlock()
+}
+
+// TakeWaitStats snapshots and resets the queue-wait aggregates: each
+// scrape sees the waits observed since the previous scrape, so a stats
+// poller gets per-interval pressure rather than a lifetime average that
+// goes numb under load swings.
+func (q *Queue[T]) TakeWaitStats() WaitStats {
+	q.waitMu.Lock()
+	defer q.waitMu.Unlock()
+	out := WaitStats{Count: q.waitCount, Max: q.waitMax}
+	if q.waitCount > 0 {
+		out.Mean = q.waitSum / time.Duration(q.waitCount)
+	}
+	q.waitCount, q.waitSum, q.waitMax = 0, 0, 0
+	return out
 }
 
 // CloseAdmission stops admitting new jobs: every subsequent Push returns
